@@ -1,0 +1,54 @@
+"""Ablation: exact vs greedy vs swap best response — cost gap and speed.
+
+Measures the quality/speed trade-off that Theorem 2.1 forces: exact is
+exponential in the budget, heuristics are polynomial but may miss the
+optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BestResponseEnvironment,
+    exact_best_response,
+    greedy_best_response,
+    swap_best_response,
+)
+from repro.graphs import random_budgets_with_sum, random_connected_realization
+
+
+def _instance(n: int = 40, seed: int = 3):
+    budgets = random_budgets_with_sum(n, int(1.4 * n), seed=seed, min_budget=1)
+    budgets[0] = 3
+    return random_connected_realization(budgets, seed=seed)
+
+
+@pytest.mark.paper_artifact("ablation / best-response methods")
+@pytest.mark.parametrize("method", ["exact", "greedy", "swap"])
+def test_best_response_methods(benchmark, method):
+    g = _instance()
+    fn = {"exact": exact_best_response, "greedy": greedy_best_response, "swap": swap_best_response}[method]
+    result = benchmark(fn, g, 0, "sum")
+    assert result.cost <= result.current_cost
+
+
+@pytest.mark.paper_artifact("ablation / environment construction")
+def test_environment_build_cost(benchmark):
+    # The per-player precomputation (all-pairs BFS of G - u) dominates;
+    # measure it in isolation.
+    g = _instance(n=120, seed=9)
+    env = benchmark(BestResponseEnvironment, g, 0, "sum")
+    assert env.D.shape == (120, 120)
+
+
+@pytest.mark.paper_artifact("ablation / batch evaluation throughput")
+def test_batch_evaluation_throughput(benchmark):
+    g = _instance(n=60, seed=4)
+    env = BestResponseEnvironment(g, 0, "sum")
+    pool = env.candidate_pool()
+    rng = np.random.default_rng(0)
+    batch = np.stack([rng.choice(pool, size=3, replace=False) for _ in range(2000)])
+    costs = benchmark(env.evaluate_batch, batch)
+    assert costs.shape == (2000,)

@@ -1,0 +1,63 @@
+"""Ablation: the from-scratch vectorised BFS vs scipy vs networkx.
+
+Justifies the substrate choice: the frontier-vectorised numpy BFS is the
+hot kernel behind every best-response evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import all_pairs_distances, random_connected_realization, UNREACHABLE
+
+
+def _graph(n: int, seed: int = 0):
+    budgets = np.full(n, 2, dtype=np.int64)
+    return random_connected_realization(budgets, seed=seed)
+
+
+@pytest.mark.paper_artifact("ablation / BFS engines")
+@pytest.mark.parametrize("n", [100, 300])
+def test_own_bfs(benchmark, n):
+    g = _graph(n)
+    csr = g.undirected_csr()
+    d = benchmark(all_pairs_distances, csr)
+    assert d.shape == (n, n)
+    assert (d >= 0).all()  # connected: no UNREACHABLE left
+
+
+@pytest.mark.paper_artifact("ablation / BFS engines")
+@pytest.mark.parametrize("n", [100, 300])
+def test_scipy_bfs(benchmark, n):
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import shortest_path
+
+    g = _graph(n)
+    csr = g.undirected_csr()
+    mat = csr_matrix(
+        (np.ones(csr.indices.size), csr.indices, csr.indptr), shape=(n, n)
+    )
+    d = benchmark(shortest_path, mat, "D", unweighted=True)
+    ours = all_pairs_distances(csr)
+    assert np.array_equal(ours.astype(float), d)
+
+
+@pytest.mark.paper_artifact("ablation / BFS engines")
+@pytest.mark.parametrize("n", [100])
+def test_networkx_bfs(benchmark, n):
+    import networkx as nx
+
+    g = _graph(n)
+    G = nx.Graph()
+    G.add_nodes_from(range(n))
+    G.add_edges_from(g.underlying_edges())
+
+    def run():
+        return dict(nx.all_pairs_shortest_path_length(G))
+
+    lengths = benchmark(run)
+    ours = all_pairs_distances(g.undirected_csr())
+    assert all(
+        ours[u, v] == d for u, row in lengths.items() for v, d in row.items()
+    )

@@ -1,0 +1,52 @@
+"""Section 8 open problem: convergence speed of best-response dynamics.
+
+Measures rounds-to-convergence across schedules and versions on
+unit-budget games (where exact dynamics is cheap), plus the social-cost
+trajectory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BoundedBudgetGame, best_response_dynamics
+from repro.graphs import diameter, unit_budgets
+
+
+@pytest.mark.paper_artifact("Section 8 / convergence")
+@pytest.mark.parametrize("version", ["sum", "max"])
+@pytest.mark.parametrize("schedule", ["round_robin", "random"])
+def test_dynamics_convergence(benchmark, version, schedule):
+    game = BoundedBudgetGame(unit_budgets(30))
+
+    def run():
+        res = best_response_dynamics(
+            game,
+            game.random_realization(seed=17),
+            version,
+            schedule=schedule,
+            max_rounds=200,
+            seed=17,
+        )
+        assert res.converged
+        return res
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Social cost is (weakly) improving by the end of the run.
+    assert res.social_costs[-1] <= res.social_costs[0]
+    assert diameter(res.graph) < 8
+
+
+@pytest.mark.paper_artifact("Section 8 / convergence at scale")
+def test_dynamics_scale(benchmark):
+    game = BoundedBudgetGame(unit_budgets(100))
+
+    def run():
+        res = best_response_dynamics(
+            game, game.random_realization(seed=23), "sum", max_rounds=200, seed=23
+        )
+        assert res.converged
+        return res
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert diameter(res.graph) < 5

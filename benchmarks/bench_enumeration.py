@@ -1,0 +1,48 @@
+"""Exhaustive-census benchmarks: the cost of exact game solving.
+
+Quantifies how quickly full enumeration becomes infeasible — the
+practical face of the paper's hardness results — and benchmarks the
+exact PoA computation on the largest tractable unit games.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BoundedBudgetGame, exact_prices, profile_space_size
+
+
+@pytest.mark.paper_artifact("exact census / tiny games")
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_exact_prices_unit_game(benchmark, n):
+    game = BoundedBudgetGame([1] * n)
+    report = benchmark.pedantic(exact_prices, args=(game, "sum"), rounds=1, iterations=1)
+    assert report.num_profiles == profile_space_size(game) == (n - 1) ** n
+    assert report.num_equilibria >= 1
+    assert report.poa is not None and report.poa < 5  # Thm 4.1 at tiny n
+
+
+@pytest.mark.paper_artifact("exact census / profile-space growth")
+def test_profile_space_growth(benchmark):
+    def run():
+        return [profile_space_size(BoundedBudgetGame([1] * n)) for n in range(2, 12)]
+
+    sizes = benchmark(run)
+    # (n-1)^n: super-exponential growth — the enumeration wall.
+    assert sizes[0] == 1
+    assert all(b > a for a, b in zip(sizes, sizes[1:]))
+    assert sizes[-1] == 10**11
+
+
+@pytest.mark.paper_artifact("Section 8 / exhaustive FIP")
+@pytest.mark.parametrize("version", ["sum", "max"])
+def test_finite_improvement_property(benchmark, version):
+    from repro.core import check_finite_improvement
+
+    game = BoundedBudgetGame([1, 1, 1, 1])
+    report = benchmark.pedantic(
+        check_finite_improvement, args=(game, version), kwargs={"kind": "better"},
+        rounds=1, iterations=1,
+    )
+    assert report.has_fip
+    assert report.num_states == 81

@@ -1,0 +1,58 @@
+"""Figures 1-3: regeneration benchmarks.
+
+* Figure 1 — the Case 2 construction at the paper's exact parameters
+  (n = 22, z = 16, t = 19), certified in both versions.
+* Figure 2 — the spider, built and certified.
+* Figure 3 — the longest-path decomposition with the doubling check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import longest_path_decomposition, verify_sum_equilibrium_inequality
+from repro.constructions import binary_tree_equilibrium, construct_equilibrium, spider_equilibrium
+from repro.core import certify_equilibrium
+from repro.experiments import FIGURE1_BUDGETS
+from repro.graphs import diameter
+
+
+@pytest.mark.paper_artifact("Figure 1")
+@pytest.mark.parametrize("version", ["sum", "max"])
+def test_figure1_construction(benchmark, version):
+    def run():
+        ec = construct_equilibrium(list(FIGURE1_BUDGETS))
+        cert = certify_equilibrium(ec.graph, version, method="exact")
+        return ec, cert
+
+    ec, cert = benchmark(run)
+    assert ec.case == 2
+    assert cert.is_equilibrium
+    assert diameter(ec.graph) <= 4
+
+
+@pytest.mark.paper_artifact("Figure 2")
+def test_figure2_spider(benchmark):
+    def run():
+        inst = spider_equilibrium(7)  # n = 22, like Figure 1's size
+        cert = certify_equilibrium(inst.graph, "max", method="exact")
+        return inst, cert
+
+    inst, cert = benchmark(run)
+    assert cert.is_equilibrium
+    assert diameter(inst.graph) == 14
+
+
+@pytest.mark.paper_artifact("Figure 3")
+def test_figure3_decomposition(benchmark):
+    inst = binary_tree_equilibrium(6)  # n = 127
+
+    def run():
+        decomp = longest_path_decomposition(inst.graph)
+        check = verify_sum_equilibrium_inequality(inst.graph, decomp)
+        return decomp, check
+
+    decomp, check = benchmark(run)
+    assert check.holds
+    assert int(decomp.sizes.sum()) == inst.n
+    assert decomp.diameter_value == 12

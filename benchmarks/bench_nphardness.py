@@ -1,0 +1,62 @@
+"""Theorem 2.1: best response is NP-hard — the exponential wall.
+
+Ablation: exact best response cost grows as C(n-1, b) while the greedy
+and swap heuristics stay polynomial; plus the reduction equivalence as
+a correctness gate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BoundedBudgetGame,
+    exact_best_response,
+    greedy_best_response,
+    swap_best_response,
+)
+from repro.graphs import build_csr, distance_matrix, random_connected_realization
+from repro.optimization import exact_k_center, k_center_via_best_response
+
+
+def _instance(n: int, budget: int, seed: int = 0):
+    budgets = np.ones(n, dtype=np.int64)
+    budgets[0] = budget
+    return random_connected_realization(budgets, seed=seed)
+
+
+@pytest.mark.paper_artifact("Theorem 2.1 / exponential exact search")
+@pytest.mark.parametrize("budget", [1, 2, 3, 4])
+def test_exact_best_response_scaling(benchmark, budget):
+    g = _instance(18, budget)
+    result = benchmark(exact_best_response, g, 0, "sum")
+    assert result.evaluated == math.comb(17, budget)
+
+
+@pytest.mark.paper_artifact("Theorem 2.1 / polynomial heuristics")
+@pytest.mark.parametrize("method", ["greedy", "swap"])
+def test_heuristic_best_response_speed(benchmark, method):
+    g = _instance(18, 4)
+    fn = greedy_best_response if method == "greedy" else swap_best_response
+    result = benchmark(fn, g, 0, "sum")
+    # Heuristics evaluate polynomially many candidates.
+    assert result.evaluated <= 4 * 18 + 1
+
+
+@pytest.mark.paper_artifact("Theorem 2.1 / reduction equivalence")
+def test_reduction_round_trip(benchmark):
+    import networkx as nx
+
+    G = nx.random_regular_graph(3, 14, seed=1)
+    edges = list(G.edges())
+    csr = build_csr(14, np.array([u for u, _ in edges]), np.array([v for _, v in edges]))
+    D = distance_matrix(csr, apply_cinf=False)
+
+    def run():
+        return exact_k_center(D, 3), k_center_via_best_response(csr, 3)
+
+    direct, via_game = benchmark(run)
+    assert direct.objective == via_game.objective

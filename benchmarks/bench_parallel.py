@@ -1,0 +1,43 @@
+"""Ablation: serial vs multiprocessing sweep execution.
+
+Verifies the scatter/gather harness gives identical results at any
+worker count and measures the speedup on an embarrassingly parallel
+dynamics sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BoundedBudgetGame, best_response_dynamics
+from repro.graphs import diameter, unit_budgets
+from repro.parallel import SweepSpec, SweepTask, run_sweep
+
+
+def _dynamics_worker(task: SweepTask) -> dict:
+    n = int(task.params["n"])
+    game = BoundedBudgetGame(unit_budgets(n))
+    res = best_response_dynamics(
+        game, game.random_realization(seed=task.seed), "sum", max_rounds=100, seed=task.seed
+    )
+    return {"diameter": diameter(res.graph), "converged": res.converged}
+
+
+_SPEC = SweepSpec(axes={"n": [12, 16, 20]}, replications=4, base_seed=77)
+
+
+@pytest.mark.paper_artifact("ablation / sweep parallelism")
+@pytest.mark.parametrize("processes", [1, 2])
+def test_sweep_worker_scaling(benchmark, processes):
+    records = benchmark.pedantic(
+        run_sweep, args=(_dynamics_worker, _SPEC), kwargs={"processes": processes},
+        rounds=1, iterations=1,
+    )
+    assert len(records) == 12
+    assert all(r["converged"] for r in records)
+
+
+def test_serial_parallel_identical_results():
+    serial = run_sweep(_dynamics_worker, _SPEC, processes=1)
+    parallel = run_sweep(_dynamics_worker, _SPEC, processes=2)
+    assert serial == parallel

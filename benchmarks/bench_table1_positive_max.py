@@ -1,0 +1,42 @@
+"""Table 1 / All-positive / MAX = Ω(√log n) (Lemma 5.2 + Theorem 5.3).
+
+Regenerates the Braess-style lower bound: oriented overlap graphs with
+every budget positive, diameter k ≈ √log n, certified equilibria.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions import overlap_graph_equilibrium
+from repro.core import certify_equilibrium
+from repro.graphs import diameter
+
+
+@pytest.mark.paper_artifact("Table 1 / All-positive / MAX")
+def test_overlap_small_exact(benchmark):
+    def run():
+        inst = overlap_graph_equilibrium(4, 2)
+        cert = certify_equilibrium(inst.graph, "max", method="exact", max_candidates=None)
+        return inst, cert
+
+    inst, cert = benchmark(run)
+    assert cert.is_equilibrium
+    assert diameter(inst.graph) == 2
+    assert (inst.budgets > 0).all()
+    # t = 2^k: diameter = sqrt(log2 n) exactly.
+    assert np.isclose(np.sqrt(np.log2(inst.n)), 2)
+
+
+@pytest.mark.paper_artifact("Table 1 / All-positive / MAX")
+@pytest.mark.parametrize("t,k", [(5, 2), (6, 3)])
+def test_overlap_swap_certification(benchmark, t, k):
+    def run():
+        inst = overlap_graph_equilibrium(t, k)
+        cert = certify_equilibrium(inst.graph, "max", method="swap")
+        return inst, cert
+
+    inst, cert = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cert.is_equilibrium
+    assert diameter(inst.graph) == k

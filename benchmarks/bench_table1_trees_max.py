@@ -1,0 +1,43 @@
+"""Table 1 / Trees / MAX = Θ(n): the spider construction (Theorem 3.2).
+
+Regenerates the lower-bound cell: builds the spider at several leg
+lengths, certifies MAX-equilibrium, and checks the linear diameter law.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fit_scaling
+from repro.constructions import spider_equilibrium
+from repro.core import certify_equilibrium
+from repro.graphs import diameter
+
+
+@pytest.mark.paper_artifact("Table 1 / Trees / MAX")
+@pytest.mark.parametrize("k", [4, 8, 16])
+def test_spider_build_and_certify(benchmark, k):
+    def run():
+        inst = spider_equilibrium(k)
+        cert = certify_equilibrium(inst.graph, "max", method="exact")
+        return inst, cert
+
+    inst, cert = benchmark(run)
+    assert cert.is_equilibrium
+    assert diameter(inst.graph) == 2 * k  # Θ(n) with n = 3k + 1
+
+
+@pytest.mark.paper_artifact("Table 1 / Trees / MAX")
+def test_spider_linear_scaling_law(benchmark):
+    def run():
+        ns, ds = [], []
+        for k in (2, 4, 8, 16, 32):
+            inst = spider_equilibrium(k)
+            ns.append(inst.n)
+            ds.append(diameter(inst.graph))
+        return fit_scaling(ns, ds, "linear")
+
+    fit = benchmark(run)
+    # d = 2k = 2(n - 1)/3: slope 2/3, perfect fit.
+    assert abs(fit.slope - 2 / 3) < 1e-9
+    assert fit.r_squared > 0.999

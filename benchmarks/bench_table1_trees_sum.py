@@ -1,0 +1,48 @@
+"""Table 1 / Trees / SUM = Θ(log n) (Theorems 3.3 + 3.4).
+
+Lower bound: the perfect binary tree certifies as a SUM equilibrium with
+diameter 2·depth. Upper bound: dynamics on random Tree-BG instances stay
+within the concrete Theorem 3.3 bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import theorem_3_3_bound, verify_sum_equilibrium_inequality
+from repro.constructions import binary_tree_equilibrium
+from repro.core import BoundedBudgetGame, best_response_dynamics, certify_equilibrium
+from repro.graphs import diameter, is_tree, random_tree_realization
+
+
+@pytest.mark.paper_artifact("Table 1 / Trees / SUM")
+@pytest.mark.parametrize("depth", [3, 4, 5])
+def test_binary_tree_certification(benchmark, depth):
+    def run():
+        inst = binary_tree_equilibrium(depth)
+        cert = certify_equilibrium(inst.graph, "sum", method="exact")
+        return inst, cert
+
+    inst, cert = benchmark(run)
+    assert cert.is_equilibrium
+    assert diameter(inst.graph) == 2 * depth
+    assert diameter(inst.graph) <= theorem_3_3_bound(inst.n)
+
+
+@pytest.mark.paper_artifact("Table 1 / Trees / SUM")
+@pytest.mark.parametrize("n", [15, 31])
+def test_tree_bg_dynamics_log_bound(benchmark, n):
+    def run():
+        worst = 0
+        for seed in range(3):
+            g, budgets = random_tree_realization(n, seed=seed)
+            game = BoundedBudgetGame(budgets)
+            res = best_response_dynamics(game, g, "sum", max_rounds=300, seed=seed)
+            assert res.converged
+            worst = max(worst, diameter(res.graph))
+            assert is_tree(res.graph)
+            assert verify_sum_equilibrium_inequality(res.graph).holds
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert worst <= theorem_3_3_bound(n)

@@ -1,0 +1,34 @@
+"""Table 1 / All-unit budgets = Θ(1) (Theorems 4.1 + 4.2).
+
+Regenerates both unit-budget cells: exact dynamics to an equilibrium,
+then the Section 4 structural audit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_unit_structure
+from repro.core import BoundedBudgetGame, best_response_dynamics
+from repro.graphs import unit_budgets
+
+
+@pytest.mark.paper_artifact("Table 1 / All-unit budgets")
+@pytest.mark.parametrize("version,n", [("sum", 24), ("sum", 48), ("max", 24), ("max", 48)])
+def test_unit_dynamics_constant_diameter(benchmark, version, n):
+    game = BoundedBudgetGame(unit_budgets(n))
+
+    def run():
+        res = best_response_dynamics(
+            game, game.random_realization(seed=n), version, max_rounds=200, seed=n
+        )
+        assert res.converged
+        return check_unit_structure(res.graph)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.satisfies(version)
+    if version == "sum":
+        assert report.diameter_value < 5 and report.cycle_length <= 5
+    else:
+        assert report.diameter_value < 8 and report.cycle_length <= 7
+    assert report.max_distance_to_cycle <= (1 if version == "sum" else 2)

@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one artefact of the paper (a Table 1 cell,
+a figure, or an ablation) and *asserts the paper's claim* about it, so
+``pytest benchmarks/ --benchmark-only`` is simultaneously a performance
+run and a reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): which table/figure a benchmark regenerates"
+    )

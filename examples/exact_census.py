@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Exact equilibrium census: solve a tiny game completely.
+
+For games small enough to enumerate, the library can find *every* pure
+Nash equilibrium and compute the exact price of anarchy and stability —
+no sampling, no asymptotics. This script:
+
+1. enumerates all equilibria of the 4-player unit-budget game;
+2. prints the exact PoA/PoS in both versions;
+3. shows one worst equilibrium as an adjacency table;
+4. verifies the Section 4 structure theorems on the complete set.
+
+Run:  python examples/exact_census.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_unit_structure
+from repro.core import (
+    BoundedBudgetGame,
+    enumerate_equilibria,
+    exact_prices,
+    profile_space_size,
+)
+from repro.graphs import adjacency_table, diameter
+
+
+def main() -> None:
+    game = BoundedBudgetGame([1, 1, 1, 1, 1])
+    print(f"game: {game}  ({profile_space_size(game)} strategy profiles)")
+
+    for version in ("sum", "max"):
+        census = exact_prices(game, version)
+        print(
+            f"[{version}] equilibria: {census.num_equilibria}, "
+            f"OPT diameter: {census.opt_diameter}, "
+            f"PoA = {census.poa}, PoS = {census.pos}"
+        )
+
+    equilibria = enumerate_equilibria(game, "max")
+    worst = max(equilibria, key=diameter)
+    print(f"\nworst MAX equilibrium (diameter {diameter(worst)}):")
+    print(adjacency_table(worst))
+
+    # Theorem 4.1/4.2 audited on the COMPLETE equilibrium set.
+    reports = [check_unit_structure(g) for g in equilibria]
+    assert all(r.satisfies("max") for r in reports)
+    cycles = sorted({r.cycle_length for r in reports})
+    print(
+        f"\nall {len(equilibria)} MAX equilibria are unicyclic; cycle lengths "
+        f"seen: {cycles} (Theorem 4.2 allows up to 7)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — reproduction of *On a Bounded Budget Network Creation Game*.
+
+Ehsani, Shokat Fadaee, Fazli, Mehrabian, Sadeghian Sadeghabad, Safari,
+Saghafian — SPAA 2011 (arXiv:1111.0554).
+
+The package implements the bounded budget network creation game (both
+SUM and MAX cost versions), exact and heuristic best-response engines,
+best-response dynamics, every equilibrium construction in the paper,
+the k-center/k-median substrate of the NP-hardness reduction, and an
+experiment harness that regenerates Table 1 and Figures 1-3.
+
+Quickstart
+----------
+>>> import repro
+>>> game = repro.BoundedBudgetGame([2, 1, 1, 1, 1, 1, 0])
+>>> g = repro.random_connected_realization(game.budgets, seed=0)
+>>> result = repro.best_response_dynamics(game, g, version=repro.Version.SUM)
+>>> result.converged
+True
+"""
+
+from .core import (
+    BestResponseEnvironment,
+    BoundedBudgetGame,
+    DynamicsResult,
+    EquilibriumCertificate,
+    Version,
+    best_response_dynamics,
+    certify_equilibrium,
+    exact_best_response,
+    find_improving_deviation,
+    greedy_best_response,
+    is_best_response,
+    is_equilibrium,
+    social_cost,
+    swap_best_response,
+    vertex_cost,
+)
+from .graphs import (
+    OwnedDigraph,
+    cinf,
+    diameter,
+    distance_matrix,
+    distance_to_set,
+    eccentricities,
+    is_connected,
+    is_k_connected,
+    random_budgets_with_sum,
+    random_connected_realization,
+    random_realization,
+    random_tree_realization,
+    unit_budgets,
+    vertex_connectivity,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BestResponseEnvironment",
+    "BoundedBudgetGame",
+    "DynamicsResult",
+    "EquilibriumCertificate",
+    "OwnedDigraph",
+    "Version",
+    "best_response_dynamics",
+    "certify_equilibrium",
+    "cinf",
+    "diameter",
+    "distance_matrix",
+    "distance_to_set",
+    "eccentricities",
+    "exact_best_response",
+    "find_improving_deviation",
+    "greedy_best_response",
+    "is_best_response",
+    "is_connected",
+    "is_equilibrium",
+    "is_k_connected",
+    "random_budgets_with_sum",
+    "random_connected_realization",
+    "random_realization",
+    "random_tree_realization",
+    "social_cost",
+    "swap_best_response",
+    "unit_budgets",
+    "vertex_cost",
+    "vertex_connectivity",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""Analysis: PoA bounds, structure audits, scaling fits, the paradox."""
+
+from .braess import BraessComparison, demonstrate_braess
+from .connectivity_theorem import ConnectivityReport, check_connectivity_theorem
+from .poa import (
+    DiameterBounds,
+    exact_optimal_diameter,
+    optimal_diameter_bounds,
+    poa_interval,
+    pos_interval,
+)
+from .scaling import FAMILIES, FitResult, best_family, fit_scaling
+from .structure import (
+    MAX_DIAMETER_BOUND,
+    MAX_MAX_CYCLE,
+    MAX_MAX_DIST,
+    SUM_DIAMETER_BOUND,
+    SUM_MAX_CYCLE,
+    SUM_MAX_DIST,
+    UnitStructureReport,
+    check_unit_structure,
+)
+from .weighted import (
+    WeightedRealization,
+    check_lemma_6_4,
+    fold_all_poor_leaves,
+    fold_poor_leaf,
+    is_weighted_weak_equilibrium,
+    poor_leaves,
+    rich_leaves,
+    weighted_sum_cost,
+)
+from .tree_decomposition import (
+    InequalityCheck,
+    TreeDecomposition,
+    forward_arc_indices,
+    longest_path_decomposition,
+    theorem_3_3_bound,
+    verify_sum_equilibrium_inequality,
+)
+
+__all__ = [
+    "BraessComparison",
+    "ConnectivityReport",
+    "DiameterBounds",
+    "FAMILIES",
+    "FitResult",
+    "InequalityCheck",
+    "MAX_DIAMETER_BOUND",
+    "MAX_MAX_CYCLE",
+    "MAX_MAX_DIST",
+    "SUM_DIAMETER_BOUND",
+    "SUM_MAX_CYCLE",
+    "SUM_MAX_DIST",
+    "TreeDecomposition",
+    "UnitStructureReport",
+    "WeightedRealization",
+    "check_lemma_6_4",
+    "fold_all_poor_leaves",
+    "fold_poor_leaf",
+    "is_weighted_weak_equilibrium",
+    "poor_leaves",
+    "rich_leaves",
+    "weighted_sum_cost",
+    "best_family",
+    "check_connectivity_theorem",
+    "check_unit_structure",
+    "demonstrate_braess",
+    "exact_optimal_diameter",
+    "fit_scaling",
+    "forward_arc_indices",
+    "longest_path_decomposition",
+    "optimal_diameter_bounds",
+    "poa_interval",
+    "pos_interval",
+    "theorem_3_3_bound",
+    "verify_sum_equilibrium_inequality",
+]

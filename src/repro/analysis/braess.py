@@ -1,0 +1,101 @@
+"""The budget paradox of Section 5 (a Braess analogue).
+
+With all-unit budgets, every MAX equilibrium has diameter below 8
+(Theorem 4.2). Yet with all-*positive* budgets — strictly more link
+capacity for every player — the oriented overlap graph of Lemma 5.2 is a
+MAX equilibrium with diameter ``k ≈ √log n``, which exceeds the unit
+bound once ``n`` is large enough. Giving players bigger budgets can
+therefore *worsen* the worst equilibrium: the paper's analogue of
+Braess's paradox.
+
+:func:`demonstrate_braess` builds the pair of instances at comparable
+``n`` and reports both diameters side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constructions.debruijn import OverlapGraphInstance, overlap_graph_equilibrium
+from ..core.costs import Version
+from ..core.dynamics import best_response_dynamics
+from ..core.game import BoundedBudgetGame
+from ..errors import ConstructionError
+from ..graphs.distances import diameter
+from ..graphs.generators import unit_budgets
+
+__all__ = ["BraessComparison", "demonstrate_braess"]
+
+
+@dataclass(frozen=True)
+class BraessComparison:
+    """Side-by-side diameters: unit budgets vs strictly larger budgets.
+
+    ``paradox`` is true when the richer instance has the *larger*
+    equilibrium diameter.
+    """
+
+    n: int
+    t: int
+    k: int
+    unit_diameter: int
+    unit_converged: bool
+    positive_diameter: int
+    positive_min_budget: int
+    positive_total_budget: int
+
+    @property
+    def paradox(self) -> bool:
+        """Whether more budget produced a worse (larger) diameter."""
+        return self.positive_diameter > self.unit_diameter
+
+    def summary(self) -> str:
+        """One-line human-readable comparison."""
+        flag = "PARADOX" if self.paradox else "no paradox at this size"
+        return (
+            f"n={self.n}: unit-budget diam={self.unit_diameter} vs "
+            f"all-positive (min budget {self.positive_min_budget}, total "
+            f"{self.positive_total_budget}) diam={self.positive_diameter} -> {flag}"
+        )
+
+
+def demonstrate_braess(
+    t: int,
+    k: int,
+    *,
+    seed: int = 0,
+    max_rounds: int = 100,
+    unit_method: str = "exact",
+) -> BraessComparison:
+    """Build the Section 5 comparison at the overlap graph's size.
+
+    1. Construct the oriented overlap graph ``U(t, k)`` — a certified
+       MAX equilibrium with all budgets positive and diameter ``k``.
+    2. Run MAX best-response dynamics on the *same number* of players
+       with unit budgets and measure the resulting diameter (< 8 by
+       Theorem 4.2).
+    """
+    inst: OverlapGraphInstance = overlap_graph_equilibrium(t, k)
+    n = inst.n
+    game = BoundedBudgetGame(unit_budgets(n))
+    start = game.random_realization(seed=seed, connected=True)
+    result = best_response_dynamics(
+        game,
+        start,
+        Version.MAX,
+        method=unit_method,  # type: ignore[arg-type]
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return BraessComparison(
+        n=n,
+        t=t,
+        k=k,
+        unit_diameter=diameter(result.graph),
+        unit_converged=result.converged,
+        positive_diameter=diameter(inst.graph),
+        positive_min_budget=int(inst.budgets.min()),
+        positive_total_budget=int(inst.budgets.sum()),
+    )

@@ -1,0 +1,137 @@
+"""Price of anarchy / stability estimation.
+
+Both prices divide an equilibrium diameter by the *optimal* diameter
+over all realizations of the budget vector. The optimum is itself a
+hard combinatorial quantity, so the module reports honest intervals:
+
+* a counting **lower bound** — a realization has exactly ``sigma`` arcs,
+  hence at most ``sigma`` distinct edges: diameter 1 needs
+  ``sigma >= C(n, 2)``, connectivity needs ``sigma >= n - 1``;
+* a constructive **upper bound** — the Theorem 2.3 equilibrium (diameter
+  at most 4 when connectable, and exactly ``Cinf`` otherwise), which is
+  simultaneously the paper's price-of-stability witness;
+* an **exact** optimum by exhaustive search for tiny instances (tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..constructions.existence import construct_equilibrium
+from ..errors import GameError
+from ..graphs.digraph import OwnedDigraph
+from ..graphs.distances import cinf, diameter
+
+__all__ = [
+    "DiameterBounds",
+    "optimal_diameter_bounds",
+    "exact_optimal_diameter",
+    "poa_interval",
+    "pos_interval",
+]
+
+
+@dataclass(frozen=True)
+class DiameterBounds:
+    """Interval ``[lower, upper]`` on the optimal realization diameter."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise GameError(f"invalid bounds: lower {self.lower} > upper {self.upper}")
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the interval pins the optimum to a single value."""
+        return self.lower == self.upper
+
+
+def optimal_diameter_bounds(budgets: "np.ndarray | list[int]") -> DiameterBounds:
+    """Counting lower bound and constructive upper bound on OPT diameter.
+
+    * ``sigma < n - 1``: every realization is disconnected — OPT is
+      exactly ``Cinf = n^2``.
+    * ``sigma >= C(n, 2)``: the complete graph is realizable by a greedy
+      degree argument only when budgets allow; we keep the safe lower
+      bound 1 and use the construction for the upper bound.
+    * otherwise: some pair is non-adjacent, so OPT is at least 2; the
+      Theorem 2.3 equilibrium gives the upper bound (at most 4).
+    """
+    b = np.asarray(budgets, dtype=np.int64)
+    n = b.size
+    sigma = int(b.sum())
+    if n == 1:
+        return DiameterBounds(0, 0)
+    if sigma < n - 1:
+        c = cinf(n)
+        return DiameterBounds(c, c)
+    lower = 1 if sigma >= math.comb(n, 2) else 2
+    upper = diameter(construct_equilibrium(b).graph)
+    if upper < lower:  # construction achieved a complete graph
+        lower = upper
+    return DiameterBounds(lower, upper)
+
+
+def exact_optimal_diameter(
+    budgets: "np.ndarray | list[int]", *, max_profiles: int = 2_000_000
+) -> int:
+    """Exhaustive minimum diameter over all realizations (tiny ``n`` only).
+
+    Enumerates the full strategy-profile product space; used by the test
+    suite to validate :func:`optimal_diameter_bounds` on small instances.
+    """
+    b = np.asarray(budgets, dtype=np.int64)
+    n = b.size
+    total = 1
+    for u in range(n):
+        total *= math.comb(n - 1, int(b[u]))
+        if total > max_profiles:
+            raise GameError(
+                f"profile space exceeds {max_profiles}; exact OPT is only for tiny n"
+            )
+    per_player = []
+    for u in range(n):
+        pool = [v for v in range(n) if v != u]
+        per_player.append(list(itertools.combinations(pool, int(b[u]))))
+    best = cinf(n)
+    for profile in itertools.product(*per_player):
+        g = OwnedDigraph.from_strategies(profile, n)
+        d = diameter(g)
+        if d < best:
+            best = d
+            if best <= 1:
+                break
+    return best
+
+
+def poa_interval(
+    worst_equilibrium_diameter: int, budgets: "np.ndarray | list[int]"
+) -> tuple[Fraction, Fraction]:
+    """Price-of-anarchy interval implied by a worst equilibrium diameter.
+
+    Returns ``(lo, hi)`` with
+    ``lo = worst / OPT_upper`` and ``hi = worst / OPT_lower``.
+    """
+    bounds = optimal_diameter_bounds(budgets)
+    return (
+        Fraction(worst_equilibrium_diameter, bounds.upper),
+        Fraction(worst_equilibrium_diameter, bounds.lower),
+    )
+
+
+def pos_interval(
+    best_equilibrium_diameter: int, budgets: "np.ndarray | list[int]"
+) -> tuple[Fraction, Fraction]:
+    """Price-of-stability interval implied by a best equilibrium diameter."""
+    bounds = optimal_diameter_bounds(budgets)
+    return (
+        Fraction(best_equilibrium_diameter, bounds.upper),
+        Fraction(best_equilibrium_diameter, bounds.lower),
+    )

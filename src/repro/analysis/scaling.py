@@ -1,0 +1,132 @@
+"""Scaling-law fits for the asymptotic claims of Table 1.
+
+The paper's bounds are asymptotic (Θ(n), Θ(log n), Ω(√log n),
+2^O(√log n)); at finite sizes we fit the corresponding two-parameter
+families by least squares and report goodness-of-fit, so EXPERIMENTS.md
+can state "diameter grows like a·n + b with R² = ..." next to each
+paper bound.
+
+Families (all linear in their parameters after transforming ``n``):
+
+==============  =====================================
+``linear``      ``d = a n + b``            (Θ(n))
+``log``         ``d = a log2 n + b``       (Θ(log n))
+``sqrtlog``     ``d = a sqrt(log2 n) + b`` (Ω(√log n))
+``expsqrtlog``  ``log2 d = a sqrt(log2 n) + b``  (2^O(√log n))
+``constant``    ``d = b``                  (Θ(1))
+==============  =====================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = ["FitResult", "FAMILIES", "fit_scaling", "best_family"]
+
+
+def _design_linear(n: np.ndarray) -> np.ndarray:
+    return n.astype(np.float64)
+
+
+def _design_log(n: np.ndarray) -> np.ndarray:
+    return np.log2(n.astype(np.float64))
+
+
+def _design_sqrtlog(n: np.ndarray) -> np.ndarray:
+    return np.sqrt(np.log2(n.astype(np.float64)))
+
+
+#: family name -> (x-transform, y-transform, y-inverse)
+FAMILIES: dict[str, tuple[Callable, Callable, Callable]] = {
+    "linear": (_design_linear, lambda d: d, lambda y: y),
+    "log": (_design_log, lambda d: d, lambda y: y),
+    "sqrtlog": (_design_sqrtlog, lambda d: d, lambda y: y),
+    "expsqrtlog": (_design_sqrtlog, np.log2, lambda y: np.exp2(y)),
+    "constant": (lambda n: np.zeros_like(n, dtype=np.float64), lambda d: d, lambda y: y),
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """A fitted scaling law ``y(x(n)) = slope * x(n) + intercept``.
+
+    ``r_squared`` is computed in the (possibly transformed) y-space;
+    ``rmse`` in the original diameter space.
+    """
+
+    family: str
+    slope: float
+    intercept: float
+    r_squared: float
+    rmse: float
+
+    def predict(self, n: "np.ndarray | list[int] | int") -> np.ndarray:
+        """Predicted diameter(s) for size(s) ``n``."""
+        xt, _, y_inv = FAMILIES[self.family]
+        arr = np.atleast_1d(np.asarray(n, dtype=np.float64))
+        y = self.slope * xt(arr) + self.intercept
+        return np.asarray(y_inv(y), dtype=np.float64)
+
+    def describe(self) -> str:
+        """Human-readable formula with fitted coefficients."""
+        formulas = {
+            "linear": f"d ≈ {self.slope:.4g}·n + {self.intercept:.4g}",
+            "log": f"d ≈ {self.slope:.4g}·log2(n) + {self.intercept:.4g}",
+            "sqrtlog": f"d ≈ {self.slope:.4g}·sqrt(log2 n) + {self.intercept:.4g}",
+            "expsqrtlog": f"d ≈ 2^({self.slope:.4g}·sqrt(log2 n) + {self.intercept:.4g})",
+            "constant": f"d ≈ {self.intercept:.4g}",
+        }
+        return f"{formulas[self.family]}  (R²={self.r_squared:.3f})"
+
+
+def fit_scaling(
+    ns: "np.ndarray | list[int]", ds: "np.ndarray | list[int]", family: str
+) -> FitResult:
+    """Least-squares fit of one scaling family to (size, diameter) data."""
+    if family not in FAMILIES:
+        raise ReproError(f"unknown family {family!r}; choose from {sorted(FAMILIES)}")
+    n = np.asarray(ns, dtype=np.float64)
+    d = np.asarray(ds, dtype=np.float64)
+    if n.shape != d.shape or n.ndim != 1 or n.size < 2:
+        raise ReproError("need equal-length 1-D arrays with at least 2 points")
+    if (n < 2).any():
+        raise ReproError("sizes must be >= 2 for the log transforms")
+    if (d <= 0).any() and family == "expsqrtlog":
+        raise ReproError("expsqrtlog requires positive diameters")
+    xt, yt, y_inv = FAMILIES[family]
+    x = xt(n)
+    y = yt(d)
+    if family == "constant":
+        slope = 0.0
+        intercept = float(y.mean())
+    else:
+        A = np.vstack([x, np.ones_like(x)]).T
+        coeffs, *_ = np.linalg.lstsq(A, y, rcond=None)
+        slope, intercept = float(coeffs[0]), float(coeffs[1])
+    y_hat = slope * x + intercept
+    ss_res = float(((y - y_hat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    d_hat = np.asarray(y_inv(y_hat), dtype=np.float64)
+    rmse = float(np.sqrt(((d - d_hat) ** 2).mean()))
+    return FitResult(family=family, slope=slope, intercept=intercept, r_squared=r2, rmse=rmse)
+
+
+def best_family(
+    ns: "np.ndarray | list[int]",
+    ds: "np.ndarray | list[int]",
+    *,
+    candidates: "tuple[str, ...]" = ("linear", "log", "sqrtlog", "constant"),
+) -> FitResult:
+    """The candidate family with the smallest RMSE in diameter space.
+
+    RMSE (not R²) is used so the transformed-y family competes fairly.
+    """
+    fits = [fit_scaling(ns, ds, fam) for fam in candidates]
+    return min(fits, key=lambda f: f.rmse)

@@ -1,0 +1,115 @@
+"""Structure theorems for all-unit-budget equilibria (Section 4).
+
+* **Theorem 4.1 (SUM)**: every equilibrium of ``(1, ..., 1)``-BG is
+  connected, unicyclic with cycle length at most 5, and every vertex is
+  on the cycle or adjacent to it — hence diameter < 5.
+* **Theorem 4.2 (MAX)**: connected, unicyclic with cycle length at most
+  7 (braces allowed as 2-cycles), every vertex within distance 2 of the
+  cycle — hence diameter < 8.
+
+:func:`check_unit_structure` measures all of these quantities on an
+arbitrary realization so equilibria found by dynamics can be audited
+against the theorems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costs import Version
+from ..errors import GraphError
+from ..graphs.digraph import OwnedDigraph
+from ..graphs.distances import diameter
+from ..graphs.properties import distance_to_cycle, is_unicyclic, unique_cycle
+
+__all__ = [
+    "UnitStructureReport",
+    "check_unit_structure",
+    "SUM_MAX_CYCLE",
+    "MAX_MAX_CYCLE",
+    "SUM_MAX_DIST",
+    "MAX_MAX_DIST",
+    "SUM_DIAMETER_BOUND",
+    "MAX_DIAMETER_BOUND",
+]
+
+#: Theorem 4.1: SUM unit equilibria have cycle length <= 5 ...
+SUM_MAX_CYCLE = 5
+#: ... every vertex within distance 1 of the cycle ...
+SUM_MAX_DIST = 1
+#: ... and therefore diameter < 5.
+SUM_DIAMETER_BOUND = 5
+
+#: Theorem 4.2: MAX unit equilibria have cycle length <= 7 ...
+MAX_MAX_CYCLE = 7
+#: ... every vertex within distance 2 of the cycle ...
+MAX_MAX_DIST = 2
+#: ... and therefore diameter < 8.
+MAX_DIAMETER_BOUND = 8
+
+
+@dataclass(frozen=True)
+class UnitStructureReport:
+    """Structural audit of a ``(1, ..., 1)``-BG realization.
+
+    All quantities are measured; the ``satisfies_*`` properties compare
+    them against the theorem limits for the respective version.
+    """
+
+    n: int
+    is_unicyclic: bool
+    cycle: tuple[int, ...]
+    cycle_length: int
+    max_distance_to_cycle: int
+    diameter_value: int
+
+    def satisfies(self, version: "Version | str") -> bool:
+        """Whether the realization matches the structure theorem for
+        ``version`` (necessary condition for being an equilibrium)."""
+        version = Version.coerce(version)
+        if not self.is_unicyclic:
+            return False
+        if version is Version.SUM:
+            return (
+                self.cycle_length <= SUM_MAX_CYCLE
+                and self.max_distance_to_cycle <= SUM_MAX_DIST
+                and self.diameter_value < SUM_DIAMETER_BOUND
+            )
+        return (
+            self.cycle_length <= MAX_MAX_CYCLE
+            and self.max_distance_to_cycle <= MAX_MAX_DIST
+            and self.diameter_value < MAX_DIAMETER_BOUND
+        )
+
+
+def check_unit_structure(graph: OwnedDigraph) -> UnitStructureReport:
+    """Measure the Section 4 structural quantities of a realization.
+
+    The graph must come from an all-unit-budget game (every out-degree
+    exactly 1); it need not be an equilibrium — the report is how the
+    tests *decide* whether the theorems hold on dynamics output.
+    """
+    if (graph.out_degrees() != 1).any():
+        raise GraphError("check_unit_structure requires all out-degrees = 1")
+    uni = is_unicyclic(graph)
+    if not uni:
+        return UnitStructureReport(
+            n=graph.n,
+            is_unicyclic=False,
+            cycle=(),
+            cycle_length=0,
+            max_distance_to_cycle=-1,
+            diameter_value=diameter(graph),
+        )
+    cyc = unique_cycle(graph)
+    dist = distance_to_cycle(graph)
+    return UnitStructureReport(
+        n=graph.n,
+        is_unicyclic=True,
+        cycle=tuple(cyc),
+        cycle_length=len(cyc),
+        max_distance_to_cycle=int(dist.max()),
+        diameter_value=diameter(graph),
+    )

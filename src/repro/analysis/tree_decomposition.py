@@ -1,0 +1,175 @@
+"""Longest-path decomposition of equilibrium trees (Thm 3.3, Figure 3).
+
+Given a tree, fix a longest path ``P = v_0 v_1 ... v_d``; every vertex
+hangs off a unique ``v_i``, giving the partition ``A_0, ..., A_d`` with
+sizes ``a(i)`` drawn in the paper's Figure 3. For a SUM equilibrium the
+swap argument along the majority arc direction yields the chain
+
+    ``a(i_j + 1) >= sum_{k > i_j + 1} a(k)``       (paper's inequality 1)
+
+whose telescoping doubles ``a`` down the path and forces
+``d = O(log n)``. This module computes the decomposition, checks the
+inequality chain on actual equilibria, and exposes the concrete bound
+``d <= 2 (floor(log2(n + 1)) + 1)`` implied by the proof.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graphs.bfs import UNREACHABLE, multi_source_bfs
+from ..graphs.digraph import OwnedDigraph
+from ..graphs.properties import is_tree, tree_longest_path
+
+__all__ = [
+    "TreeDecomposition",
+    "longest_path_decomposition",
+    "forward_arc_indices",
+    "verify_sum_equilibrium_inequality",
+    "theorem_3_3_bound",
+]
+
+
+@dataclass(frozen=True)
+class TreeDecomposition:
+    """Longest-path decomposition of a tree (the paper's Figure 3).
+
+    Attributes
+    ----------
+    path:
+        The longest path ``v_0 .. v_d``.
+    attachment:
+        ``attachment[v]`` is the index ``i`` such that ``v ∈ A_i``.
+    sizes:
+        ``sizes[i] = a(i) = |A_i|`` (all positive; they sum to ``n``).
+    """
+
+    path: tuple[int, ...]
+    attachment: np.ndarray
+    sizes: np.ndarray
+
+    @property
+    def diameter_value(self) -> int:
+        """Length ``d`` of the longest path."""
+        return len(self.path) - 1
+
+    def set_of(self, i: int) -> np.ndarray:
+        """Vertices of ``A_i``."""
+        return np.flatnonzero(self.attachment == i).astype(np.int64)
+
+
+def longest_path_decomposition(graph: OwnedDigraph) -> TreeDecomposition:
+    """Compute the Figure 3 decomposition of a tree realization.
+
+    Every vertex is assigned to the path vertex through which it reaches
+    the path (one multi-source BFS, then a parent-walk-free argmin: the
+    nearest path vertex is unique in a tree).
+    """
+    if not is_tree(graph):
+        raise GraphError("longest_path_decomposition requires a tree")
+    path = tree_longest_path(graph)
+    csr = graph.undirected_csr()
+    n = graph.n
+    path_arr = np.asarray(path, dtype=np.int64)
+    # BFS from each path vertex would be O(d n); instead one BFS per
+    # path vertex is avoided by flood-filling attachment labels outward
+    # from the path: in a tree, each vertex's nearest path vertex is the
+    # root of its hanging subtree.
+    attachment = np.full(n, -1, dtype=np.int64)
+    attachment[path_arr] = np.arange(path_arr.size)
+    frontier = path_arr
+    while frontier.size:
+        nxt: list[int] = []
+        for v in frontier:
+            for w in csr.neighbors(int(v)):
+                w = int(w)
+                if attachment[w] == -1:
+                    attachment[w] = attachment[int(v)]
+                    nxt.append(w)
+        frontier = np.asarray(nxt, dtype=np.int64)
+    if (attachment == -1).any():  # pragma: no cover - tree is connected
+        raise GraphError("decomposition failed to reach every vertex")
+    sizes = np.bincount(attachment, minlength=path_arr.size).astype(np.int64)
+    return TreeDecomposition(path=tuple(path), attachment=attachment, sizes=sizes)
+
+
+def forward_arc_indices(graph: OwnedDigraph, decomp: TreeDecomposition) -> list[int]:
+    """Indices ``i`` where the path edge ``v_i v_{i+1}`` is owned by
+    ``v_i`` — the paper's "arcs in the same direction along P"
+    (the forward direction is used; the backward case is symmetric)."""
+    out = []
+    path = decomp.path
+    for i in range(len(path) - 1):
+        if graph.has_arc(path[i], path[i + 1]):
+            out.append(i)
+    return out
+
+
+@dataclass(frozen=True)
+class InequalityCheck:
+    """Result of checking the paper's inequality (1) along the path."""
+
+    indices: tuple[int, ...]
+    holds: bool
+    violations: tuple[int, ...]
+
+    @property
+    def t(self) -> int:
+        """Number of same-direction arcs used in the chain."""
+        return len(self.indices)
+
+
+def verify_sum_equilibrium_inequality(
+    graph: OwnedDigraph, decomp: "TreeDecomposition | None" = None
+) -> InequalityCheck:
+    """Check inequality (1) of Theorem 3.3 on a tree realization.
+
+    For each forward arc ``v_{i_j} -> v_{i_j + 1}`` except the last, the
+    owner's swap to ``v_{i_j + 2}`` must not pay:
+    ``a(i_j + 1) >= sum_{k >= i_j + 2} a(k)``. Holds in every SUM
+    equilibrium tree; returns the violated indices otherwise.
+
+    The check is direction-symmetric: whichever of the forward/backward
+    arc families is larger is used, mirroring the proof's "at least half
+    the arcs point the same way".
+    """
+    if decomp is None:
+        decomp = longest_path_decomposition(graph)
+    d = decomp.diameter_value
+    sizes = decomp.sizes
+    fwd = forward_arc_indices(graph, decomp)
+    fwd_set = set(fwd)
+    bwd = [i for i in range(d) if i not in fwd_set]
+    # suffix[i] = a(i) + a(i+1) + ... + a(d); prefix[i] = a(0) + ... + a(i-1).
+    suffix = np.concatenate([np.cumsum(sizes[::-1])[::-1], [0]])
+    prefix = np.concatenate([[0], np.cumsum(sizes)])
+    violations: list[int] = []
+    # Forward arc v_i -> v_{i+1}: owner v_i may swap to v_{i+2} (needs
+    # i + 2 <= d), so  a(i+1) >= a(i+2) + ... + a(d)  must hold.
+    for i in fwd:
+        if i + 2 <= d and int(sizes[i + 1]) < int(suffix[i + 2]):
+            violations.append(i)
+    # Backward arc v_{i+1} -> v_i: owner v_{i+1} may swap to v_{i-1}
+    # (needs i >= 1), so  a(i) >= a(0) + ... + a(i-1)  must hold.
+    for i in bwd:
+        if i >= 1 and int(sizes[i]) < int(prefix[i]):
+            violations.append(i)
+    indices = fwd if len(fwd) >= len(bwd) else bwd
+    return InequalityCheck(
+        indices=tuple(indices), holds=not violations, violations=tuple(sorted(violations))
+    )
+
+
+def theorem_3_3_bound(n: int) -> int:
+    """The concrete diameter bound implied by the Theorem 3.3 proof.
+
+    From ``n >= 2^(t-1) - 1`` and ``d <= 2t``:
+    ``d <= 2 (floor(log2(n + 1)) + 1)``.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    return 2 * (int(math.log2(n + 1)) + 1)

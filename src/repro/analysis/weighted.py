@@ -1,0 +1,292 @@
+"""Section 6 proof machinery: weighted weak equilibria and leaf folding.
+
+The 2^O(√log n) upper bound (Theorem 6.9) runs through *weighted weak
+equilibrium graphs*: vertices carry positive integer weights, the SUM
+cost of ``u`` is ``sum_v w(v) dist(u, v)``, and a graph is a weak
+equilibrium when no single-arc swap pays for any vertex. Three tools
+from the proof are implemented and empirically checkable here:
+
+* **poor/rich leaves** — a degree-1 vertex with out-degree 0 is *poor*
+  (its supporting arc belongs to its neighbour), with out-degree 1
+  *rich*;
+* **folding** (Lemma 6.2 setup) — a poor leaf can be folded into its
+  neighbour, transferring its weight; folding preserves weak
+  equilibrium;
+* **Lemma 6.4** — any two rich leaves of a weighted weak equilibrium
+  are within distance 2 of each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.best_response import BestResponseEnvironment
+from ..errors import GraphError
+from ..graphs.digraph import OwnedDigraph
+
+__all__ = [
+    "WeightedRealization",
+    "weighted_sum_cost",
+    "poor_leaves",
+    "rich_leaves",
+    "fold_poor_leaf",
+    "fold_all_poor_leaves",
+    "is_weighted_weak_equilibrium",
+    "check_lemma_6_4",
+    "degree_two_path_edges",
+    "lemma_6_5_bound",
+    "tree_ball_radius",
+    "theorem_6_1_radius",
+]
+
+
+@dataclass
+class WeightedRealization:
+    """A realization together with positive integer vertex weights.
+
+    Folding reduces the vertex count conceptually; here folded vertices
+    simply become isolated weight-0 ghosts (mask ``active``), keeping
+    the index space stable.
+    """
+
+    graph: OwnedDigraph
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.int64)
+        if self.weights.shape != (self.graph.n,):
+            raise GraphError(
+                f"weights shape {self.weights.shape} != (n,) = ({self.graph.n},)"
+            )
+        if (self.weights < 0).any():
+            raise GraphError("weights must be nonnegative")
+
+    @property
+    def active(self) -> np.ndarray:
+        """Vertices still present (weight > 0)."""
+        return np.flatnonzero(self.weights > 0).astype(np.int64)
+
+    @classmethod
+    def unit(cls, graph: OwnedDigraph) -> "WeightedRealization":
+        """All-ones weights: the unweighted game as a weighted instance."""
+        return cls(graph=graph.copy(), weights=np.ones(graph.n, dtype=np.int64))
+
+    def total_weight(self) -> int:
+        """``w(G)`` in the paper's notation."""
+        return int(self.weights.sum())
+
+
+def weighted_sum_cost(wr: WeightedRealization, u: int) -> int:
+    """``c(u) = sum_v w(v) dist(u, v)`` with the ``Cinf`` convention."""
+    from ..graphs.bfs import UNREACHABLE, bfs_distances
+    from ..graphs.distances import cinf
+
+    d = bfs_distances(wr.graph.undirected_csr(), u).astype(np.int64)
+    d[d == UNREACHABLE] = cinf(wr.graph.n)
+    return int((d * wr.weights).sum())
+
+
+def _undirected_degree(graph: OwnedDigraph, v: int) -> int:
+    return int(graph.neighbors(v).size)
+
+
+def poor_leaves(wr: WeightedRealization) -> list[int]:
+    """Active degree-1 vertices that own no arc (supported by others)."""
+    out = []
+    active = set(wr.active.tolist())
+    for v in active:
+        if _undirected_degree(wr.graph, v) == 1 and wr.graph.out_degree(v) == 0:
+            out.append(v)
+    return out
+
+
+def rich_leaves(wr: WeightedRealization) -> list[int]:
+    """Active degree-1 vertices that own their single arc."""
+    out = []
+    active = set(wr.active.tolist())
+    for v in active:
+        if _undirected_degree(wr.graph, v) == 1 and wr.graph.out_degree(v) == 1:
+            out.append(v)
+    return out
+
+
+def fold_poor_leaf(wr: WeightedRealization, leaf: int) -> WeightedRealization:
+    """Fold a poor leaf into its unique neighbour (the paper's G -> G0).
+
+    The supporting arc ``u -> leaf`` is removed and ``w(u) += w(leaf)``;
+    the leaf becomes a weight-0 ghost. If ``G`` was a weighted weak
+    equilibrium, so is the folded graph (checked empirically in tests).
+    """
+    if leaf not in poor_leaves(wr):
+        raise GraphError(f"vertex {leaf} is not a poor leaf")
+    owners = wr.graph.in_neighbors(leaf)
+    assert owners.size == 1, "a poor leaf has exactly one (incoming) arc"
+    u = int(owners[0])
+    g = wr.graph.copy()
+    g.remove_arc(u, leaf)
+    w = wr.weights.copy()
+    w[u] += w[leaf]
+    w[leaf] = 0
+    return WeightedRealization(graph=g, weights=w)
+
+
+def fold_all_poor_leaves(wr: WeightedRealization, *, max_rounds: int | None = None) -> WeightedRealization:
+    """Fold until no poor leaf remains (Corollary 6.3's normalisation)."""
+    current = wr
+    rounds = 0
+    while True:
+        leaves = poor_leaves(current)
+        if not leaves:
+            return current
+        current = fold_poor_leaf(current, leaves[0])
+        rounds += 1
+        if max_rounds is not None and rounds >= max_rounds:
+            return current
+
+
+def _weighted_swap_improves(wr: WeightedRealization, u: int) -> bool:
+    """Whether some single-arc swap strictly lowers ``u``'s weighted cost.
+
+    Reuses the best-response environment's ``G - u`` distance matrix:
+    every candidate strategy's distance vector is a row-min reduction,
+    and the weighted cost is one dot product.
+    """
+    cur = tuple(int(v) for v in wr.graph.out_neighbors(u))
+    if not cur:
+        return False
+    env = BestResponseEnvironment(wr.graph, u, "sum")
+    w = wr.weights
+    cur_cost = int((env.distances_for(cur) * w).sum())
+    ghost = set(np.flatnonzero(wr.weights == 0).tolist())
+    for dropped in cur:
+        kept = tuple(v for v in cur if v != dropped)
+        for cand in range(wr.graph.n):
+            if cand == u or cand in cur or cand in ghost:
+                continue
+            dist = env.distances_for(kept + (cand,))
+            if int((dist * w).sum()) < cur_cost:
+                return True
+    return False
+
+
+def is_weighted_weak_equilibrium(wr: WeightedRealization) -> bool:
+    """No active vertex can improve its weighted SUM cost by one swap."""
+    for u in wr.active.tolist():
+        if _weighted_swap_improves(wr, int(u)):
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class Lemma64Report:
+    """Outcome of checking Lemma 6.4 on one weighted graph."""
+
+    rich: tuple[int, ...]
+    max_pairwise_distance: int
+
+    @property
+    def holds(self) -> bool:
+        """Lemma 6.4: every pair of rich leaves is within distance 2."""
+        return self.max_pairwise_distance <= 2
+
+
+def check_lemma_6_4(wr: WeightedRealization) -> Lemma64Report:
+    """Measure the largest distance between rich leaves.
+
+    In any weighted weak equilibrium this is at most 2 (Lemma 6.4); the
+    checker lets tests audit that on folded dynamics output.
+    """
+    from ..graphs.bfs import UNREACHABLE, bfs_distances
+
+    rich = rich_leaves(wr)
+    worst = 0
+    csr = wr.graph.undirected_csr()
+    for i, a in enumerate(rich):
+        d = bfs_distances(csr, a)
+        for b in rich[i + 1 :]:
+            val = int(d[b])
+            if val == UNREACHABLE:
+                val = wr.graph.n * wr.graph.n
+            worst = max(worst, val)
+    return Lemma64Report(rich=tuple(rich), max_pairwise_distance=worst)
+
+
+# ----------------------------------------------------------------------
+# Lemma 6.5: degree-2 edges along unique shortest paths
+# ----------------------------------------------------------------------
+def degree_two_path_edges(wr: WeightedRealization, path: "list[int]") -> int:
+    """Count edges of ``path`` whose endpoints both have degree 2.
+
+    Lemma 6.5 bounds this by ``O(log w(P))`` along any path that is the
+    unique shortest path between each pair of its vertices (in a tree,
+    every path qualifies). Used with :func:`lemma_6_5_bound`.
+    """
+    count = 0
+    for a, b in zip(path, path[1:]):
+        if _undirected_degree(wr.graph, a) == 2 and _undirected_degree(wr.graph, b) == 2:
+            count += 1
+    return count
+
+
+def lemma_6_5_bound(wr: WeightedRealization, path: "list[int]") -> int:
+    """The concrete bound implied by the Lemma 6.5 proof: ``2 t`` where
+    ``2^(t-1) - 1 <= w(P)`` — i.e. ``2 (floor(log2(w(P) + 1)) + 1)``.
+    """
+    import math
+
+    w_path = int(wr.weights[np.asarray(path, dtype=np.int64)].sum())
+    return 2 * (int(math.log2(max(w_path, 1) + 1)) + 1)
+
+
+# ----------------------------------------------------------------------
+# Theorem 6.1: tree-like balls have logarithmic radius
+# ----------------------------------------------------------------------
+def tree_ball_radius(graph: OwnedDigraph, u: int) -> int:
+    """Largest ``r`` such that the subgraph induced by ``B_r(u)`` is a
+    forest with no brace (i.e. "tree-like" as in Theorem 6.1).
+
+    Capped at the eccentricity of ``u``; returns the eccentricity when
+    the whole component is a tree.
+    """
+    from ..graphs.bfs import UNREACHABLE, bfs_distances
+    from ..graphs.csr import build_csr
+    from ..graphs.connectivity import connected_components
+
+    csr = graph.undirected_csr()
+    dist = bfs_distances(csr, u)
+    reach = dist[dist != UNREACHABLE]
+    max_r = int(reach.max()) if reach.size else 0
+    # Braces inside the ball are 2-cycles: track arc multiplicities.
+    arcs = list(graph.arcs())
+    best = 0
+    for r in range(1, max_r + 1):
+        inside = dist <= r
+        inside[dist == UNREACHABLE] = False
+        ball_arcs = [(a, b) for a, b in arcs if inside[a] and inside[b]]
+        num_vertices = int(inside.sum())
+        # Forest test on the multigraph: edges (counting braces twice)
+        # must equal vertices - components.
+        heads = np.asarray([a for a, _ in ball_arcs], dtype=np.int64)
+        tails = np.asarray([b for _, b in ball_arcs], dtype=np.int64)
+        sub = build_csr(graph.n, heads, tails)
+        # Components among the ball's vertices only.
+        sub_labels, _ = connected_components(sub)
+        labels_inside = sub_labels[inside]
+        k = len(set(labels_inside.tolist()))
+        if len(ball_arcs) == num_vertices - k:
+            best = r
+        else:
+            break
+    return best
+
+
+def theorem_6_1_radius(graph: OwnedDigraph) -> int:
+    """Max tree-ball radius over all vertices (Theorem 6.1's ``r``).
+
+    On SUM equilibria this is ``O(log n)``; the experiment harness
+    checks it against ``theorem_3_3_bound`` (the same doubling constant
+    governs both proofs).
+    """
+    return max(tree_ball_radius(graph, u) for u in range(graph.n))

@@ -1,0 +1,132 @@
+"""Command-line interface: ``repro-bbncg`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show every registered experiment id with its description.
+``run <id> [<id> ...]``
+    Regenerate specific Table 1 cells / figures and print the reports.
+``all``
+    Regenerate everything (the full paper reproduction).
+``export <spec> --json out.json [--dot out.dot]``
+    Build one of the paper's constructions and save it. Specs:
+    ``fig1``, ``spider:<k>``, ``binary-tree:<depth>``,
+    ``overlap:<t>,<k>``, or ``thm2.3:<b1,b2,...>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .errors import ExperimentError
+from .experiments.runner import REGISTRY, list_experiments, run_experiment
+
+__all__ = ["main", "build_parser", "build_construction"]
+
+
+def build_construction(spec: str):
+    """Resolve an ``export`` spec string to a realization graph."""
+    from .constructions import (
+        binary_tree_equilibrium,
+        construct_equilibrium,
+        overlap_graph_equilibrium,
+        spider_equilibrium,
+    )
+    from .experiments.figures import FIGURE1_BUDGETS
+
+    name, _, args = spec.partition(":")
+    try:
+        if name == "fig1":
+            return construct_equilibrium(list(FIGURE1_BUDGETS)).graph
+        if name == "spider":
+            return spider_equilibrium(int(args)).graph
+        if name == "binary-tree":
+            return binary_tree_equilibrium(int(args)).graph
+        if name == "overlap":
+            t, k = (int(x) for x in args.split(","))
+            return overlap_graph_equilibrium(t, k).graph
+        if name == "thm2.3":
+            budgets = [int(x) for x in args.split(",")]
+            return construct_equilibrium(budgets).graph
+    except (ValueError, TypeError) as exc:
+        raise ExperimentError(f"bad construction arguments in {spec!r}: {exc}") from exc
+    raise ExperimentError(
+        f"unknown construction {name!r}; use fig1 / spider:<k> / "
+        "binary-tree:<depth> / overlap:<t>,<k> / thm2.3:<b1,b2,...>"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bbncg",
+        description="Reproduce 'On a Bounded Budget Network Creation Game' (SPAA 2011)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run one or more experiments by id")
+    run_p.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (see 'list')")
+    sub.add_parser("all", help="run every experiment")
+    exp_p = sub.add_parser("export", help="build a construction and save it")
+    exp_p.add_argument("spec", help="fig1 | spider:<k> | binary-tree:<d> | overlap:<t>,<k> | thm2.3:<b,...>")
+    exp_p.add_argument("--json", dest="json_path", help="write the realization as JSON")
+    exp_p.add_argument("--dot", dest="dot_path", help="write Graphviz DOT")
+    return parser
+
+
+def _run_and_print(experiment_id: str) -> int:
+    start = time.perf_counter()
+    try:
+        report = run_experiment(experiment_id)
+    except Exception as exc:  # surface the failure but keep going in batches
+        print(f"!! {experiment_id} failed: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+    print(report.format())
+    print(f"(elapsed: {elapsed:.1f}s)")
+    print()
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for key, desc in list_experiments():
+            print(f"{key:18s} {desc}")
+        return 0
+    if args.command == "run":
+        return max(_run_and_print(i) for i in args.ids)
+    if args.command == "all":
+        return max(_run_and_print(key) for key in REGISTRY)
+    if args.command == "export":
+        try:
+            graph = build_construction(args.spec)
+        except Exception as exc:
+            print(f"!! export failed: {exc}", file=sys.stderr)
+            return 1
+        from .graphs.render import degree_summary, to_dot
+        from .io import save_realization
+
+        print(degree_summary(graph))
+        if args.json_path:
+            save_realization(graph, args.json_path)
+            print(f"wrote {args.json_path}")
+        if args.dot_path:
+            import pathlib
+
+            pathlib.Path(args.dot_path).write_text(to_dot(graph) + "\n")
+            print(f"wrote {args.dot_path}")
+        if not args.json_path and not args.dot_path:
+            from .graphs.render import adjacency_table
+
+            if graph.n <= 40:
+                print(adjacency_table(graph))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Explicit equilibrium constructions from the paper's proofs.
+
+Each constructive theorem becomes a generator function returning a
+realization that the exact best-response engine can certify as a Nash
+equilibrium at concrete sizes:
+
+* :func:`construct_equilibrium` — Theorem 2.3 (existence, all three
+  cases; Case 2 is Figure 1),
+* :func:`spider_equilibrium` — Theorem 3.2 (MAX trees, diameter Θ(n);
+  Figure 2),
+* :func:`binary_tree_equilibrium` — Theorem 3.4 (SUM trees, Θ(log n)),
+* :func:`overlap_graph_equilibrium` — Lemma 5.2 / Theorem 5.3 (MAX,
+  all-positive budgets, diameter Ω(√log n)).
+"""
+
+from .binary_tree import BinaryTreeInstance, binary_tree_equilibrium
+from .debruijn import (
+    OverlapGraphInstance,
+    index_to_word,
+    lemma_5_2_condition,
+    overlap_graph_edges,
+    overlap_graph_equilibrium,
+    word_to_index,
+)
+from .existence import EquilibriumConstruction, classify_case, construct_equilibrium
+from .spider import SpiderInstance, spider_budgets, spider_equilibrium
+
+__all__ = [
+    "BinaryTreeInstance",
+    "EquilibriumConstruction",
+    "OverlapGraphInstance",
+    "SpiderInstance",
+    "binary_tree_equilibrium",
+    "classify_case",
+    "construct_equilibrium",
+    "index_to_word",
+    "lemma_5_2_condition",
+    "overlap_graph_edges",
+    "overlap_graph_equilibrium",
+    "spider_budgets",
+    "spider_equilibrium",
+    "word_to_index",
+]

@@ -1,0 +1,79 @@
+"""Theorem 3.4: tree equilibria of diameter Θ(log n) in the SUM version.
+
+The witness is the perfect binary tree on ``n = 2^(k+1) - 1`` vertices
+with every internal vertex owning the arcs to its two children (budget
+2) and leaves owning nothing (budget 0). Total budget ``n - 1``
+(Tree-BG), diameter ``2k = Θ(log n)``.
+
+The equilibrium argument: to stay connected an internal vertex must link
+into both of its child subtrees, and the root of a subtree is the
+distance-sum-minimising target inside it, so the current strategy is
+already optimal.
+
+Together with Theorem 3.3 (every SUM tree equilibrium has diameter
+``O(log n)``) this pins the Trees/SUM cell of Table 1 at ``Θ(log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConstructionError
+from ..graphs.digraph import OwnedDigraph
+
+__all__ = ["BinaryTreeInstance", "binary_tree_equilibrium"]
+
+
+@dataclass(frozen=True)
+class BinaryTreeInstance:
+    """The Theorem 3.4 perfect binary tree.
+
+    Vertices use heap indexing: vertex ``i`` has children ``2i + 1`` and
+    ``2i + 2`` (0-indexed).
+    """
+
+    graph: OwnedDigraph
+    depth: int
+
+    @property
+    def n(self) -> int:
+        """Number of vertices ``2^(depth+1) - 1``."""
+        return self.graph.n
+
+    @property
+    def diameter_value(self) -> int:
+        """The known diameter ``2 * depth`` (leaf to leaf)."""
+        return 2 * self.depth
+
+    @property
+    def budgets(self) -> np.ndarray:
+        """Induced budget vector: 2 for internal vertices, 0 for leaves."""
+        return self.graph.out_degrees()
+
+    @property
+    def root(self) -> int:
+        """The root vertex (index 0)."""
+        return 0
+
+    def leaves(self) -> np.ndarray:
+        """Indices of the ``2^depth`` leaves."""
+        n = self.n
+        return np.arange(n // 2, n, dtype=np.int64)
+
+
+def binary_tree_equilibrium(depth: int) -> BinaryTreeInstance:
+    """Perfect binary tree of the given ``depth >= 1`` (heap layout).
+
+    The returned graph is a Nash equilibrium of the induced Tree-BG
+    instance in the SUM version with diameter ``2 * depth = Θ(log n)``.
+    """
+    if depth < 1:
+        raise ConstructionError(f"binary tree needs depth >= 1, got {depth}")
+    n = (1 << (depth + 1)) - 1
+    g = OwnedDigraph(n)
+    for i in range(n // 2):
+        g.add_arc(i, 2 * i + 1)
+        g.add_arc(i, 2 * i + 2)
+    return BinaryTreeInstance(graph=g, depth=depth)

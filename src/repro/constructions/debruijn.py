@@ -1,0 +1,184 @@
+"""Lemma 5.2 / Theorem 5.3: the Ω(√log n) MAX lower bound (Braess-style).
+
+The witness graph ``U(t, k)`` has vertex set ``{0..t-1}^k`` with words
+``x`` and ``y`` adjacent when ``y`` is ``x`` shifted by one position
+(in either direction, with an arbitrary new symbol entering) — an
+undirected de-Bruijn-like *overlap graph*. Its diameter is exactly
+``k``; with ``t = 2^k`` we get ``n = t^k = 2^(k^2)`` vertices and
+diameter ``k = √(log2 n)``.
+
+Lemma 5.2 shows that whenever ``(2t)^k - 1 < t^k (2t - 1)`` (equivalent
+to ``t >= 2^(k-1) + 1``), *every* orientation of ``U(t, k)`` is a Nash
+equilibrium in the MAX version: a deviating vertex has at most ``2t``
+new neighbours, and expansion counting (Lemma 5.1) finds a vertex at
+distance ``> k - 2`` from any such neighbour set, so no deviation beats
+the current local diameter ``k``.
+
+Since orientations with all-positive out-degrees exist (min degree is at
+least ``t - 1 >= 2``), this yields equilibria where *every* player has
+positive budget yet the diameter is Ω(√log n) — larger than the Θ(1) of
+the all-unit case: more budget can hurt (the paper's Braess analogue).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConstructionError
+from ..graphs.digraph import OwnedDigraph
+
+__all__ = [
+    "OverlapGraphInstance",
+    "overlap_graph_edges",
+    "overlap_graph_equilibrium",
+    "lemma_5_2_condition",
+    "word_to_index",
+    "index_to_word",
+]
+
+
+def lemma_5_2_condition(t: int, k: int) -> bool:
+    """Whether ``(2t)^k - 1 < t^k (2t - 1)``, Lemma 5.2's hypothesis.
+
+    Algebraically equivalent to ``t >= 2^(k-1) + 1`` (for positive
+    ``t, k``); evaluated exactly with Python bignums.
+    """
+    return (2 * t) ** k - 1 < t**k * (2 * t - 1)
+
+
+def word_to_index(word: "tuple[int, ...] | list[int]", t: int) -> int:
+    """Rank of a word of ``{0..t-1}^k`` in lexicographic order."""
+    idx = 0
+    for symbol in word:
+        if not 0 <= symbol < t:
+            raise ConstructionError(f"symbol {symbol} out of alphabet range [0, {t})")
+        idx = idx * t + symbol
+    return idx
+
+
+def index_to_word(idx: int, t: int, k: int) -> tuple[int, ...]:
+    """Inverse of :func:`word_to_index`."""
+    word = []
+    for _ in range(k):
+        word.append(idx % t)
+        idx //= t
+    return tuple(reversed(word))
+
+
+def overlap_graph_edges(t: int, k: int) -> list[tuple[int, int]]:
+    """Undirected edge list of ``U(t, k)`` over word ranks.
+
+    Words ``x, y`` are adjacent iff ``x_i = y_{i+1}`` for all
+    ``1 <= i <= k - 1`` or ``y_i = x_{i+1}`` for all ``i`` (the paper's
+    two shift conditions). Self-loops are dropped and each pair appears
+    once, so the result is a simple graph.
+    """
+    if k < 2:
+        raise ConstructionError(f"overlap graph needs k >= 2, got {k}")
+    if t < 2:
+        raise ConstructionError(f"overlap graph needs t >= 2, got {t}")
+    edges: set[tuple[int, int]] = set()
+    for word in itertools.product(range(t), repeat=k):
+        x = word_to_index(word, t)
+        # Shift right: y = (a, x_1, ..., x_{k-1}) satisfies x_i = y_{i+1}.
+        prefix = word[:-1]
+        for a in range(t):
+            y = word_to_index((a,) + prefix, t)
+            if y != x:
+                edges.add((min(x, y), max(x, y)))
+    return sorted(edges)
+
+
+@dataclass(frozen=True)
+class OverlapGraphInstance:
+    """An oriented ``U(t, k)`` with all-positive budgets.
+
+    ``graph`` is the orientation (a game realization); its out-degrees
+    are the budget vector of the witnessed game instance.
+    """
+
+    graph: OwnedDigraph
+    t: int
+    k: int
+
+    @property
+    def n(self) -> int:
+        """Number of vertices ``t^k``."""
+        return self.graph.n
+
+    @property
+    def diameter_value(self) -> int:
+        """The known diameter ``k`` (≈ ``√log n`` when ``t = 2^k``)."""
+        return self.k
+
+    @property
+    def budgets(self) -> np.ndarray:
+        """Induced all-positive budget vector."""
+        return self.graph.out_degrees()
+
+
+def overlap_graph_equilibrium(
+    t: int, k: int, *, require_lemma: bool = True
+) -> OverlapGraphInstance:
+    """Build an oriented ``U(t, k)`` whose every orientation is a MAX
+    equilibrium (Lemma 5.2), with every out-degree positive.
+
+    Parameters
+    ----------
+    t, k:
+        Alphabet size and word length. Lemma 5.2 needs
+        ``t >= 2^(k-1) + 1``; the diameter-``k`` argument further wants
+        ``t >= 2k`` (enough fresh symbols). Both are enforced unless
+        ``require_lemma=False`` (useful for negative tests).
+
+    Notes
+    -----
+    The orientation balances out-degrees greedily and then flips one arc
+    toward any vertex left with out-degree zero, so the instance has
+    all-positive budgets as Theorem 5.3 requires. No brace is ever
+    created (each undirected edge is oriented exactly once).
+    """
+    if require_lemma:
+        if not lemma_5_2_condition(t, k):
+            raise ConstructionError(
+                f"(t={t}, k={k}) violates Lemma 5.2: need t >= 2^(k-1)+1 = {2 ** (k - 1) + 1}"
+            )
+        if t < 2 * k:
+            raise ConstructionError(
+                f"diameter-k argument needs t >= 2k (t={t}, k={k})"
+            )
+    edges = overlap_graph_edges(t, k)
+    n = t**k
+    g = OwnedDigraph(n)
+    outdeg = np.zeros(n, dtype=np.int64)
+    for u, v in edges:
+        if outdeg[u] <= outdeg[v]:
+            g.add_arc(u, v)
+            outdeg[u] += 1
+        else:
+            g.add_arc(v, u)
+            outdeg[v] += 1
+    # Repair any vertex with out-degree 0 by stealing an arc from a
+    # neighbour that owns >= 2 arcs (min degree >= t - 1 >= 2 makes this
+    # always possible in practice; bounded loop guards pathological cases).
+    for _ in range(n):
+        zeros = np.flatnonzero(outdeg == 0)
+        if zeros.size == 0:
+            break
+        u = int(zeros[0])
+        fixed = False
+        for w in g.in_neighbors(u):
+            w = int(w)
+            if outdeg[w] >= 2:
+                g.remove_arc(w, u)
+                g.add_arc(u, w)
+                outdeg[w] -= 1
+                outdeg[u] += 1
+                fixed = True
+                break
+        if not fixed:
+            raise ConstructionError(f"could not give vertex {u} a positive out-degree")
+    return OverlapGraphInstance(graph=g, t=t, k=k)

@@ -1,0 +1,96 @@
+"""Theorem 3.2: tree equilibria of diameter Θ(n) in the MAX version.
+
+The witness is a 3-legged *spider*: a center ``w`` with three paths
+(legs) of length ``k`` hanging off it, ``n = 3k + 1``. Legs are oriented
+away from the center except that each leg's innermost vertex owns both
+its leg arc and the arc to ``w`` (budget 2); leg ends and the center
+have budget 0; everyone else budget 1. Total budget ``3k = n - 1``
+(a Tree-BG instance), diameter ``2k = Θ(n)``.
+
+The paper shows no vertex can lower its *local diameter*: interior leg
+vertices must keep the graph connected, and each inner vertex ``x_1``
+already links to the midpoint of the long path formed by the other two
+legs (which is exactly ``w``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConstructionError
+from ..graphs.digraph import OwnedDigraph
+
+__all__ = ["SpiderInstance", "spider_equilibrium", "spider_budgets"]
+
+
+@dataclass(frozen=True)
+class SpiderInstance:
+    """The Theorem 3.2 spider: graph, vertex roles and parameters.
+
+    Vertex layout: ``w = 0``; leg ``j`` occupies vertices
+    ``1 + j*k .. (j+1)*k`` with the innermost vertex first (``x_1`` is
+    ``1 + j*k``). The paper uses 3 legs; any number >= 3 works (and 2
+    legs — a path — provably does not, see the tests), so the builder
+    accepts a ``legs`` parameter for ablations.
+    """
+
+    graph: OwnedDigraph
+    k: int
+    center: int
+    legs: tuple[tuple[int, ...], ...]
+
+    @property
+    def n(self) -> int:
+        """Number of vertices ``len(legs)*k + 1``."""
+        return self.graph.n
+
+    @property
+    def diameter_value(self) -> int:
+        """The known diameter ``2k`` (leg end to leg end)."""
+        return 2 * self.k
+
+    @property
+    def budgets(self) -> np.ndarray:
+        """The induced budget vector (out-degrees)."""
+        return self.graph.out_degrees()
+
+
+def spider_budgets(k: int) -> np.ndarray:
+    """Budget vector of the spider instance on ``n = 3k + 1`` players."""
+    return spider_equilibrium(k).budgets
+
+
+def spider_equilibrium(k: int, *, legs: int = 3) -> SpiderInstance:
+    """Build the Theorem 3.2 spider for a given leg length ``k >= 1``.
+
+    Returns a :class:`SpiderInstance` whose graph is a Nash equilibrium
+    of the induced Tree-BG instance in the MAX version, with diameter
+    ``2k`` — the Ω(n) price-of-anarchy witness for MAX trees.
+
+    ``legs`` must be at least 3: each inner vertex ``x_1`` links to the
+    midpoint of the long path formed by the *other* legs, which is the
+    center ``w`` only when at least two other legs exist. With 2 legs
+    (a path) the midpoint argument fails and the graph is not an
+    equilibrium — the test suite demonstrates this.
+    """
+    if k < 1:
+        raise ConstructionError(f"spider needs k >= 1, got {k}")
+    if legs < 3:
+        raise ConstructionError(
+            f"spider needs at least 3 legs for the equilibrium argument, got {legs}"
+        )
+    n = legs * k + 1
+    g = OwnedDigraph(n)
+    center = 0
+    leg_list: list[tuple[int, ...]] = []
+    for j in range(legs):
+        base = 1 + j * k
+        leg = tuple(range(base, base + k))
+        leg_list.append(leg)
+        # x_1 owns the arc to the center (and, below, to x_2).
+        g.add_arc(leg[0], center)
+        for i in range(k - 1):
+            g.add_arc(leg[i], leg[i + 1])
+    return SpiderInstance(graph=g, k=k, center=center, legs=tuple(leg_list))

@@ -1,0 +1,80 @@
+"""Game core: specification, costs, best responses, dynamics, certificates."""
+
+from .best_response import (
+    DEFAULT_MAX_CANDIDATES,
+    BestResponseEnvironment,
+    BestResponseResult,
+    exact_best_response,
+    greedy_best_response,
+    swap_best_response,
+)
+from .costs import Version, all_costs, cost_profile, social_cost, vertex_cost
+from .deviations import (
+    Method,
+    best_response_for,
+    find_improving_deviation,
+    is_best_response,
+    is_equilibrium,
+    is_weak_equilibrium,
+    satisfies_lemma_2_2,
+)
+from .dynamics import DynamicsResult, MoveRecord, Schedule, best_response_dynamics
+from .enumeration import (
+    ExactPriceReport,
+    enumerate_equilibria,
+    enumerate_realizations,
+    exact_prices,
+    profile_space_size,
+)
+from .equilibrium import EquilibriumCertificate, PlayerWitness, certify_equilibrium
+from .isomorphism import are_isomorphic, count_isomorphism_classes, isomorphism_invariant
+from .potential import (
+    FIPReport,
+    ImprovementGraph,
+    check_finite_improvement,
+    find_improvement_cycle,
+    improvement_graph,
+)
+from .game import BoundedBudgetGame
+
+__all__ = [
+    "DEFAULT_MAX_CANDIDATES",
+    "BestResponseEnvironment",
+    "BestResponseResult",
+    "BoundedBudgetGame",
+    "DynamicsResult",
+    "EquilibriumCertificate",
+    "ExactPriceReport",
+    "FIPReport",
+    "ImprovementGraph",
+    "are_isomorphic",
+    "check_finite_improvement",
+    "count_isomorphism_classes",
+    "find_improvement_cycle",
+    "improvement_graph",
+    "isomorphism_invariant",
+    "enumerate_equilibria",
+    "enumerate_realizations",
+    "exact_prices",
+    "profile_space_size",
+    "Method",
+    "MoveRecord",
+    "PlayerWitness",
+    "Schedule",
+    "Version",
+    "all_costs",
+    "best_response_dynamics",
+    "best_response_for",
+    "certify_equilibrium",
+    "cost_profile",
+    "exact_best_response",
+    "find_improving_deviation",
+    "greedy_best_response",
+    "is_best_response",
+    "is_equilibrium",
+    "is_weak_equilibrium",
+    "satisfies_lemma_2_2",
+    "social_cost",
+    "swap_best_response",
+    "vertex_cost",
+]

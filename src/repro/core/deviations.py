@@ -1,0 +1,144 @@
+"""Deviation search and equilibrium predicates.
+
+A strategy profile is a (pure) Nash equilibrium iff no player has an
+improving deviation. This module answers that question per player and
+globally, with three search methods of increasing strength:
+
+* ``"swap"``   — single-arc swaps only (certifies *weak* equilibrium);
+* ``"greedy"`` — greedy rebuild (refutation-only: may miss deviations);
+* ``"exact"``  — exhaustive subset enumeration (certifies Nash, but
+  exponential in the player's budget; Theorem 2.1 says this is
+  unavoidable in general).
+
+A fast sufficient check from the paper (Lemma 2.2) is also provided:
+a player with local diameter 1, or local diameter 2 and no brace, is
+always playing a best response in *both* versions.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..errors import GameError
+from ..graphs.bfs import UNREACHABLE, bfs_distances
+from ..graphs.digraph import OwnedDigraph
+from .best_response import (
+    BestResponseResult,
+    exact_best_response,
+    greedy_best_response,
+    swap_best_response,
+)
+from .costs import Version
+
+__all__ = [
+    "Method",
+    "find_improving_deviation",
+    "is_best_response",
+    "is_equilibrium",
+    "is_weak_equilibrium",
+    "satisfies_lemma_2_2",
+    "best_response_for",
+]
+
+Method = Literal["exact", "greedy", "swap"]
+
+_METHODS = {
+    "exact": exact_best_response,
+    "greedy": greedy_best_response,
+    "swap": swap_best_response,
+}
+
+
+def best_response_for(
+    graph: OwnedDigraph, u: int, version: Version | str, method: Method = "exact", **kwargs
+) -> BestResponseResult:
+    """Dispatch to the requested best-response routine."""
+    try:
+        fn = _METHODS[method]
+    except KeyError:
+        raise GameError(f"unknown method {method!r}; use exact/greedy/swap") from None
+    return fn(graph, u, version, **kwargs)
+
+
+def satisfies_lemma_2_2(graph: OwnedDigraph, u: int) -> bool:
+    """Paper's Lemma 2.2 sufficient condition for a best response.
+
+    True when ``u`` has local diameter 1, or local diameter 2 and is not
+    contained in any brace. In either case ``u`` plays a best response in
+    both SUM and MAX versions, so the exponential search can be skipped.
+    """
+    if graph.n == 1:
+        return True
+    d = bfs_distances(graph.undirected_csr(), u)
+    if (d == UNREACHABLE).any():
+        return False
+    ecc = int(d.max())
+    if ecc <= 1:
+        return True
+    if ecc == 2:
+        out = graph.out_neighbors(u)
+        # u must not be an endpoint of a brace.
+        return not any(graph.has_arc(int(v), u) for v in out)
+    return False
+
+
+def find_improving_deviation(
+    graph: OwnedDigraph,
+    u: int,
+    version: Version | str,
+    method: Method = "exact",
+    *,
+    use_lemma: bool = True,
+    **kwargs,
+) -> BestResponseResult | None:
+    """An improving deviation for ``u``, or ``None`` if none was found.
+
+    With ``method="exact"``, ``None`` is a *certificate* that ``u`` plays
+    a best response. With the heuristics, ``None`` only means the
+    restricted search found nothing.
+    """
+    if use_lemma and satisfies_lemma_2_2(graph, u):
+        return None
+    result = best_response_for(graph, u, version, method, **kwargs)
+    return result if result.is_improving else None
+
+
+def is_best_response(
+    graph: OwnedDigraph,
+    u: int,
+    version: Version | str,
+    method: Method = "exact",
+    **kwargs,
+) -> bool:
+    """Whether ``u``'s current strategy is optimal (w.r.t. ``method``)."""
+    return find_improving_deviation(graph, u, version, method, **kwargs) is None
+
+
+def is_equilibrium(
+    graph: OwnedDigraph,
+    version: Version | str,
+    method: Method = "exact",
+    *,
+    players: "list[int] | None" = None,
+    **kwargs,
+) -> bool:
+    """Whether the profile is a Nash equilibrium (``method="exact"``)
+    or stable under the given move set (heuristic methods).
+
+    ``players`` restricts the check (useful for symmetric constructions
+    where one representative per orbit suffices).
+    """
+    todo = range(graph.n) if players is None else players
+    for u in todo:
+        if not is_best_response(graph, u, version, method, **kwargs):
+            return False
+    return True
+
+
+def is_weak_equilibrium(
+    graph: OwnedDigraph, version: Version | str, *, players: "list[int] | None" = None
+) -> bool:
+    """Stability under single-arc swaps (Section 6's weak equilibrium)."""
+    return is_equilibrium(graph, version, method="swap", players=players)

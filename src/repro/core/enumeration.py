@@ -1,0 +1,161 @@
+"""Exhaustive enumeration of strategy profiles and equilibria.
+
+For tiny instances the full profile space ``prod_i C(n-1, b_i)`` is
+enumerable, which buys three things the asymptotic machinery cannot:
+
+* the *exact* optimal social cost (min diameter over realizations),
+* the *complete* set of pure Nash equilibria, hence exact price of
+  anarchy and price of stability (not intervals),
+* exhaustive checks of the structure theorems ("every unit-budget
+  equilibrium at n = 5 is unicyclic with cycle ≤ 5" verified over the
+  whole space rather than sampled).
+
+Everything here is deliberately brute force and guarded by profile
+caps; the sampling/dynamics pipeline covers larger sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+from ..errors import GameError
+from ..graphs.digraph import OwnedDigraph
+from ..graphs.distances import diameter
+from .costs import Version
+from .deviations import is_equilibrium
+from .game import BoundedBudgetGame
+
+__all__ = [
+    "profile_space_size",
+    "enumerate_realizations",
+    "enumerate_equilibria",
+    "ExactPriceReport",
+    "exact_prices",
+]
+
+
+def profile_space_size(game: BoundedBudgetGame) -> int:
+    """``prod_i C(n-1, b_i)``: the number of strategy profiles."""
+    n = game.n
+    total = 1
+    for b in game.budgets:
+        total *= math.comb(n - 1, int(b))
+    return total
+
+
+def _check_cap(game: BoundedBudgetGame, max_profiles: int) -> None:
+    total = profile_space_size(game)
+    if total > max_profiles:
+        raise GameError(
+            f"profile space has {total} elements (> {max_profiles}); "
+            "exhaustive enumeration is only for tiny instances"
+        )
+
+
+def enumerate_realizations(
+    game: BoundedBudgetGame, *, max_profiles: int = 2_000_000
+) -> Iterator[OwnedDigraph]:
+    """Yield every realization of the game, in lexicographic profile order."""
+    _check_cap(game, max_profiles)
+    n = game.n
+    per_player = []
+    for u in range(n):
+        pool = [v for v in range(n) if v != u]
+        per_player.append(list(itertools.combinations(pool, int(game.budgets[u]))))
+    for profile in itertools.product(*per_player):
+        yield OwnedDigraph.from_strategies(profile, n)
+
+
+def enumerate_equilibria(
+    game: BoundedBudgetGame,
+    version: "Version | str",
+    *,
+    max_profiles: int = 500_000,
+) -> list[OwnedDigraph]:
+    """All pure Nash equilibria of a tiny game, by exhaustive check.
+
+    Each profile is tested with the exact per-player engine (with the
+    Lemma 2.2 shortcut), so membership is provably correct.
+    """
+    version = Version.coerce(version)
+    found = []
+    for graph in enumerate_realizations(game, max_profiles=max_profiles):
+        if is_equilibrium(graph, version, method="exact"):
+            found.append(graph)
+    return found
+
+
+@dataclass(frozen=True)
+class ExactPriceReport:
+    """Exact equilibrium census of one tiny game.
+
+    ``poa``/``pos`` are exact fractions (worst resp. best equilibrium
+    diameter over the optimal realization diameter); ``None`` when the
+    game has no equilibrium within the enumerated space (cannot happen:
+    Theorem 2.3 guarantees existence, and the test suite asserts so).
+    """
+
+    version: Version
+    num_profiles: int
+    num_equilibria: int
+    opt_diameter: int
+    best_equilibrium_diameter: "int | None"
+    worst_equilibrium_diameter: "int | None"
+
+    @property
+    def poa(self) -> "Fraction | None":
+        """Exact price of anarchy."""
+        if self.worst_equilibrium_diameter is None:
+            return None
+        return Fraction(self.worst_equilibrium_diameter, self.opt_diameter)
+
+    @property
+    def pos(self) -> "Fraction | None":
+        """Exact price of stability."""
+        if self.best_equilibrium_diameter is None:
+            return None
+        return Fraction(self.best_equilibrium_diameter, self.opt_diameter)
+
+
+def exact_prices(
+    game: BoundedBudgetGame,
+    version: "Version | str",
+    *,
+    max_profiles: int = 500_000,
+) -> ExactPriceReport:
+    """Exact PoA / PoS of a tiny game by full enumeration.
+
+    One pass over the profile space computes the optimal diameter and
+    the best/worst equilibrium diameters simultaneously.
+    """
+    version = Version.coerce(version)
+    _check_cap(game, max_profiles)
+    opt = None
+    best_eq = None
+    worst_eq = None
+    count = 0
+    eq_count = 0
+    for graph in enumerate_realizations(game, max_profiles=max_profiles):
+        count += 1
+        d = diameter(graph)
+        if opt is None or d < opt:
+            opt = d
+        if is_equilibrium(graph, version, method="exact"):
+            eq_count += 1
+            if best_eq is None or d < best_eq:
+                best_eq = d
+            if worst_eq is None or d > worst_eq:
+                worst_eq = d
+    assert opt is not None, "profile space is never empty"
+    return ExactPriceReport(
+        version=version,
+        num_profiles=count,
+        num_equilibria=eq_count,
+        opt_diameter=opt,
+        best_equilibrium_diameter=best_eq,
+        worst_equilibrium_diameter=worst_eq,
+    )

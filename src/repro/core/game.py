@@ -1,0 +1,167 @@
+"""Game specification: budget vectors and strategy profiles.
+
+A *bounded budget network creation game* ``(b_1, ..., b_n)-BG`` has
+``n`` players; the strategy of player ``i`` is a subset
+``S_i ⊆ {0..n-1} \\ {i}`` with ``|S_i| = b_i``. A strategy profile is
+realised as an :class:`~repro.graphs.digraph.OwnedDigraph` whose arcs
+``i -> j`` (``j in S_i``) are *owned* by ``i``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import BudgetError, StrategyError
+from ..graphs.digraph import OwnedDigraph
+from ..graphs.generators import random_connected_realization, random_realization
+from ..rng import as_generator
+
+__all__ = ["BoundedBudgetGame"]
+
+
+class BoundedBudgetGame:
+    """Immutable specification of a ``(b_1, ..., b_n)``-BG instance.
+
+    Parameters
+    ----------
+    budgets:
+        Sequence of ``n`` nonnegative integers with ``b_i < n``.
+
+    Examples
+    --------
+    >>> game = BoundedBudgetGame([1, 1, 1])
+    >>> game.n, game.total_budget, game.is_tree_game
+    (3, 3, False)
+    """
+
+    __slots__ = ("_budgets",)
+
+    def __init__(self, budgets: Sequence[int] | np.ndarray) -> None:
+        b = np.asarray(budgets, dtype=np.int64).copy()
+        if b.ndim != 1 or b.size == 0:
+            raise BudgetError("budgets must be a nonempty 1-D sequence")
+        n = b.size
+        if (b < 0).any():
+            raise BudgetError(f"budgets must be nonnegative, got {b.tolist()}")
+        if (b >= n).any():
+            raise BudgetError(f"budgets must be < n = {n}, got {b.tolist()}")
+        b.setflags(write=False)
+        self._budgets = b
+
+    # ------------------------------------------------------------------
+    @property
+    def budgets(self) -> np.ndarray:
+        """The (read-only) budget vector."""
+        return self._budgets
+
+    @property
+    def n(self) -> int:
+        """Number of players."""
+        return int(self._budgets.size)
+
+    @property
+    def total_budget(self) -> int:
+        """``sigma = sum_i b_i``, the number of arcs in every realization."""
+        return int(self._budgets.sum())
+
+    @property
+    def is_tree_game(self) -> bool:
+        """Whether this is a Tree-BG instance (``sigma = n - 1``, Section 3)."""
+        return self.total_budget == self.n - 1
+
+    @property
+    def can_connect(self) -> bool:
+        """Whether any realization can be connected (``sigma >= n - 1``)."""
+        return self.total_budget >= self.n - 1
+
+    @property
+    def min_budget(self) -> int:
+        """Smallest player budget (Theorem 7.2's ``k``)."""
+        return int(self._budgets.min())
+
+    @property
+    def is_unit_game(self) -> bool:
+        """Whether all budgets are exactly 1 (Section 4)."""
+        return bool((self._budgets == 1).all())
+
+    @property
+    def all_positive(self) -> bool:
+        """Whether every player has positive budget (Section 5)."""
+        return bool((self._budgets > 0).all())
+
+    # ------------------------------------------------------------------
+    def budget(self, player: int) -> int:
+        """Budget of a single player."""
+        if not 0 <= player < self.n:
+            raise BudgetError(f"player {player} out of range [0, {self.n})")
+        return int(self._budgets[player])
+
+    def validate_strategy(self, player: int, strategy: Iterable[int]) -> frozenset[int]:
+        """Check (and canonicalise) a strategy for ``player``.
+
+        A valid strategy is a set of exactly ``b_player`` distinct
+        opponents.
+        """
+        s = frozenset(int(v) for v in strategy)
+        b = self.budget(player)
+        if len(s) != b:
+            raise StrategyError(
+                f"player {player} has budget {b} but strategy of size {len(s)}"
+            )
+        if player in s:
+            raise StrategyError(f"player {player} may not link to itself")
+        for v in s:
+            if not 0 <= v < self.n:
+                raise StrategyError(f"strategy of player {player} targets invalid vertex {v}")
+        return s
+
+    def validate_realization(self, graph: OwnedDigraph) -> None:
+        """Check that ``graph`` is a realization of this game."""
+        if graph.n != self.n:
+            raise StrategyError(f"graph has {graph.n} vertices, game has {self.n} players")
+        out = graph.out_degrees()
+        if not np.array_equal(out, self._budgets):
+            bad = np.flatnonzero(out != self._budgets)
+            raise StrategyError(
+                f"out-degrees {out[bad].tolist()} of players {bad.tolist()} do not "
+                f"match budgets {self._budgets[bad].tolist()}"
+            )
+
+    def is_realization(self, graph: OwnedDigraph) -> bool:
+        """Non-raising version of :meth:`validate_realization`."""
+        try:
+            self.validate_realization(graph)
+        except StrategyError:
+            return False
+        return True
+
+    def realization(self, strategies: Sequence[Iterable[int]]) -> OwnedDigraph:
+        """Build the realization graph of a full strategy profile."""
+        if len(strategies) != self.n:
+            raise StrategyError(f"expected {self.n} strategies, got {len(strategies)}")
+        checked = [self.validate_strategy(i, s) for i, s in enumerate(strategies)]
+        return OwnedDigraph.from_strategies(checked, self.n)
+
+    def random_realization(
+        self, seed: int | np.random.Generator | None = None, *, connected: bool = False
+    ) -> OwnedDigraph:
+        """Uniformly random realization (optionally forced connected)."""
+        if connected:
+            return random_connected_realization(self._budgets, seed)
+        return random_realization(self._budgets, seed)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoundedBudgetGame):
+            return NotImplemented
+        return np.array_equal(self._budgets, other._budgets)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._budgets.tolist()))
+
+    def __repr__(self) -> str:
+        b = self._budgets.tolist()
+        shown = b if self.n <= 12 else b[:10] + ["..."]
+        return f"BoundedBudgetGame(n={self.n}, budgets={shown})"

@@ -1,0 +1,76 @@
+"""Isomorphism of realizations (ownership-aware), for equilibrium censuses.
+
+Two realizations are isomorphic when some player relabeling maps one
+arc set onto the other — ownership included, since budgets travel with
+players. The census experiments use this to report equilibrium counts
+up to symmetry, which is the structurally meaningful number (the
+labeled count scales with n! for symmetric budget vectors).
+
+Brute force over permutations (with a cheap invariant pre-filter); only
+meant for the tiny-n enumeration pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+
+from ..errors import GameError
+from ..graphs.digraph import OwnedDigraph
+
+__all__ = ["are_isomorphic", "isomorphism_invariant", "count_isomorphism_classes"]
+
+#: Permutation search is capped here; beyond it the census should use
+#: sampling, not exact isomorphism.
+_MAX_N = 9
+
+
+def isomorphism_invariant(graph: OwnedDigraph) -> tuple:
+    """A cheap relabeling-invariant fingerprint.
+
+    Combines the sorted multiset of ``(out-degree, in-degree)`` pairs
+    with the sorted undirected degree sequence; graphs with different
+    fingerprints are certainly non-isomorphic.
+    """
+    pairs = sorted(
+        (graph.out_degree(v), int(graph.in_neighbors(v).size)) for v in range(graph.n)
+    )
+    degs = sorted(graph.degree(v) for v in range(graph.n))
+    return (graph.n, tuple(pairs), tuple(degs), len(graph.braces()))
+
+
+def are_isomorphic(a: OwnedDigraph, b: OwnedDigraph) -> bool:
+    """Ownership-aware isomorphism test by permutation search."""
+    if a.n != b.n:
+        return False
+    if a.n > _MAX_N:
+        raise GameError(f"exact isomorphism is capped at n = {_MAX_N}")
+    if a.num_arcs != b.num_arcs:
+        return False
+    if isomorphism_invariant(a) != isomorphism_invariant(b):
+        return False
+    arcs_b = set(b.arcs())
+    arcs_a = list(a.arcs())
+    for perm in itertools.permutations(range(a.n)):
+        if all((perm[u], perm[v]) in arcs_b for u, v in arcs_a):
+            return True
+    return False
+
+
+def count_isomorphism_classes(graphs: "list[OwnedDigraph]") -> int:
+    """Number of isomorphism classes among the given realizations.
+
+    Buckets by the cheap invariant first, then resolves each bucket
+    with the exact test.
+    """
+    buckets: dict[tuple, list[OwnedDigraph]] = {}
+    for g in graphs:
+        buckets.setdefault(isomorphism_invariant(g), []).append(g)
+    classes = 0
+    for bucket in buckets.values():
+        representatives: list[OwnedDigraph] = []
+        for g in bucket:
+            if not any(are_isomorphic(g, r) for r in representatives):
+                representatives.append(g)
+        classes += len(representatives)
+    return classes

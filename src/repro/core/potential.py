@@ -1,0 +1,219 @@
+"""Improvement graphs and the finite improvement property (FIP).
+
+Section 8 asks whether best-response dynamics always converges. For a
+game small enough to enumerate, the question is *decidable*: build the
+directed graph whose nodes are strategy profiles and whose edges are
+improving moves, and test it for cycles.
+
+* acyclic better-response graph ⇔ the game has the **finite
+  improvement property** (every improvement path terminates) ⇔ the
+  game admits a generalized ordinal potential (Monderer & Shapley);
+* acyclic best-response graph ⇔ best-response dynamics can never loop,
+  under any scheduling;
+* the sinks of either graph are exactly the pure Nash equilibria.
+
+This turns the paper's open problem into an exhaustively checked
+statement at small n: the test suite asserts FIP for tiny instances,
+and :func:`find_improvement_cycle` would exhibit a Laoutaris-style loop
+if one existed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+import numpy as np
+
+from ..errors import GameError
+from ..graphs.digraph import OwnedDigraph
+from .best_response import BestResponseEnvironment
+from .costs import Version
+from .enumeration import enumerate_realizations, profile_space_size
+from .game import BoundedBudgetGame
+
+__all__ = [
+    "MoveKind",
+    "ImprovementGraph",
+    "improvement_graph",
+    "FIPReport",
+    "check_finite_improvement",
+    "find_improvement_cycle",
+]
+
+MoveKind = Literal["better", "best"]
+
+ProfileKey = tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class ImprovementGraph:
+    """The improvement digraph over the full profile space.
+
+    ``edges[key]`` lists the profiles reachable from ``key`` by one
+    improving move of one player (all strictly better strategies for
+    ``kind="better"``, only cost-minimising ones for ``kind="best"``).
+    """
+
+    version: Version
+    kind: MoveKind
+    edges: "dict[ProfileKey, list[ProfileKey]]"
+
+    @property
+    def num_states(self) -> int:
+        """Number of strategy profiles."""
+        return len(self.edges)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of improving moves across all profiles."""
+        return sum(len(v) for v in self.edges.values())
+
+    def sinks(self) -> list[ProfileKey]:
+        """Profiles with no improving move — exactly the Nash equilibria."""
+        return [k for k, out in self.edges.items() if not out]
+
+
+def _profile_moves(
+    game: BoundedBudgetGame,
+    graph: OwnedDigraph,
+    version: Version,
+    kind: MoveKind,
+) -> Iterator[ProfileKey]:
+    """All profiles reachable from ``graph`` by one improving move."""
+    key = graph.profile_key()
+    for u in range(game.n):
+        b = game.budget(u)
+        if b == 0:
+            continue
+        env = BestResponseEnvironment(graph, u, version)
+        current = key[u]
+        current_cost = env.evaluate(current)
+        pool = [v for v in range(game.n) if v != u]
+        candidates = np.asarray(list(itertools.combinations(pool, b)), dtype=np.int64)
+        costs = env.evaluate_batch(candidates)
+        if kind == "better":
+            chosen = np.flatnonzero(costs < current_cost)
+        else:
+            best = int(costs.min())
+            if best >= current_cost:
+                continue
+            chosen = np.flatnonzero(costs == best)
+        for idx in chosen:
+            strategy = tuple(int(x) for x in candidates[int(idx)])
+            if strategy == current:
+                continue
+            new_key = key[:u] + (strategy,) + key[u + 1 :]
+            yield new_key
+
+
+def improvement_graph(
+    game: BoundedBudgetGame,
+    version: "Version | str",
+    *,
+    kind: MoveKind = "better",
+    max_profiles: int = 200_000,
+) -> ImprovementGraph:
+    """Build the full improvement digraph of a tiny game."""
+    version = Version.coerce(version)
+    if kind not in ("better", "best"):
+        raise GameError(f"kind must be 'better' or 'best', got {kind!r}")
+    edges: dict[ProfileKey, list[ProfileKey]] = {}
+    for graph in enumerate_realizations(game, max_profiles=max_profiles):
+        edges[graph.profile_key()] = list(
+            dict.fromkeys(_profile_moves(game, graph, version, kind))
+        )
+    return ImprovementGraph(version=version, kind=kind, edges=edges)
+
+
+@dataclass(frozen=True)
+class FIPReport:
+    """Outcome of an exhaustive improvement-cycle search."""
+
+    version: Version
+    kind: MoveKind
+    num_states: int
+    num_edges: int
+    acyclic: bool
+    num_sinks: int
+    cycle: "tuple[ProfileKey, ...] | None"
+
+    @property
+    def has_fip(self) -> bool:
+        """True iff every improvement path terminates (no cycle)."""
+        return self.acyclic
+
+
+def _find_cycle(graph: ImprovementGraph) -> "tuple[ProfileKey, ...] | None":
+    """Iterative 3-colour DFS cycle detection over the profile digraph."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[ProfileKey, int] = {k: WHITE for k in graph.edges}
+    parent: dict[ProfileKey, ProfileKey] = {}
+    for root in graph.edges:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[ProfileKey, int]] = [(root, 0)]
+        color[root] = GRAY
+        while stack:
+            node, i = stack[-1]
+            out = graph.edges[node]
+            if i < len(out):
+                stack[-1] = (node, i + 1)
+                nxt = out[i]
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, 0))
+                elif color[nxt] == GRAY:
+                    # Unwind the cycle nxt -> ... -> node -> nxt.
+                    cycle = [node]
+                    x = node
+                    while x != nxt:
+                        x = parent[x]
+                        cycle.append(x)
+                    cycle.reverse()
+                    return tuple(cycle)
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def check_finite_improvement(
+    game: BoundedBudgetGame,
+    version: "Version | str",
+    *,
+    kind: MoveKind = "better",
+    max_profiles: int = 200_000,
+) -> FIPReport:
+    """Exhaustively decide the finite improvement property of a tiny game.
+
+    ``acyclic=True`` proves that *every* improvement path (under the
+    chosen move kind) terminates in a Nash equilibrium — the strongest
+    possible answer to the Section 8 convergence question at that size.
+    """
+    g = improvement_graph(game, version, kind=kind, max_profiles=max_profiles)
+    cycle = _find_cycle(g)
+    return FIPReport(
+        version=g.version,
+        kind=kind,
+        num_states=g.num_states,
+        num_edges=g.num_edges,
+        acyclic=cycle is None,
+        num_sinks=len(g.sinks()),
+        cycle=cycle,
+    )
+
+
+def find_improvement_cycle(
+    game: BoundedBudgetGame,
+    version: "Version | str",
+    *,
+    kind: MoveKind = "better",
+    max_profiles: int = 200_000,
+) -> "tuple[ProfileKey, ...] | None":
+    """A profile cycle of improving moves, or ``None`` if FIP holds."""
+    return check_finite_improvement(
+        game, version, kind=kind, max_profiles=max_profiles
+    ).cycle

@@ -1,0 +1,56 @@
+"""Experiment harness regenerating the paper's Table 1 and Figures 1-3."""
+
+from .common import StabilizeOutcome, exact_is_feasible, stabilize, try_certify
+from .figures import (
+    FIGURE1_BUDGETS,
+    figure1_experiment,
+    figure2_experiment,
+    figure3_experiment,
+    render_arcs,
+    render_spider,
+)
+from .ablations import best_response_quality_experiment, lemma_shortcut_experiment
+from .exact_census import exact_census_experiment
+from .open_problems import (
+    convergence_experiment,
+    general_max_experiment,
+    uniform_budget_experiment,
+)
+from .runner import REGISTRY, list_experiments, run_all, run_experiment
+from .table1 import (
+    ExperimentReport,
+    general_sum_experiment,
+    positive_max_experiment,
+    trees_max_experiment,
+    trees_sum_experiment,
+    unit_budgets_experiment,
+)
+
+__all__ = [
+    "FIGURE1_BUDGETS",
+    "REGISTRY",
+    "ExperimentReport",
+    "StabilizeOutcome",
+    "exact_is_feasible",
+    "figure1_experiment",
+    "figure2_experiment",
+    "figure3_experiment",
+    "best_response_quality_experiment",
+    "convergence_experiment",
+    "exact_census_experiment",
+    "lemma_shortcut_experiment",
+    "general_max_experiment",
+    "general_sum_experiment",
+    "uniform_budget_experiment",
+    "list_experiments",
+    "positive_max_experiment",
+    "render_arcs",
+    "render_spider",
+    "run_all",
+    "run_experiment",
+    "stabilize",
+    "trees_max_experiment",
+    "trees_sum_experiment",
+    "try_certify",
+    "unit_budgets_experiment",
+]

@@ -1,0 +1,156 @@
+"""Regeneration of the paper's Figures 1-3.
+
+* **Figure 1** — the Case 2 construction of Theorem 2.3 at the paper's
+  exact parameters (n = 22, z = 16, t = 19): built, certified as a Nash
+  equilibrium in both versions, and rendered as an arc table.
+* **Figure 2** — the Theorem 3.2 spider: rendered as ASCII legs, its
+  MAX equilibrium certified, diameter 2k confirmed.
+* **Figure 3** — the longest-path decomposition of Theorem 3.3: the
+  ``A_i`` / ``a(i)`` table of a SUM equilibrium tree with the proof's
+  doubling inequality verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..analysis.tree_decomposition import (
+    longest_path_decomposition,
+    verify_sum_equilibrium_inequality,
+)
+from ..constructions.binary_tree import binary_tree_equilibrium
+from ..constructions.existence import construct_equilibrium
+from ..constructions.spider import spider_equilibrium
+from ..core.equilibrium import certify_equilibrium
+from ..graphs.digraph import OwnedDigraph
+from ..graphs.distances import diameter
+from .table1 import ExperimentReport
+
+__all__ = [
+    "FIGURE1_BUDGETS",
+    "figure1_experiment",
+    "figure2_experiment",
+    "figure3_experiment",
+    "render_arcs",
+    "render_spider",
+]
+
+#: The paper's Figure 1 parameters: n = 22 players, z = 16 zero-budget,
+#: the rich suffix owning budgets (2, 5, 5, 5, 5, 5) (1-based players
+#: v17..v22). sigma = 27 >= n - 1 and b_n = 5 < z = 16 => Case 2.
+FIGURE1_BUDGETS: tuple[int, ...] = (0,) * 16 + (2, 5, 5, 5, 5, 5)
+
+
+def render_arcs(graph: OwnedDigraph, *, per_line: int = 6) -> str:
+    """Render the owned arcs of a realization as a compact table."""
+    lines = []
+    for u in range(graph.n):
+        targets = graph.out_neighbors(u)
+        if targets.size == 0:
+            continue
+        arrows = ", ".join(f"v{u + 1}->v{int(v) + 1}" for v in targets)
+        lines.append(f"  v{u + 1}: {arrows}")
+    return "\n".join(lines)
+
+
+def render_spider(k: int) -> str:
+    """ASCII rendering of the Figure 2 spider (three legs around w)."""
+    inst = spider_equilibrium(k)
+    leg = lambda j: " - ".join(f"{name}{i + 1}" for i, name in enumerate([("x", "y", "z")[j]] * k))
+    return "\n".join(
+        [
+            f"        {leg(0)}",
+            "       /",
+            f"      w - {leg(1)}",
+            "       \\",
+            f"        {leg(2)}",
+            f"(n = {inst.n}, diameter = {2 * k})",
+        ]
+    )
+
+
+def figure1_experiment() -> ExperimentReport:
+    """Rebuild Figure 1 (Theorem 2.3, Case 2, n = 22) and certify it."""
+    report = ExperimentReport(
+        experiment_id="FIG-1",
+        title="Figure 1: Case 2 construction at n=22, z=16, t=19",
+        paper_claim="the four-phase construction is a Nash equilibrium in both "
+        "versions with diameter <= 4",
+    )
+    construction = construct_equilibrium(list(FIGURE1_BUDGETS))
+    g = construction.graph
+    d = diameter(g)
+    for version in ("sum", "max"):
+        cert = certify_equilibrium(g, version, method="exact")
+        report.rows.append(
+            {
+                "version": version,
+                "n": g.n,
+                "case": construction.case,
+                "diameter": d,
+                "is_equilibrium": cert.is_equilibrium,
+                "max_regret": cert.max_regret(),
+                "candidates_evaluated": cert.total_evaluated,
+            }
+        )
+        if not cert.is_equilibrium:
+            report.notes.append(f"{version}: certification FAILED")
+    report.notes.append("arc table:\n" + render_arcs(g))
+    return report
+
+
+def figure2_experiment(ks: "tuple[int, ...]" = (2, 4, 7)) -> ExperimentReport:
+    """Rebuild Figure 2 (the spider) at several sizes and certify."""
+    report = ExperimentReport(
+        experiment_id="FIG-2",
+        title="Figure 2: the Theorem 3.2 spider",
+        paper_claim="a Tree-BG MAX equilibrium with diameter 2k = Θ(n)",
+    )
+    for k in ks:
+        inst = spider_equilibrium(k)
+        cert = certify_equilibrium(inst.graph, "max", method="exact")
+        report.rows.append(
+            {
+                "k": k,
+                "n": inst.n,
+                "diameter": diameter(inst.graph),
+                "expected": 2 * k,
+                "is_equilibrium": cert.is_equilibrium,
+            }
+        )
+    report.notes.append("rendering (k=%d):\n%s" % (ks[0], render_spider(ks[0])))
+    return report
+
+
+def figure3_experiment(depth: int = 4) -> ExperimentReport:
+    """Rebuild Figure 3: the A_i decomposition of a SUM equilibrium tree.
+
+    Uses the certified binary-tree equilibrium; prints the a(i) sequence
+    along the longest path and checks the proof's inequality chain.
+    """
+    report = ExperimentReport(
+        experiment_id="FIG-3",
+        title="Figure 3: longest-path decomposition of a SUM tree equilibrium",
+        paper_claim="a(i_j + 1) >= sum_{k > i_j+1} a(k) along the majority arc "
+        "direction, forcing d = O(log n)",
+    )
+    inst = binary_tree_equilibrium(depth)
+    decomp = longest_path_decomposition(inst.graph)
+    check = verify_sum_equilibrium_inequality(inst.graph, decomp)
+    for i, size in enumerate(decomp.sizes.tolist()):
+        report.rows.append(
+            {
+                "i": i,
+                "path_vertex": f"v{decomp.path[i]}",
+                "a(i)": size,
+                "suffix_sum": int(decomp.sizes[i:].sum()),
+            }
+        )
+    report.notes.append(
+        f"n={inst.n}, d={decomp.diameter_value}, inequality holds: {check.holds} "
+        f"(checked {len(check.indices)} same-direction arcs)"
+    )
+    return report

@@ -1,0 +1,256 @@
+"""Section 8: the paper's open problems, explored empirically.
+
+The paper closes with three questions this module turns into
+experiments:
+
+* **Convergence** — "if the game starts from an arbitrary position and
+  the players keep improving, does it converge, and how fast?"
+  (Laoutaris et al. exhibited a best-response loop in their directed
+  variant.) :func:`convergence_experiment` measures convergence rates,
+  round counts, and hunts for cycles across schedules and versions.
+* **Uniform budgets B > 1** — "other special cases that might be
+  interesting, for example all players have the same budget B > 1".
+  :func:`uniform_budget_experiment` sweeps B and n in both versions.
+* **General / MAX = Θ(n)** — the remaining Table 1 cell:
+  :func:`general_max_experiment` combines the spider lower bound
+  (trees are general instances) with a dynamics upper-bound sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..analysis.scaling import fit_scaling
+from ..constructions.spider import spider_equilibrium
+from ..core.dynamics import best_response_dynamics
+from ..core.game import BoundedBudgetGame
+from ..graphs.distances import diameter
+from ..graphs.generators import random_budgets_with_sum, uniform_budgets, unit_budgets
+from ..parallel.sweep import SweepSpec, SweepTask, run_sweep
+from .common import stabilize
+from .table1 import ExperimentReport
+
+__all__ = [
+    "general_max_experiment",
+    "uniform_budget_experiment",
+    "convergence_experiment",
+]
+
+
+# ----------------------------------------------------------------------
+# Table 1 / General / MAX = Θ(n)
+# ----------------------------------------------------------------------
+def _general_max_worker(task: SweepTask) -> dict[str, Any]:
+    """One random-budget instance driven to stability in the MAX version."""
+    n = int(task.params["n"])
+    total = max(n - 1, int(round(1.2 * n)))
+    budgets = random_budgets_with_sum(n, total, seed=task.seed)
+    game = BoundedBudgetGame(budgets)
+    graph = game.random_realization(seed=task.seed, connected=True)
+    outcome = stabilize(game, graph, "max", seed=task.seed)
+    return {
+        "diameter": diameter(outcome.graph),
+        "converged": outcome.converged,
+        "stability": outcome.method,
+    }
+
+
+def general_max_experiment(
+    ns: "tuple[int, ...]" = (10, 20, 40),
+    ks: "tuple[int, ...]" = (4, 8, 16, 32),
+    *,
+    replications: int = 3,
+    base_seed: int = 5,
+    processes: "int | None" = 1,
+) -> ExperimentReport:
+    """Table 1 (General, MAX): Θ(n).
+
+    Lower bound: the spider (a Tree-BG instance, hence a general
+    instance) certifies diameter 2k = Θ(n). Upper bound: random
+    instances stabilised in MAX — diameters can sit well above the SUM
+    case but are trivially ≤ n; the Θ(n) cell is driven by the lower
+    bound, exactly as in the paper.
+    """
+    report = ExperimentReport(
+        experiment_id="T1-MAX-general",
+        title="General budgets, MAX version: spider lower bound + dynamics",
+        paper_claim="PoA = Θ(n): the Tree-BG spider already realises Ω(n); "
+        "diameter <= n - 1 is trivial",
+    )
+    ns_fit, ds_fit = [], []
+    for k in ks:
+        inst = spider_equilibrium(k)
+        d = diameter(inst.graph)
+        ns_fit.append(inst.n)
+        ds_fit.append(d)
+        report.rows.append(
+            {"source": "spider", "n": inst.n, "worst_diameter": d, "stability": "exact"}
+        )
+    spec = SweepSpec(axes={"n": list(ns)}, replications=replications, base_seed=base_seed)
+    records = run_sweep(_general_max_worker, spec, processes=processes)
+    for n in ns:
+        group = [r for r in records if r["n"] == n]
+        report.rows.append(
+            {
+                "source": "dynamics",
+                "n": n,
+                "worst_diameter": max(r["diameter"] for r in group),
+                "stability": f"{sum(r['converged'] for r in group)}/{len(group)} "
+                f"{group[0]['stability']}",
+            }
+        )
+    report.fit = fit_scaling(ns_fit, ds_fit, "linear")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Open problem: uniform budgets B > 1
+# ----------------------------------------------------------------------
+def _uniform_worker(task: SweepTask) -> dict[str, Any]:
+    n = int(task.params["n"])
+    B = int(task.params["B"])
+    version = str(task.params["version"])
+    game = BoundedBudgetGame(uniform_budgets(n, B))
+    graph = game.random_realization(seed=task.seed, connected=True)
+    outcome = stabilize(game, graph, version, seed=task.seed)
+    return {
+        "diameter": diameter(outcome.graph),
+        "converged": outcome.converged,
+        "stability": outcome.method,
+    }
+
+
+def uniform_budget_experiment(
+    ns: "tuple[int, ...]" = (8, 16, 32),
+    Bs: "tuple[int, ...]" = (2, 3),
+    *,
+    replications: int = 3,
+    base_seed: int = 8,
+    processes: "int | None" = 1,
+) -> ExperimentReport:
+    """Section 8 open case: all players share a budget ``B > 1``.
+
+    Empirically the equilibria are tiny-diameter in both versions at
+    these sizes — consistent with Theorem 7.2's dichotomy (diameter ≤ 3
+    or B-connected) and suggesting the all-positive MAX pathology of §5
+    needs non-uniform structure (the overlap graphs are *not* reachable
+    from random starts here).
+    """
+    report = ExperimentReport(
+        experiment_id="OPEN-uniform-B",
+        title="Open problem (Section 8): uniform budgets B > 1",
+        paper_claim="open: the paper proves no bound specific to uniform B > 1; "
+        "Thm 7.2 gives 'diameter <= 3 or B-connected' in SUM",
+    )
+    spec = SweepSpec(
+        axes={"n": list(ns), "B": list(Bs), "version": ["sum", "max"]},
+        replications=replications,
+        base_seed=base_seed,
+    )
+    records = run_sweep(_uniform_worker, spec, processes=processes)
+    for version in ("sum", "max"):
+        for B in Bs:
+            for n in ns:
+                group = [
+                    r
+                    for r in records
+                    if r["n"] == n and r["B"] == B and r["version"] == version
+                ]
+                report.rows.append(
+                    {
+                        "version": version,
+                        "B": B,
+                        "n": n,
+                        "worst_diameter": max(r["diameter"] for r in group),
+                        "stable": f"{sum(r['converged'] for r in group)}/{len(group)}",
+                    }
+                )
+    worst = max(r["worst_diameter"] for r in report.rows)
+    report.notes.append(
+        f"worst diameter over the whole grid: {worst} — no growth with n observed"
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Open problem: convergence of best-response dynamics
+# ----------------------------------------------------------------------
+def convergence_experiment(
+    ns: "tuple[int, ...]" = (10, 20, 40),
+    *,
+    seeds_per_cell: int = 10,
+    max_rounds: int = 150,
+) -> ExperimentReport:
+    """Section 8 open problem: does the dynamics converge, and how fast?
+
+    Runs exact best-response dynamics on unit-budget games (where exact
+    search is cheap) across schedules and versions, counting
+    convergence, rounds, and — crucially — profile revisits (cycles).
+    """
+    report = ExperimentReport(
+        experiment_id="OPEN-convergence",
+        title="Open problem (Section 8): convergence of best-response dynamics",
+        paper_claim="open: convergence not proven; Laoutaris et al.'s directed "
+        "variant admits best-response loops",
+    )
+    for version in ("sum", "max"):
+        for schedule in ("round_robin", "random"):
+            for n in ns:
+                converged = 0
+                cycled = 0
+                rounds: list[int] = []
+                game = BoundedBudgetGame(unit_budgets(n))
+                for seed in range(seeds_per_cell):
+                    res = best_response_dynamics(
+                        game,
+                        game.random_realization(seed=seed),
+                        version,
+                        schedule=schedule,  # type: ignore[arg-type]
+                        max_rounds=max_rounds,
+                        seed=seed,
+                    )
+                    converged += res.converged
+                    cycled += res.cycled
+                    if res.converged:
+                        rounds.append(res.rounds)
+                report.rows.append(
+                    {
+                        "version": version,
+                        "schedule": schedule,
+                        "n": n,
+                        "converged": f"{converged}/{seeds_per_cell}",
+                        "cycles_found": cycled,
+                        "mean_rounds": f"{np.mean(rounds):.1f}" if rounds else "-",
+                        "max_rounds_seen": max(rounds) if rounds else "-",
+                    }
+                )
+    total_cycles = sum(int(r["cycles_found"]) for r in report.rows)
+    report.notes.append(
+        f"best-response cycles observed: {total_cycles} (in this undirected "
+        "model, unlike the directed model of Laoutaris et al.)"
+    )
+    # Exhaustive decision at tiny sizes: the finite improvement property.
+    from ..core.potential import check_finite_improvement
+
+    for n in (3, 4):
+        game = BoundedBudgetGame(unit_budgets(n))
+        for version in ("sum", "max"):
+            fip = check_finite_improvement(game, version, kind="better")
+            report.rows.append(
+                {
+                    "version": version,
+                    "schedule": "(exhaustive FIP)",
+                    "n": n,
+                    "converged": "proved" if fip.has_fip else "CYCLE",
+                    "cycles_found": 0 if fip.has_fip else 1,
+                    "mean_rounds": "-",
+                    "max_rounds_seen": f"{fip.num_states} states / {fip.num_edges} moves",
+                }
+            )
+            if not fip.has_fip:
+                report.notes.append(
+                    f"improvement CYCLE found at n={n} ({version}): {fip.cycle}"
+                )
+    return report

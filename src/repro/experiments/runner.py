@@ -1,0 +1,70 @@
+"""Experiment registry: every Table 1 cell and Figure by id.
+
+``run_experiment("T1-MAX-trees")`` (or the CLI ``repro-bbncg run ...``)
+regenerates one artefact; ``run_all`` regenerates the paper. Each entry
+maps to a zero-argument callable returning an
+:class:`~repro.experiments.table1.ExperimentReport`; heavy parameters
+have defaults chosen so the full suite completes in minutes on a
+laptop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ExperimentError
+from .ablations import best_response_quality_experiment, lemma_shortcut_experiment
+from .exact_census import exact_census_experiment
+from .figures import figure1_experiment, figure2_experiment, figure3_experiment
+from .open_problems import (
+    convergence_experiment,
+    general_max_experiment,
+    uniform_budget_experiment,
+)
+from .table1 import (
+    ExperimentReport,
+    general_sum_experiment,
+    positive_max_experiment,
+    trees_max_experiment,
+    trees_sum_experiment,
+    unit_budgets_experiment,
+)
+
+__all__ = ["REGISTRY", "run_experiment", "run_all", "list_experiments"]
+
+REGISTRY: dict[str, tuple[str, Callable[[], ExperimentReport]]] = {
+    "T1-MAX-trees": ("Table 1 / Trees / MAX = Θ(n)", trees_max_experiment),
+    "T1-SUM-trees": ("Table 1 / Trees / SUM = Θ(log n)", trees_sum_experiment),
+    "T1-unit": ("Table 1 / All-unit budgets = Θ(1)", unit_budgets_experiment),
+    "T1-MAX-positive": ("Table 1 / All-positive / MAX = Ω(√log n)", positive_max_experiment),
+    "T1-SUM-general": ("Table 1 / General / SUM = 2^O(√log n)", general_sum_experiment),
+    "T1-MAX-general": ("Table 1 / General / MAX = Θ(n)", general_max_experiment),
+    "FIG-1": ("Figure 1 (Thm 2.3 Case 2, n=22)", figure1_experiment),
+    "FIG-2": ("Figure 2 (spider)", figure2_experiment),
+    "FIG-3": ("Figure 3 (longest-path decomposition)", figure3_experiment),
+    "OPEN-uniform-B": ("Section 8 open case: uniform budgets B > 1", uniform_budget_experiment),
+    "OPEN-convergence": ("Section 8 open problem: dynamics convergence", convergence_experiment),
+    "EXACT-tiny": ("Exact equilibrium census of tiny games", exact_census_experiment),
+    "ABL-BR": ("Ablation: best-response method quality", best_response_quality_experiment),
+    "ABL-lemma22": ("Ablation: Lemma 2.2 certification shortcut", lemma_shortcut_experiment),
+}
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """``(id, description)`` pairs for every registered experiment."""
+    return [(key, desc) for key, (desc, _) in REGISTRY.items()]
+
+
+def run_experiment(experiment_id: str) -> ExperimentReport:
+    """Run one experiment by id."""
+    try:
+        _, fn = REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ExperimentError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return fn()
+
+
+def run_all() -> list[ExperimentReport]:
+    """Run every registered experiment in registry order."""
+    return [fn() for _, fn in REGISTRY.values()]

@@ -1,0 +1,419 @@
+"""Regeneration of Table 1: price-of-anarchy bounds by instance class.
+
+One experiment per cell of the paper's Table 1:
+
+=====================  ==========  ==============
+Instance class         MAX         SUM
+=====================  ==========  ==============
+Trees (sigma = n-1)    Θ(n)        Θ(log n)
+All-unit budgets       Θ(1)        Θ(1)
+All-positive budgets   Ω(√log n)   2^O(√log n)
+General                Θ(n)        2^O(√log n)
+=====================  ==========  ==============
+
+Each runner returns an :class:`ExperimentReport` containing per-size
+records (worst diameter found, certification status) and a scaling fit
+that is compared against the paper's asymptotic claim. Lower-bound
+cells are regenerated from the paper's constructions (certified
+equilibria), upper-bound cells from best-response dynamics over many
+random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..analysis.poa import optimal_diameter_bounds
+from ..analysis.scaling import FitResult, fit_scaling
+from ..analysis.structure import check_unit_structure
+from ..analysis.tree_decomposition import (
+    theorem_3_3_bound,
+    verify_sum_equilibrium_inequality,
+)
+from ..constructions.binary_tree import binary_tree_equilibrium
+from ..constructions.debruijn import overlap_graph_equilibrium
+from ..constructions.spider import spider_equilibrium
+from ..core.game import BoundedBudgetGame
+from ..graphs.distances import diameter
+from ..graphs.generators import random_budgets_with_sum, random_tree_realization, unit_budgets
+from ..graphs.properties import is_tree
+from ..parallel.sweep import SweepSpec, SweepTask, run_sweep
+from .common import stabilize, try_certify
+
+__all__ = [
+    "ExperimentReport",
+    "trees_max_experiment",
+    "trees_sum_experiment",
+    "unit_budgets_experiment",
+    "positive_max_experiment",
+    "general_sum_experiment",
+]
+
+
+@dataclass
+class ExperimentReport:
+    """Per-experiment record bundle for EXPERIMENTS.md and the CLI.
+
+    ``rows`` carry the raw measurements; ``fit`` the scaling law matched
+    against ``paper_claim``; ``notes`` any caveats (e.g. certification
+    method downgrades).
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    fit: "FitResult | None" = None
+    notes: list[str] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render rows as a fixed-width text table."""
+        if not self.rows:
+            return "(no rows)"
+        cols = list(self.rows[0].keys())
+        widths = {
+            c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in self.rows)) for c in cols
+        }
+        header = "  ".join(str(c).ljust(widths[c]) for c in cols)
+        sep = "  ".join("-" * widths[c] for c in cols)
+        lines = [header, sep]
+        for r in self.rows:
+            lines.append("  ".join(str(r.get(c, "")).ljust(widths[c]) for c in cols))
+        return "\n".join(lines)
+
+    def format(self) -> str:
+        """Full human-readable report."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"paper claim : {self.paper_claim}",
+        ]
+        if self.fit is not None:
+            parts.append(f"measured    : {self.fit.describe()}")
+        for note in self.notes:
+            parts.append(f"note        : {note}")
+        parts.append(self.format_table())
+        return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Trees / MAX: Θ(n) via the spider construction (Theorem 3.2)
+# ----------------------------------------------------------------------
+def trees_max_experiment(
+    ks: "tuple[int, ...]" = (2, 4, 8, 16, 32), *, certify_up_to_n: int = 40
+) -> ExperimentReport:
+    """Table 1 (Trees, MAX): equilibrium trees with diameter Θ(n).
+
+    Builds the Theorem 3.2 spider for each leg length, certifies it as a
+    MAX Nash equilibrium (exactly up to ``certify_up_to_n`` players,
+    swap-stability beyond), and fits diameter against n.
+    """
+    report = ExperimentReport(
+        experiment_id="T1-MAX-trees",
+        title="Tree-BG, MAX version: spider equilibria",
+        paper_claim="PoA = Θ(n): equilibrium trees with diameter 2k on n = 3k+1 vertices",
+    )
+    ns, ds = [], []
+    for k in ks:
+        inst = spider_equilibrium(k)
+        d = diameter(inst.graph)
+        opt = optimal_diameter_bounds(inst.budgets)
+        if inst.n <= certify_up_to_n:
+            method, cert = "exact", None
+            from ..core.equilibrium import certify_equilibrium
+
+            cert = certify_equilibrium(inst.graph, "max", method="exact")
+            certified = cert.is_equilibrium
+        else:
+            method, cert = try_certify(inst.graph, "max")
+            certified = cert.is_equilibrium
+        ns.append(inst.n)
+        ds.append(d)
+        report.rows.append(
+            {
+                "k": k,
+                "n": inst.n,
+                "diameter": d,
+                "expected": 2 * k,
+                "opt_diam": f"[{opt.lower},{opt.upper}]",
+                "poa_lower": f"{d}/{opt.upper}",
+                "certified": f"{certified} ({method})",
+            }
+        )
+        if not certified:
+            report.notes.append(f"k={k}: certification FAILED — investigate")
+    if len(ns) >= 2:
+        report.fit = fit_scaling(ns, ds, "linear")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Trees / SUM: Θ(log n)
+# ----------------------------------------------------------------------
+def _trees_sum_worker(task: SweepTask) -> dict[str, Any]:
+    """One random Tree-BG instance driven to stability in the SUM version."""
+    n = int(task.params["n"])
+    graph, budgets = random_tree_realization(n, seed=task.seed)
+    game = BoundedBudgetGame(budgets)
+    outcome = stabilize(game, graph, "sum", seed=task.seed)
+    g = outcome.graph
+    tree = is_tree(g)
+    ineq_ok = verify_sum_equilibrium_inequality(g).holds if tree else False
+    return {
+        "diameter": diameter(g),
+        "is_tree": tree,
+        "inequality_holds": ineq_ok,
+        "converged": outcome.converged,
+        "stability": outcome.method,
+        "bound_3_3": theorem_3_3_bound(n),
+    }
+
+
+def trees_sum_experiment(
+    ns: "tuple[int, ...]" = (15, 31, 63, 127),
+    *,
+    replications: int = 5,
+    base_seed: int = 2011,
+    processes: "int | None" = 1,
+    depths: "tuple[int, ...]" = (2, 3, 4, 5, 6),
+) -> ExperimentReport:
+    """Table 1 (Trees, SUM): diameter Θ(log n).
+
+    Lower bound: the perfect binary tree (Theorem 3.4) is certified and
+    contributes diameter ``2 log2((n+1)/2)``. Upper bound: random
+    Tree-BG instances are stabilised and checked against the concrete
+    Theorem 3.3 bound ``2 (floor(log2(n+1)) + 1)`` plus the inequality
+    chain of the proof.
+    """
+    report = ExperimentReport(
+        experiment_id="T1-SUM-trees",
+        title="Tree-BG, SUM version: binary-tree lower bound + dynamics upper bound",
+        paper_claim="PoA = Θ(log n): every SUM tree equilibrium has diameter O(log n); "
+        "perfect binary trees achieve Ω(log n)",
+    )
+    ns_fit, ds_fit = [], []
+    for depth in depths:
+        inst = binary_tree_equilibrium(depth)
+        method, cert = try_certify(inst.graph, "sum")
+        d = diameter(inst.graph)
+        ns_fit.append(inst.n)
+        ds_fit.append(d)
+        report.rows.append(
+            {
+                "source": "binary-tree",
+                "n": inst.n,
+                "diameter": d,
+                "bound_3_3": theorem_3_3_bound(inst.n),
+                "within_bound": d <= theorem_3_3_bound(inst.n),
+                "certified": f"{cert.is_equilibrium} ({method})",
+            }
+        )
+    spec = SweepSpec(axes={"n": list(ns)}, replications=replications, base_seed=base_seed)
+    records = run_sweep(_trees_sum_worker, spec, processes=processes)
+    for n in ns:
+        group = [r for r in records if r["n"] == n]
+        worst = max(r["diameter"] for r in group)
+        report.rows.append(
+            {
+                "source": "dynamics",
+                "n": n,
+                "diameter": worst,
+                "bound_3_3": group[0]["bound_3_3"],
+                "within_bound": all(r["diameter"] <= r["bound_3_3"] for r in group),
+                "certified": f"{sum(r['converged'] for r in group)}/{len(group)} stable "
+                f"({group[0]['stability']})",
+            }
+        )
+        ns_fit.append(n)
+        ds_fit.append(worst)
+    bad_ineq = [r for r in records if r["is_tree"] and not r["inequality_holds"]]
+    if bad_ineq:
+        report.notes.append(
+            f"{len(bad_ineq)} stabilised trees violate inequality (1) — only true "
+            "equilibria must satisfy it; these runs stabilised under weaker moves"
+        )
+    report.fit = fit_scaling(ns_fit, ds_fit, "log")
+    return report
+
+
+# ----------------------------------------------------------------------
+# All-unit budgets: Θ(1) in both versions (Theorems 4.1 / 4.2)
+# ----------------------------------------------------------------------
+def _unit_worker(task: SweepTask) -> dict[str, Any]:
+    """One (1,...,1)-BG instance driven to a certified equilibrium."""
+    n = int(task.params["n"])
+    version = str(task.params["version"])
+    game = BoundedBudgetGame(unit_budgets(n))
+    graph = game.random_realization(seed=task.seed)
+    outcome = stabilize(game, graph, version, seed=task.seed)
+    rep = check_unit_structure(outcome.graph)
+    return {
+        "diameter": rep.diameter_value,
+        "cycle_length": rep.cycle_length,
+        "dist_to_cycle": rep.max_distance_to_cycle,
+        "structure_ok": rep.satisfies(version),
+        "converged": outcome.converged,
+    }
+
+
+def unit_budgets_experiment(
+    ns: "tuple[int, ...]" = (6, 12, 24, 48, 96),
+    *,
+    replications: int = 5,
+    base_seed: int = 41,
+    processes: "int | None" = 1,
+) -> ExperimentReport:
+    """Table 1 (All-unit budgets): Θ(1) in both versions.
+
+    Runs exact best-response dynamics on random unit-budget instances
+    and audits every reached equilibrium against the Section 4 structure
+    theorems (unicyclic, short cycle, shallow attachment, diameter < 5
+    resp. < 8).
+    """
+    report = ExperimentReport(
+        experiment_id="T1-unit",
+        title="(1,...,1)-BG, both versions: constant diameter",
+        paper_claim="PoA = Θ(1): SUM diameter < 5 (cycle <= 5, dist <= 1); "
+        "MAX diameter < 8 (cycle <= 7, dist <= 2)",
+    )
+    spec = SweepSpec(
+        axes={"n": list(ns), "version": ["sum", "max"]},
+        replications=replications,
+        base_seed=base_seed,
+    )
+    records = run_sweep(_unit_worker, spec, processes=processes)
+    ns_fit, ds_fit = [], []
+    for version in ("sum", "max"):
+        for n in ns:
+            group = [r for r in records if r["n"] == n and r["version"] == version]
+            worst = max(r["diameter"] for r in group)
+            report.rows.append(
+                {
+                    "version": version,
+                    "n": n,
+                    "worst_diameter": worst,
+                    "max_cycle": max(r["cycle_length"] for r in group),
+                    "max_dist_to_cycle": max(r["dist_to_cycle"] for r in group),
+                    "structure_ok": all(r["structure_ok"] for r in group),
+                    "converged": f"{sum(r['converged'] for r in group)}/{len(group)}",
+                }
+            )
+            if version == "sum":
+                ns_fit.append(n)
+                ds_fit.append(worst)
+    report.fit = fit_scaling(ns_fit, ds_fit, "constant")
+    return report
+
+
+# ----------------------------------------------------------------------
+# All-positive budgets / MAX: Ω(√log n) (Theorem 5.3)
+# ----------------------------------------------------------------------
+def positive_max_experiment(
+    tk_pairs: "tuple[tuple[int, int], ...]" = ((4, 2), (5, 2), (6, 2), (6, 3), (7, 3)),
+    *,
+    exact_cap_n: int = 40,
+) -> ExperimentReport:
+    """Table 1 (All-positive budgets, MAX): Ω(√log n) via overlap graphs.
+
+    Builds oriented ``U(t, k)`` instances (certified equilibria by
+    Lemma 5.2), whose diameter ``k`` tracks ``√log n`` — despite every
+    player having a positive budget. This is the Braess-style lower
+    bound; the all-unit experiment provides the Θ(1) contrast.
+    """
+    report = ExperimentReport(
+        experiment_id="T1-MAX-positive",
+        title="All-positive budgets, MAX: oriented overlap graphs U(t, k)",
+        paper_claim="PoA = Ω(√log n): equilibria with diameter k = √log2(n) when t = 2^k",
+    )
+    ns, ds = [], []
+    for t, k in tk_pairs:
+        inst = overlap_graph_equilibrium(t, k)
+        d = diameter(inst.graph)
+        method, cert = try_certify(inst.graph, "max")
+        sqrt_log = float(np.sqrt(np.log2(inst.n)))
+        ns.append(inst.n)
+        ds.append(d)
+        report.rows.append(
+            {
+                "t": t,
+                "k": k,
+                "n": inst.n,
+                "diameter": d,
+                "sqrt_log2_n": f"{sqrt_log:.2f}",
+                "min_budget": int(inst.budgets.min()),
+                "certified": f"{cert.is_equilibrium} ({method})",
+            }
+        )
+        if not cert.is_equilibrium:
+            report.notes.append(f"(t={t}, k={k}): certification FAILED")
+    if len(ns) >= 2:
+        report.fit = fit_scaling(ns, ds, "sqrtlog")
+    return report
+
+
+# ----------------------------------------------------------------------
+# General / SUM: 2^O(√log n) upper bound (Theorem 6.9)
+# ----------------------------------------------------------------------
+def _general_sum_worker(task: SweepTask) -> dict[str, Any]:
+    """One random-budget instance driven to stability in the SUM version."""
+    n = int(task.params["n"])
+    density = float(task.params["density"])
+    total = max(n - 1, int(round(density * n)))
+    budgets = random_budgets_with_sum(n, total, seed=task.seed)
+    game = BoundedBudgetGame(budgets)
+    graph = game.random_realization(seed=task.seed, connected=True)
+    outcome = stabilize(game, graph, "sum", seed=task.seed)
+    return {
+        "diameter": diameter(outcome.graph),
+        "converged": outcome.converged,
+        "stability": outcome.method,
+        "total_budget": total,
+    }
+
+
+def general_sum_experiment(
+    ns: "tuple[int, ...]" = (10, 20, 40, 80),
+    *,
+    densities: "tuple[float, ...]" = (1.0, 1.5),
+    replications: int = 4,
+    base_seed: int = 69,
+    processes: "int | None" = 1,
+) -> ExperimentReport:
+    """Table 1 (General, SUM): diameters within the 2^O(√log n) envelope.
+
+    Stabilises random-budget instances across sizes and densities and
+    compares the worst diameters against the paper's sub-polynomial
+    envelope (the bound is loose at laptop sizes — the point is that
+    diameters stay far below linear growth).
+    """
+    report = ExperimentReport(
+        experiment_id="T1-SUM-general",
+        title="General budgets, SUM version: dynamics upper bound",
+        paper_claim="PoA = 2^O(√log n): every SUM equilibrium diameter is sub-polynomial",
+    )
+    spec = SweepSpec(
+        axes={"n": list(ns), "density": list(densities)},
+        replications=replications,
+        base_seed=base_seed,
+    )
+    records = run_sweep(_general_sum_worker, spec, processes=processes)
+    ns_fit, ds_fit = [], []
+    for n in ns:
+        group = [r for r in records if r["n"] == n]
+        worst = max(r["diameter"] for r in group)
+        envelope = float(2 ** np.sqrt(np.log2(n)))
+        report.rows.append(
+            {
+                "n": n,
+                "worst_diameter": worst,
+                "envelope_2^sqrt(log n)": f"{envelope:.1f}",
+                "stable": f"{sum(r['converged'] for r in group)}/{len(group)}",
+                "stability": group[0]["stability"],
+            }
+        )
+        ns_fit.append(n)
+        ds_fit.append(worst)
+    report.fit = fit_scaling(ns_fit, ds_fit, "expsqrtlog")
+    return report

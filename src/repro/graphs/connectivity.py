@@ -1,0 +1,330 @@
+"""Connectivity machinery: components, vertex connectivity, Menger paths.
+
+Theorem 7.2 of the paper states that a SUM equilibrium whose players all
+have budget at least ``k`` is either ``k``-connected or has diameter at
+most 3. Verifying that empirically needs exact vertex connectivity,
+which we compute from scratch with unit-capacity max-flow (Dinic) on the
+standard vertex-split network, following Even's algorithm for global
+connectivity. ``networkx`` is used only as a cross-check oracle in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError, VertexError
+from .bfs import UNREACHABLE, multi_source_bfs
+from .csr import CSRAdjacency
+from .digraph import OwnedDigraph
+
+__all__ = [
+    "connected_components",
+    "num_components",
+    "is_connected",
+    "local_vertex_connectivity",
+    "vertex_connectivity",
+    "is_k_connected",
+    "articulation_points",
+    "menger_paths",
+]
+
+
+def _as_csr(graph: OwnedDigraph | CSRAdjacency) -> CSRAdjacency:
+    if isinstance(graph, OwnedDigraph):
+        return graph.undirected_csr()
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Components
+# ----------------------------------------------------------------------
+def connected_components(graph: OwnedDigraph | CSRAdjacency) -> tuple[np.ndarray, int]:
+    """Component labels (``int64`` array) and the component count ``kappa``.
+
+    Labels are assigned in increasing order of each component's smallest
+    vertex, so the labelling is canonical.
+    """
+    csr = _as_csr(graph)
+    labels = np.full(csr.n, -1, dtype=np.int64)
+    current = 0
+    for v in range(csr.n):
+        if labels[v] != -1:
+            continue
+        reach = multi_source_bfs(csr, np.array([v], dtype=np.int64))
+        labels[reach != UNREACHABLE] = current
+        current += 1
+    return labels, current
+
+
+def num_components(graph: OwnedDigraph | CSRAdjacency) -> int:
+    """Number of connected components ``kappa`` of ``U(G)``."""
+    return connected_components(graph)[1]
+
+
+def is_connected(graph: OwnedDigraph | CSRAdjacency) -> bool:
+    """Whether ``U(G)`` is connected."""
+    csr = _as_csr(graph)
+    if csr.n == 1:
+        return True
+    d = multi_source_bfs(csr, np.array([0], dtype=np.int64))
+    return bool((d != UNREACHABLE).all())
+
+
+# ----------------------------------------------------------------------
+# Dinic max-flow on the vertex-split network
+# ----------------------------------------------------------------------
+class _Dinic:
+    """Unit/integer-capacity max-flow with adjacency stored in flat arrays."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.n = num_nodes
+        self.head: list[int] = []
+        self.cap: list[int] = []
+        self.adj: list[list[int]] = [[] for _ in range(num_nodes)]
+
+    def add_edge(self, u: int, v: int, capacity: int) -> None:
+        self.adj[u].append(len(self.head))
+        self.head.append(v)
+        self.cap.append(capacity)
+        self.adj[v].append(len(self.head))
+        self.head.append(u)
+        self.cap.append(0)
+
+    def max_flow(self, s: int, t: int, limit: int | None = None) -> int:
+        """Max flow from ``s`` to ``t``; stops early once ``limit`` reached."""
+        flow = 0
+        cap = self.cap
+        head = self.head
+        adj = self.adj
+        INF = float("inf")
+        bound = INF if limit is None else limit
+        while flow < bound:
+            # BFS level graph.
+            level = [-1] * self.n
+            level[s] = 0
+            queue = [s]
+            qi = 0
+            while qi < len(queue):
+                u = queue[qi]
+                qi += 1
+                for eid in adj[u]:
+                    v = head[eid]
+                    if cap[eid] > 0 and level[v] == -1:
+                        level[v] = level[u] + 1
+                        queue.append(v)
+            if level[t] == -1:
+                break
+            # DFS blocking flow with iteration pointers.
+            it = [0] * self.n
+
+            def dfs(u: int, pushed: float) -> int:
+                if u == t:
+                    return int(pushed)
+                while it[u] < len(adj[u]):
+                    eid = adj[u][it[u]]
+                    v = head[eid]
+                    if cap[eid] > 0 and level[v] == level[u] + 1:
+                        got = dfs(v, min(pushed, cap[eid]))
+                        if got > 0:
+                            cap[eid] -= got
+                            cap[eid ^ 1] += got
+                            return got
+                    it[u] += 1
+                return 0
+
+            while flow < bound:
+                pushed = dfs(s, INF)
+                if pushed == 0:
+                    break
+                flow += pushed
+        return flow
+
+
+def _split_network(csr: CSRAdjacency, s: int, t: int) -> tuple[_Dinic, int, int]:
+    """Vertex-split flow network for internally-disjoint ``s``–``t`` paths.
+
+    Vertex ``v`` becomes ``v_in = 2v`` and ``v_out = 2v + 1`` joined by a
+    capacity-1 edge (capacity ``n`` for the terminals, which may not be
+    cut). Each undirected edge ``{u, v}`` becomes ``u_out -> v_in`` and
+    ``v_out -> u_in`` with large capacity.
+    """
+    n = csr.n
+    big = n  # any value >= max possible flow works as "uncuttable"
+    net = _Dinic(2 * n)
+    for v in range(n):
+        net.add_edge(2 * v, 2 * v + 1, big if v in (s, t) else 1)
+    for u in range(n):
+        for v in csr.neighbors(u):
+            net.add_edge(2 * u + 1, 2 * int(v), big)
+    return net, 2 * s + 1, 2 * t
+
+
+def local_vertex_connectivity(
+    graph: OwnedDigraph | CSRAdjacency, s: int, t: int, *, limit: int | None = None
+) -> int:
+    """Maximum number of internally vertex-disjoint ``s``–``t`` paths.
+
+    Requires ``s`` and ``t`` to be distinct and non-adjacent (for adjacent
+    pairs the quantity is unbounded in Menger's formulation; callers
+    handle that case). Early-exits at ``limit`` when provided.
+    """
+    csr = _as_csr(graph)
+    if s == t:
+        raise GraphError("local connectivity needs distinct endpoints")
+    if not 0 <= s < csr.n:
+        raise VertexError(s, csr.n)
+    if not 0 <= t < csr.n:
+        raise VertexError(t, csr.n)
+    if csr.has_edge(s, t):
+        raise GraphError(f"vertices {s} and {t} are adjacent; local cut undefined")
+    net, src, dst = _split_network(csr, s, t)
+    return net.max_flow(src, dst, limit=limit)
+
+
+def vertex_connectivity(graph: OwnedDigraph | CSRAdjacency, *, limit: int | None = None) -> int:
+    """Global vertex connectivity ``kappa(G)`` of ``U(G)``.
+
+    Even's scheme: fix a minimum-degree vertex ``v``; the answer is the
+    minimum of (a) local connectivity from ``v`` to every non-neighbour
+    and (b) local connectivity between every pair of non-adjacent
+    neighbours of ``v``, capped by ``deg(v)``. Complete graphs have
+    connectivity ``n - 1`` by convention. ``limit`` allows early exit for
+    "is at least k" queries.
+    """
+    csr = _as_csr(graph)
+    n = csr.n
+    if n == 1:
+        return 0
+    if not is_connected(csr):
+        return 0
+    degrees = csr.degrees()
+    if int(degrees.min()) == n - 1:
+        return n - 1
+    v = int(degrees.argmin())
+    best = int(degrees[v])
+    if limit is not None:
+        best = min(best, limit)
+    neigh = set(int(x) for x in csr.neighbors(v))
+    for u in range(n):
+        if u == v or u in neigh:
+            continue
+        best = min(best, local_vertex_connectivity(csr, v, u, limit=best))
+        if best == 0:
+            return 0
+    nb = sorted(neigh)
+    for i in range(len(nb)):
+        for j in range(i + 1, len(nb)):
+            x, y = nb[i], nb[j]
+            if csr.has_edge(x, y):
+                continue
+            best = min(best, local_vertex_connectivity(csr, x, y, limit=best))
+            if best == 0:
+                return 0
+    return best
+
+
+def is_k_connected(graph: OwnedDigraph | CSRAdjacency, k: int) -> bool:
+    """Whether ``U(G)`` is ``k``-connected.
+
+    A graph on ``n`` vertices can be at most ``(n - 1)``-connected, and a
+    ``k``-connected graph needs more than ``k`` vertices.
+    """
+    csr = _as_csr(graph)
+    if k <= 0:
+        return True
+    if csr.n <= k:
+        return False
+    return vertex_connectivity(csr, limit=k) >= k
+
+
+def articulation_points(graph: OwnedDigraph | CSRAdjacency) -> np.ndarray:
+    """Cut vertices of ``U(G)`` (iterative Tarjan lowpoint DFS)."""
+    csr = _as_csr(graph)
+    n = csr.n
+    disc = np.full(n, -1, dtype=np.int64)
+    low = np.zeros(n, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    is_cut = np.zeros(n, dtype=bool)
+    timer = 0
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        root_children = 0
+        # Stack holds (vertex, iterator index into its adjacency row).
+        stack: list[tuple[int, int]] = [(root, 0)]
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            v, i = stack[-1]
+            row = csr.neighbors(v)
+            if i < row.size:
+                stack[-1] = (v, i + 1)
+                w = int(row[i])
+                if disc[w] == -1:
+                    parent[w] = v
+                    if v == root:
+                        root_children += 1
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    stack.append((w, 0))
+                elif w != parent[v]:
+                    low[v] = min(low[v], disc[w])
+            else:
+                stack.pop()
+                p = parent[v]
+                if p != -1:
+                    low[p] = min(low[p], low[v])
+                    if p != root and low[v] >= disc[p]:
+                        is_cut[p] = True
+        if root_children >= 2:
+            is_cut[root] = True
+    return np.flatnonzero(is_cut).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class _FlowPathExtraction:
+    paths: list[list[int]]
+
+
+def menger_paths(graph: OwnedDigraph | CSRAdjacency, s: int, t: int) -> list[list[int]]:
+    """A maximum family of internally vertex-disjoint ``s``–``t`` paths.
+
+    Witnesses Menger's theorem (the paper invokes it after Theorem 7.2).
+    ``s`` and ``t`` must be non-adjacent. Paths are returned as vertex
+    lists beginning with ``s`` and ending with ``t``.
+    """
+    csr = _as_csr(graph)
+    if csr.has_edge(s, t):
+        raise GraphError("menger_paths requires non-adjacent endpoints")
+    net, src, dst = _split_network(csr, s, t)
+    value = net.max_flow(src, dst)
+    if value == 0:
+        return []
+    # Decompose the flow: follow saturated forward edges out of src.
+    # Forward edges are the even indices; an edge eid carries flow
+    # cap[eid ^ 1] > 0 (residual pushed back on its reverse).
+    n = csr.n
+    used_edge = [False] * len(net.head)
+    paths: list[list[int]] = []
+    for _ in range(value):
+        node = src
+        path_nodes = [s]
+        while node != dst:
+            advanced = False
+            for eid in net.adj[node]:
+                if eid % 2 == 0 and not used_edge[eid] and net.cap[eid ^ 1] > 0:
+                    used_edge[eid] = True
+                    node = net.head[eid]
+                    if node % 2 == 0:  # arrived at some v_in
+                        v = node // 2
+                        if v != path_nodes[-1]:
+                            path_nodes.append(v)
+                    advanced = True
+                    break
+            if not advanced:  # pragma: no cover - flow conservation guarantees progress
+                raise GraphError("flow decomposition failed to advance")
+        paths.append(path_nodes)
+    return paths

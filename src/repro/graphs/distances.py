@@ -1,0 +1,127 @@
+"""Distance aggregates with the paper's ``Cinf = n^2`` convention.
+
+The paper replaces infinite distances between components with the large
+finite constant ``Cinf = n^2`` so that players are incentivised to
+reconnect the network; the MAX version adds a further ``(kappa - 1) n^2``
+penalty. This module is the single place where that convention is
+applied; the raw BFS kernels report ``UNREACHABLE`` sentinels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .bfs import UNREACHABLE, all_pairs_distances, bfs_distances, multi_source_bfs
+from .csr import CSRAdjacency
+from .digraph import OwnedDigraph
+
+__all__ = [
+    "cinf",
+    "distance_matrix",
+    "eccentricities",
+    "diameter",
+    "radius",
+    "sum_distances",
+    "distance_to_set",
+    "pairwise_distance",
+    "local_diameter",
+]
+
+
+def cinf(n: int) -> int:
+    """The paper's disconnection constant ``Cinf = n^2``."""
+    return n * n
+
+
+def _as_csr(graph: OwnedDigraph | CSRAdjacency) -> CSRAdjacency:
+    if isinstance(graph, OwnedDigraph):
+        return graph.undirected_csr()
+    return graph
+
+
+def distance_matrix(
+    graph: OwnedDigraph | CSRAdjacency, *, apply_cinf: bool = True
+) -> np.ndarray:
+    """All-pairs distance matrix of ``U(G)``.
+
+    With ``apply_cinf=True`` (the default) unreachable pairs get the
+    paper's ``Cinf = n^2``; otherwise they keep the ``UNREACHABLE``
+    sentinel (−1).
+    """
+    csr = _as_csr(graph)
+    dist = all_pairs_distances(csr)
+    if apply_cinf:
+        dist[dist == UNREACHABLE] = cinf(csr.n)
+    return dist
+
+
+def eccentricities(graph: OwnedDigraph | CSRAdjacency) -> np.ndarray:
+    """Per-vertex eccentricity (the paper's *local diameter*).
+
+    In a disconnected graph every vertex has local diameter ``Cinf``,
+    exactly as the paper stipulates.
+    """
+    dist = distance_matrix(graph, apply_cinf=True)
+    if dist.shape[0] == 1:
+        return np.zeros(1, dtype=np.int64)
+    return dist.max(axis=1)
+
+
+def local_diameter(graph: OwnedDigraph | CSRAdjacency, u: int) -> int:
+    """Eccentricity of a single vertex ``u`` under the ``Cinf`` convention."""
+    csr = _as_csr(graph)
+    d = bfs_distances(csr, u)
+    if csr.n == 1:
+        return 0
+    d[d == UNREACHABLE] = cinf(csr.n)
+    return int(d.max())
+
+
+def diameter(graph: OwnedDigraph | CSRAdjacency) -> int:
+    """Diameter of ``U(G)``: ``Cinf`` if disconnected, else the usual max.
+
+    This is the paper's *social cost* of a strategy profile.
+    """
+    ecc = eccentricities(graph)
+    return int(ecc.max()) if ecc.size else 0
+
+
+def radius(graph: OwnedDigraph | CSRAdjacency) -> int:
+    """Radius of ``U(G)`` (min eccentricity, ``Cinf`` if disconnected)."""
+    ecc = eccentricities(graph)
+    return int(ecc.min()) if ecc.size else 0
+
+
+def sum_distances(graph: OwnedDigraph | CSRAdjacency) -> np.ndarray:
+    """Per-vertex sum of distances to all other vertices (SUM cost core).
+
+    Cross-component pairs contribute ``Cinf`` each.
+    """
+    dist = distance_matrix(graph, apply_cinf=True)
+    return dist.sum(axis=1)
+
+
+def pairwise_distance(graph: OwnedDigraph | CSRAdjacency, u: int, v: int) -> int:
+    """Distance between ``u`` and ``v`` (``Cinf`` across components)."""
+    csr = _as_csr(graph)
+    d = bfs_distances(csr, u)
+    val = int(d[v])
+    return cinf(csr.n) if val == UNREACHABLE else val
+
+
+def distance_to_set(
+    graph: OwnedDigraph | CSRAdjacency, targets: np.ndarray | list[int]
+) -> np.ndarray:
+    """``dist(v, A) = min_{a in A} dist(v, a)`` for every vertex ``v``.
+
+    Matches the paper's ``dist(u, A)`` notation; unreachable vertices get
+    ``Cinf``.
+    """
+    csr = _as_csr(graph)
+    t = np.asarray(targets, dtype=np.int64)
+    if t.size == 0:
+        raise GraphError("distance_to_set requires a nonempty target set")
+    d = multi_source_bfs(csr, t)
+    d[d == UNREACHABLE] = cinf(csr.n)
+    return d

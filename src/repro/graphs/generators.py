@@ -1,0 +1,282 @@
+"""Generators of realizations and budget vectors.
+
+Random starting points for best-response dynamics, structured instances
+(paths, cycles, stars, random trees), and the budget-vector families the
+paper's Table 1 is organised around (Tree-BG, all-unit, all-positive,
+minimum-``k``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import BudgetError, GraphError
+from ..rng import as_generator, random_partition
+from .digraph import OwnedDigraph
+
+__all__ = [
+    "random_realization",
+    "random_connected_realization",
+    "random_tree_realization",
+    "path_realization",
+    "cycle_realization",
+    "star_realization",
+    "random_budgets_with_sum",
+    "unit_budgets",
+    "uniform_budgets",
+    "random_positive_budgets",
+]
+
+
+# ----------------------------------------------------------------------
+# Budget vectors
+# ----------------------------------------------------------------------
+def _validate_budgets(budgets: Sequence[int] | np.ndarray) -> np.ndarray:
+    b = np.asarray(budgets, dtype=np.int64)
+    n = b.size
+    if n == 0:
+        raise BudgetError("budget vector may not be empty")
+    if (b < 0).any() or (b >= n).any():
+        raise BudgetError(f"budgets must satisfy 0 <= b_i < n = {n}; got {b.tolist()}")
+    return b
+
+
+def unit_budgets(n: int) -> np.ndarray:
+    """The all-unit budget vector ``(1, 1, ..., 1)`` of Section 4."""
+    if n < 2:
+        raise BudgetError("unit budgets need n >= 2 (a player cannot link to itself)")
+    return np.ones(n, dtype=np.int64)
+
+
+def uniform_budgets(n: int, b: int) -> np.ndarray:
+    """Every player gets budget ``b``."""
+    out = np.full(n, b, dtype=np.int64)
+    return _validate_budgets(out)
+
+
+def random_budgets_with_sum(
+    n: int,
+    total: int,
+    seed: int | np.random.Generator | None = None,
+    *,
+    min_budget: int = 0,
+) -> np.ndarray:
+    """Random budget vector with ``sum(b) = total`` and ``b_i >= min_budget``.
+
+    ``total = n - 1`` with ``min_budget = 0`` samples Tree-BG instances
+    (Section 3); ``min_budget = 1`` samples all-positive instances
+    (Section 5).
+    """
+    rng = as_generator(seed)
+    base = n * min_budget
+    if total < base:
+        raise BudgetError(f"total {total} below the minimum {base} = n * min_budget")
+    # Rejection-sample the stars-and-bars partition until the < n cap holds;
+    # for the parameter ranges used in experiments rejections are rare.
+    for _ in range(10_000):
+        extra = random_partition(rng, total - base, n)
+        b = extra + min_budget
+        if (b < n).all():
+            return b.astype(np.int64)
+    raise BudgetError(
+        f"could not sample budgets with sum {total} and min {min_budget} under cap n-1={n - 1}"
+    )
+
+
+def random_positive_budgets(
+    n: int, total: int, seed: int | np.random.Generator | None = None
+) -> np.ndarray:
+    """Random all-positive budget vector with the given ``total`` (>= n)."""
+    return random_budgets_with_sum(n, total, seed, min_budget=1)
+
+
+# ----------------------------------------------------------------------
+# Realizations
+# ----------------------------------------------------------------------
+def random_realization(
+    budgets: Sequence[int] | np.ndarray,
+    seed: int | np.random.Generator | None = None,
+) -> OwnedDigraph:
+    """Uniformly random realization: player ``i`` links to a random
+    ``b_i``-subset of the other players."""
+    b = _validate_budgets(budgets)
+    n = b.size
+    rng = as_generator(seed)
+    g = OwnedDigraph(n)
+    others = np.arange(n, dtype=np.int64)
+    for u in range(n):
+        if b[u] == 0:
+            continue
+        pool = np.delete(others, u)
+        targets = rng.choice(pool, size=int(b[u]), replace=False)
+        for v in targets:
+            g.add_arc(u, int(v))
+    return g
+
+
+def random_connected_realization(
+    budgets: Sequence[int] | np.ndarray,
+    seed: int | np.random.Generator | None = None,
+    *,
+    max_tries: int = 200,
+) -> OwnedDigraph:
+    """Random realization whose underlying graph is connected.
+
+    Requires ``sum(b) >= n - 1``. First wires a random spanning tree using
+    available budget (so connectivity is guaranteed, not rejection-based),
+    then spends the remaining budget on uniformly random arcs.
+    """
+    from .connectivity import is_connected
+
+    b = _validate_budgets(budgets)
+    n = b.size
+    if int(b.sum()) < n - 1:
+        raise BudgetError(f"connected realization needs sum(b) >= n - 1, got {int(b.sum())}")
+    rng = as_generator(seed)
+    for _ in range(max_tries):
+        g = _tree_backbone_realization(b, rng)
+        if g is None:
+            continue
+        _spend_remaining_budget(g, b, rng)
+        if is_connected(g):
+            return g
+    raise GraphError("failed to build a connected realization (budget too concentrated?)")
+
+
+def _tree_backbone_realization(
+    b: np.ndarray, rng: np.random.Generator
+) -> OwnedDigraph | None:
+    """Try to wire a random spanning tree respecting the budget vector.
+
+    Grows a random tree one vertex at a time; each new vertex is attached
+    by an arc owned by whichever endpoint still has budget (preferring a
+    random choice when both do). Returns ``None`` when a step finds no
+    owner with spare budget — caller retries with fresh randomness.
+    """
+    n = b.size
+    g = OwnedDigraph(n)
+    remaining = b.copy()
+    order = rng.permutation(n)
+    in_tree = [int(order[0])]
+    for idx in range(1, n):
+        v = int(order[idx])
+        anchors = rng.permutation(len(in_tree))
+        attached = False
+        for ai in anchors:
+            a = in_tree[int(ai)]
+            owners = []
+            if remaining[v] > 0:
+                owners.append((v, a))
+            if remaining[a] > 0:
+                owners.append((a, v))
+            if owners:
+                src, dst = owners[int(rng.integers(len(owners)))]
+                g.add_arc(src, dst)
+                remaining[src] -= 1
+                attached = True
+                break
+        if not attached:
+            return None
+        in_tree.append(v)
+    return g
+
+
+def _spend_remaining_budget(g: OwnedDigraph, b: np.ndarray, rng: np.random.Generator) -> None:
+    """Spend any leftover budget on random non-duplicate arcs."""
+    n = b.size
+    for u in range(n):
+        need = int(b[u]) - g.out_degree(u)
+        if need <= 0:
+            continue
+        forbidden = set(int(x) for x in g.out_neighbors(u))
+        forbidden.add(u)
+        pool = np.array([v for v in range(n) if v not in forbidden], dtype=np.int64)
+        if pool.size < need:
+            raise GraphError(f"player {u} cannot spend its budget: pool exhausted")
+        for v in rng.choice(pool, size=need, replace=False):
+            g.add_arc(u, int(v))
+
+
+def random_tree_realization(
+    n: int, seed: int | np.random.Generator | None = None
+) -> tuple[OwnedDigraph, np.ndarray]:
+    """Random labelled tree (via Prüfer sequence) with random arc ownership.
+
+    Returns ``(graph, budgets)`` where ``budgets`` are the induced
+    out-degrees — a valid Tree-BG instance (``sum = n - 1``).
+    """
+    if n < 1:
+        raise GraphError("need n >= 1")
+    rng = as_generator(seed)
+    g = OwnedDigraph(n)
+    if n == 1:
+        return g, np.zeros(1, dtype=np.int64)
+    if n == 2:
+        owner = int(rng.integers(2))
+        g.add_arc(owner, 1 - owner)
+        return g, g.out_degrees()
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for x in prufer:
+        degree[x] += 1
+    # Standard Prüfer decoding with a sorted leaf pool.
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        # Random ownership of the tree edge.
+        if rng.integers(2) == 0:
+            g.add_arc(leaf, int(x))
+        else:
+            g.add_arc(int(x), leaf)
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, int(x))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    if rng.integers(2) == 0:
+        g.add_arc(u, v)
+    else:
+        g.add_arc(v, u)
+    return g, g.out_degrees()
+
+
+def path_realization(n: int, *, forward: bool = True) -> OwnedDigraph:
+    """Path ``0 - 1 - ... - n-1`` with every arc owned by the smaller
+    (``forward=True``) or larger endpoint."""
+    g = OwnedDigraph(n)
+    for i in range(n - 1):
+        if forward:
+            g.add_arc(i, i + 1)
+        else:
+            g.add_arc(i + 1, i)
+    return g
+
+
+def cycle_realization(n: int) -> OwnedDigraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0`` (all budgets 1)."""
+    if n < 2:
+        raise GraphError("cycle needs n >= 2")
+    g = OwnedDigraph(n)
+    for i in range(n):
+        g.add_arc(i, (i + 1) % n)
+    return g
+
+
+def star_realization(n: int, center: int = 0, *, center_owns: bool = True) -> OwnedDigraph:
+    """Star with the given center; arcs owned by the center or the leaves."""
+    if not 0 <= center < n:
+        raise GraphError(f"center {center} out of range")
+    g = OwnedDigraph(n)
+    for v in range(n):
+        if v == center:
+            continue
+        if center_owns:
+            g.add_arc(center, v)
+        else:
+            g.add_arc(v, center)
+    return g

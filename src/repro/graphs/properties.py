@@ -1,0 +1,190 @@
+"""Structural predicates and extractors used by the structure theorems.
+
+Section 4 of the paper proves that all-unit-budget equilibria are
+*unicyclic* (connected, exactly one cycle) with short cycles and shallow
+attachments; Section 3 works with equilibrium *trees*. This module
+provides the predicates and witnesses those checks need: tree/forest
+tests, unique-cycle extraction, distance-to-cycle statistics, and the
+longest path of a tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .bfs import UNREACHABLE, bfs_distances, bfs_parents, multi_source_bfs
+from .connectivity import connected_components, is_connected
+from .csr import CSRAdjacency
+from .digraph import OwnedDigraph
+
+__all__ = [
+    "is_tree",
+    "is_forest",
+    "is_unicyclic",
+    "find_cycle",
+    "unique_cycle",
+    "distance_to_cycle",
+    "tree_longest_path",
+    "tree_center",
+    "functional_cycle",
+]
+
+
+def _as_csr(graph: OwnedDigraph | CSRAdjacency) -> CSRAdjacency:
+    if isinstance(graph, OwnedDigraph):
+        return graph.undirected_csr()
+    return graph
+
+
+def _num_undirected_edges(graph: OwnedDigraph | CSRAdjacency) -> int:
+    """Number of edges of ``U(G)``, counting a brace as *two* edges.
+
+    The paper views a brace as a 2-vertex cycle of the underlying
+    multigraph, which matters for the tree/unicyclic predicates: a graph
+    consisting of one brace is unicyclic, not a tree.
+    """
+    if isinstance(graph, OwnedDigraph):
+        return graph.num_arcs
+    return graph.num_edges
+
+
+def is_forest(graph: OwnedDigraph | CSRAdjacency) -> bool:
+    """Whether ``U(G)`` (as a multigraph: braces = 2-cycles) is acyclic."""
+    csr = _as_csr(graph)
+    labels, k = connected_components(csr)
+    return _num_undirected_edges(graph) == csr.n - k
+
+
+def is_tree(graph: OwnedDigraph | CSRAdjacency) -> bool:
+    """Whether ``U(G)`` is a tree (connected and acyclic, no braces)."""
+    return is_connected(graph) and is_forest(graph)
+
+
+def is_unicyclic(graph: OwnedDigraph | CSRAdjacency) -> bool:
+    """Connected with exactly one cycle: ``m = n`` in multigraph count."""
+    return is_connected(graph) and _num_undirected_edges(graph) == _as_csr(graph).n
+
+
+def functional_cycle(graph: OwnedDigraph) -> list[int]:
+    """The unique directed cycle of a functional graph (all out-degrees 1).
+
+    Every ``(1, ..., 1)``-BG realization is a functional graph; each of
+    its weakly-connected components contains exactly one directed cycle.
+    Returns the cycle of the component of vertex 0... — no: returns the
+    directed cycle reached from vertex 0 by following owned arcs.
+    """
+    if (graph.out_degrees() != 1).any():
+        raise GraphError("functional_cycle requires every out-degree to be exactly 1")
+    seen: dict[int, int] = {}
+    v = 0
+    step = 0
+    while v not in seen:
+        seen[v] = step
+        v = int(graph.out_neighbors(v)[0])
+        step += 1
+    start = seen[v]
+    cycle = [u for u, s in seen.items() if s >= start]
+    cycle.sort(key=lambda u: seen[u])
+    return cycle
+
+
+def find_cycle(graph: OwnedDigraph | CSRAdjacency) -> list[int] | None:
+    """Some cycle of the underlying multigraph, or ``None`` if a forest.
+
+    Braces are reported as 2-cycles ``[u, v]``. For simple cycles the
+    vertex list is in traversal order (closing edge implied).
+    """
+    if isinstance(graph, OwnedDigraph):
+        braces = graph.braces()
+        if braces:
+            return list(braces[0])
+    csr = _as_csr(graph)
+    n = csr.n
+    color = np.zeros(n, dtype=np.int8)  # 0 white, 1 on stack, 2 done
+    parent = np.full(n, -1, dtype=np.int64)
+    for root in range(n):
+        if color[root]:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = 1
+        while stack:
+            v, i = stack[-1]
+            row = csr.neighbors(v)
+            if i < row.size:
+                stack[-1] = (v, i + 1)
+                w = int(row[i])
+                if w == parent[v]:
+                    # Skip the tree edge back to the parent. Parallel edges
+                    # were deduplicated in the CSR, and the brace case was
+                    # handled above, so this edge is traversed exactly once.
+                    continue
+                if color[w] == 1:
+                    # Back edge: unwind the cycle v -> ... -> w.
+                    cycle = [v]
+                    x = v
+                    while x != w:
+                        x = int(parent[x])
+                        cycle.append(x)
+                    cycle.reverse()
+                    return cycle
+                if color[w] == 0:
+                    parent[w] = v
+                    color[w] = 1
+                    stack.append((w, 0))
+            else:
+                color[v] = 2
+                stack.pop()
+    return None
+
+
+def unique_cycle(graph: OwnedDigraph | CSRAdjacency) -> list[int]:
+    """The unique cycle of a unicyclic graph (error if not unicyclic)."""
+    if not is_unicyclic(graph):
+        raise GraphError("graph is not unicyclic")
+    cyc = find_cycle(graph)
+    assert cyc is not None  # unicyclic graphs have a cycle
+    return cyc
+
+
+def distance_to_cycle(graph: OwnedDigraph | CSRAdjacency) -> np.ndarray:
+    """Per-vertex distance to the unique cycle of a unicyclic graph.
+
+    Theorem 4.1 (SUM) bounds this by 1 and Theorem 4.2 (MAX) by 2 for
+    all-unit-budget equilibria.
+    """
+    csr = _as_csr(graph)
+    cyc = np.asarray(unique_cycle(graph), dtype=np.int64)
+    d = multi_source_bfs(csr, cyc)
+    if (d == UNREACHABLE).any():  # pragma: no cover - unicyclic => connected
+        raise GraphError("unicyclic graph must be connected")
+    return d
+
+
+def tree_longest_path(graph: OwnedDigraph | CSRAdjacency) -> list[int]:
+    """A longest path (diameter path) of a tree, by double BFS.
+
+    Returns the vertex sequence ``v_0 v_1 ... v_d``. The classic two-sweep
+    argument is exact on trees.
+    """
+    if not is_tree(graph):
+        raise GraphError("tree_longest_path requires a tree")
+    csr = _as_csr(graph)
+    d0 = bfs_distances(csr, 0)
+    a = int(d0.argmax())
+    dist, parent = bfs_parents(csr, a)
+    b = int(dist.argmax())
+    path = [b]
+    while path[-1] != a:
+        path.append(int(parent[path[-1]]))
+    path.reverse()
+    return path
+
+
+def tree_center(graph: OwnedDigraph | CSRAdjacency) -> list[int]:
+    """The 1- or 2-vertex center of a tree (middle of a diameter path)."""
+    path = tree_longest_path(graph)
+    d = len(path) - 1
+    if d % 2 == 0:
+        return [path[d // 2]]
+    return [path[d // 2], path[d // 2 + 1]]

@@ -1,0 +1,70 @@
+"""Text renderings of realizations (DOT export, adjacency summaries).
+
+The paper's figures are small directed graphs; these helpers make any
+realization inspectable without a plotting stack: Graphviz DOT output
+(arc ownership = arrow direction, braces doubled) and fixed-width
+adjacency/degree tables for terminal viewing.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .digraph import OwnedDigraph
+
+__all__ = ["to_dot", "adjacency_table", "degree_summary"]
+
+
+def to_dot(
+    graph: OwnedDigraph,
+    *,
+    name: str = "realization",
+    labels: "dict[int, str] | None" = None,
+    highlight: "set[int] | frozenset[int] | None" = None,
+) -> str:
+    """Graphviz DOT text for a realization.
+
+    Arrows point from owner to target (the paper's arc convention);
+    ``highlight`` vertices are drawn filled. Deterministic output (arcs
+    in sorted order) so snapshots are diffable.
+    """
+    if labels is None:
+        labels = {}
+    hi = highlight or frozenset()
+    lines = [f"digraph {name} {{"]
+    lines.append("  node [shape=circle];")
+    for v in range(graph.n):
+        attrs = []
+        if v in labels:
+            attrs.append(f'label="{labels[v]}"')
+        if v in hi:
+            attrs.append('style=filled fillcolor="lightblue"')
+        suffix = f" [{' '.join(attrs)}]" if attrs else ""
+        lines.append(f"  v{v}{suffix};")
+    for u, v in graph.arcs():
+        lines.append(f"  v{u} -> v{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def adjacency_table(graph: OwnedDigraph, *, max_n: int = 40) -> str:
+    """Fixed-width owner -> targets table (small graphs only)."""
+    if graph.n > max_n:
+        raise GraphError(f"adjacency_table is for graphs up to {max_n} vertices")
+    width = len(str(graph.n - 1))
+    lines = []
+    for u in range(graph.n):
+        targets = ", ".join(str(int(v)) for v in graph.out_neighbors(u))
+        lines.append(f"{u:>{width}} -> [{targets}]")
+    return "\n".join(lines)
+
+
+def degree_summary(graph: OwnedDigraph) -> str:
+    """One-line structural summary: n, arcs, budget and degree ranges."""
+    out = graph.out_degrees()
+    und = [graph.degree(v) for v in range(graph.n)]
+    braces = len(graph.braces())
+    return (
+        f"n={graph.n} arcs={graph.num_arcs} braces={braces} "
+        f"budgets[min,max]=[{int(out.min())},{int(out.max())}] "
+        f"degrees[min,max]=[{min(und)},{max(und)}]"
+    )

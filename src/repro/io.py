@@ -1,0 +1,81 @@
+"""Serialization of games, realizations and certificates (JSON).
+
+Experiments that take minutes to stabilise deserve durable artefacts:
+this module round-trips games and realizations through a small JSON
+schema, so equilibria found by long sweeps can be stored, shared and
+re-certified later.
+
+Schema (version 1)::
+
+    {
+      "format": "repro-bbncg/1",
+      "budgets": [2, 1, 0, ...],
+      "arcs": [[0, 1], [1, 2], ...]       # (owner, target) pairs
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from .core.game import BoundedBudgetGame
+from .errors import ReproError
+from .graphs.digraph import OwnedDigraph
+
+__all__ = [
+    "realization_to_dict",
+    "realization_from_dict",
+    "save_realization",
+    "load_realization",
+]
+
+_FORMAT = "repro-bbncg/1"
+
+
+def realization_to_dict(graph: OwnedDigraph) -> dict[str, Any]:
+    """JSON-ready dict of a realization (budgets are the out-degrees)."""
+    return {
+        "format": _FORMAT,
+        "budgets": graph.out_degrees().tolist(),
+        "arcs": [[u, v] for u, v in graph.arcs()],
+    }
+
+
+def realization_from_dict(data: dict[str, Any]) -> tuple[BoundedBudgetGame, OwnedDigraph]:
+    """Rebuild ``(game, graph)`` from :func:`realization_to_dict` output.
+
+    Validates the format tag, arc consistency, and that the arcs realise
+    the recorded budget vector.
+    """
+    if not isinstance(data, dict) or data.get("format") != _FORMAT:
+        raise ReproError(f"not a {_FORMAT} document: format={data.get('format')!r}")
+    budgets = data.get("budgets")
+    arcs = data.get("arcs")
+    if not isinstance(budgets, list) or not isinstance(arcs, list):
+        raise ReproError("document must carry 'budgets' and 'arcs' lists")
+    game = BoundedBudgetGame(budgets)
+    graph = OwnedDigraph(game.n)
+    for pair in arcs:
+        if not isinstance(pair, list) or len(pair) != 2:
+            raise ReproError(f"malformed arc entry {pair!r}")
+        graph.add_arc(int(pair[0]), int(pair[1]))
+    game.validate_realization(graph)
+    return game, graph
+
+
+def save_realization(graph: OwnedDigraph, path: "str | pathlib.Path") -> None:
+    """Write a realization to a JSON file."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(realization_to_dict(graph), indent=2) + "\n")
+
+
+def load_realization(path: "str | pathlib.Path") -> tuple[BoundedBudgetGame, OwnedDigraph]:
+    """Read a realization written by :func:`save_realization`."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+    return realization_from_dict(data)

@@ -1,0 +1,34 @@
+"""Location-problem substrate for the NP-hardness reduction (Thm 2.1)."""
+
+from .kcenter import KCenterSolution, exact_k_center, greedy_k_center, k_center_value
+from .kmedian import (
+    KMedianSolution,
+    exact_k_median,
+    k_median_value,
+    local_search_k_median,
+)
+from .reductions import (
+    ReductionInstance,
+    best_response_via_k_center,
+    best_response_via_k_median,
+    embed_graph_with_new_player,
+    k_center_via_best_response,
+    k_median_via_best_response,
+)
+
+__all__ = [
+    "KCenterSolution",
+    "KMedianSolution",
+    "ReductionInstance",
+    "best_response_via_k_center",
+    "best_response_via_k_median",
+    "embed_graph_with_new_player",
+    "exact_k_center",
+    "exact_k_median",
+    "greedy_k_center",
+    "k_center_value",
+    "k_center_via_best_response",
+    "k_median_value",
+    "k_median_via_best_response",
+    "local_search_k_median",
+]

@@ -1,0 +1,196 @@
+"""Theorem 2.1: best response ⇌ k-center / k-median (both directions).
+
+*Hardness direction* (paper): to solve k-center on a graph ``H`` with
+``n`` vertices, orient ``H`` arbitrarily into a realization, add one
+fresh player with budget ``k`` and no incoming arcs, and ask for its
+best response in the MAX version; the optimal strategy *is* an optimal
+center set, and its cost is ``1 + OPT_center``. The identical embedding
+with the SUM version solves k-median with cost ``n + OPT_median``.
+
+*Algorithmic direction*: a player whose removal leaves the rest of the
+graph connected and who has no incoming arcs can compute its exact best
+response by handing ``dist(G - u)`` to a k-center / k-median solver.
+
+Both directions are executable here, and the test suite checks they
+agree with independent implementations — a machine check of the
+reduction's correctness (not of NP-hardness itself, which is inherited
+from the classical problems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import OptimizationError
+from ..graphs.bfs import UNREACHABLE, all_pairs_distances
+from ..graphs.csr import CSRAdjacency, build_csr
+from ..graphs.digraph import OwnedDigraph
+from ..core.best_response import BestResponseEnvironment, exact_best_response
+from ..core.costs import Version
+from .kcenter import KCenterSolution, exact_k_center
+from .kmedian import KMedianSolution, exact_k_median
+
+__all__ = [
+    "ReductionInstance",
+    "embed_graph_with_new_player",
+    "k_center_via_best_response",
+    "k_median_via_best_response",
+    "best_response_via_k_center",
+    "best_response_via_k_median",
+]
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """The game instance produced by the Theorem 2.1 embedding.
+
+    ``new_player`` is the added vertex whose best response solves the
+    location problem on the original ``n``-vertex graph ``H`` (vertices
+    ``0..n-1`` of ``game_graph``).
+    """
+
+    game_graph: OwnedDigraph
+    new_player: int
+    budget: int
+
+
+def _edges_to_csr(h: "CSRAdjacency | list[tuple[int, int]]", n: int | None) -> CSRAdjacency:
+    if isinstance(h, CSRAdjacency):
+        return h
+    edges = list(h)
+    if n is None:
+        n = 1 + max(max(u, v) for u, v in edges) if edges else 1
+    heads = np.asarray([u for u, _ in edges], dtype=np.int64)
+    tails = np.asarray([v for _, v in edges], dtype=np.int64)
+    return build_csr(n, heads, tails)
+
+
+def embed_graph_with_new_player(
+    h: "CSRAdjacency | list[tuple[int, int]]", k: int, *, n: int | None = None
+) -> ReductionInstance:
+    """Build the Theorem 2.1 instance: orient ``H``, add a budget-``k``
+    player.
+
+    Each edge of ``H`` is oriented from its smaller endpoint (any
+    orientation works — only ``U(G)`` matters for costs). The new player
+    initially links to vertices ``0..k-1`` (any valid strategy; the
+    reduction asks for its *best* response).
+    """
+    csr = _edges_to_csr(h, n)
+    n_h = csr.n
+    if not 1 <= k <= n_h:
+        raise OptimizationError(f"budget k must be in [1, {n_h}], got {k}")
+    g = OwnedDigraph(n_h + 1)
+    for u in range(n_h):
+        for v in csr.neighbors(u):
+            if u < int(v):
+                g.add_arc(u, int(v))
+    new_player = n_h
+    for v in range(k):
+        g.add_arc(new_player, v)
+    return ReductionInstance(game_graph=g, new_player=new_player, budget=k)
+
+
+def k_center_via_best_response(
+    h: "CSRAdjacency | list[tuple[int, int]]",
+    k: int,
+    *,
+    n: int | None = None,
+    max_candidates: int | None = None,
+) -> KCenterSolution:
+    """Solve k-center on ``H`` through the game (hardness direction).
+
+    The optimal strategy of the embedded player equals an optimal center
+    set, with MAX cost ``1 + OPT`` (``H`` must be connected for the
+    textbook k-center semantics).
+    """
+    inst = embed_graph_with_new_player(h, k, n=n)
+    result = exact_best_response(
+        inst.game_graph, inst.new_player, Version.MAX, max_candidates=max_candidates
+    )
+    return KCenterSolution(
+        centers=result.strategy,
+        objective=result.cost - 1,
+        evaluated=result.evaluated,
+        exact=True,
+    )
+
+
+def k_median_via_best_response(
+    h: "CSRAdjacency | list[tuple[int, int]]",
+    k: int,
+    *,
+    n: int | None = None,
+    max_candidates: int | None = None,
+) -> KMedianSolution:
+    """Solve k-median on ``H`` through the game (hardness direction).
+
+    The optimal strategy of the embedded player equals an optimal median
+    set, with SUM cost ``n_H + OPT``.
+    """
+    inst = embed_graph_with_new_player(h, k, n=n)
+    n_h = inst.game_graph.n - 1
+    result = exact_best_response(
+        inst.game_graph, inst.new_player, Version.SUM, max_candidates=max_candidates
+    )
+    return KMedianSolution(
+        medians=result.strategy,
+        objective=result.cost - n_h,
+        evaluated=result.evaluated,
+        exact=True,
+    )
+
+
+def _reduction_distance_matrix(graph: OwnedDigraph, u: int) -> tuple[np.ndarray, np.ndarray]:
+    """Distance matrix of ``G - u`` restricted to the other vertices.
+
+    Preconditions of the algorithmic direction: ``u`` owns every arc at
+    itself (no incoming arcs) and ``G - u`` is connected on the others.
+    """
+    if graph.in_neighbors(u).size:
+        raise OptimizationError(
+            f"player {u} has incoming arcs; the location-problem reduction "
+            "only models players whose links are all their own"
+        )
+    csr = graph.undirected_csr_without(u)
+    full = all_pairs_distances(csr)
+    others = np.asarray([v for v in range(graph.n) if v != u], dtype=np.int64)
+    sub = full[np.ix_(others, others)]
+    if (sub == UNREACHABLE).any():
+        raise OptimizationError(
+            f"G - {u} is disconnected; the textbook k-center/k-median "
+            "semantics no longer match the game's Cinf convention"
+        )
+    return sub, others
+
+
+def best_response_via_k_center(
+    graph: OwnedDigraph, u: int, *, max_candidates: int | None = None
+) -> tuple[int, tuple[int, ...]]:
+    """Exact MAX best response of ``u`` obtained from a k-center solver.
+
+    Returns ``(cost, strategy)``; equals
+    :func:`~repro.core.best_response.exact_best_response` on instances
+    satisfying the reduction's preconditions.
+    """
+    sub, others = _reduction_distance_matrix(graph, u)
+    k = graph.out_degree(u)
+    sol = exact_k_center(sub, k, max_candidates=max_candidates)
+    strategy = tuple(int(others[c]) for c in sol.centers)
+    return 1 + sol.objective, tuple(sorted(strategy))
+
+
+def best_response_via_k_median(
+    graph: OwnedDigraph, u: int, *, max_candidates: int | None = None
+) -> tuple[int, tuple[int, ...]]:
+    """Exact SUM best response of ``u`` obtained from a k-median solver.
+
+    Returns ``(cost, strategy)``; cost is ``(n - 1) + OPT_median``.
+    """
+    sub, others = _reduction_distance_matrix(graph, u)
+    k = graph.out_degree(u)
+    sol = exact_k_median(sub, k, max_candidates=max_candidates)
+    strategy = tuple(int(others[c]) for c in sol.medians)
+    return (graph.n - 1) + sol.objective, tuple(sorted(strategy))

@@ -1,0 +1,14 @@
+"""Process-parallel sweep harness with deterministic seeding."""
+
+from .executor import cpu_workers, parallel_map
+from .sweep import SweepSpec, SweepTask, aggregate_max, aggregate_mean, run_sweep
+
+__all__ = [
+    "SweepSpec",
+    "SweepTask",
+    "aggregate_max",
+    "aggregate_mean",
+    "cpu_workers",
+    "parallel_map",
+    "run_sweep",
+]

@@ -1,0 +1,103 @@
+"""Deterministic random-number-generation utilities.
+
+Every stochastic component of the library accepts either an integer seed
+or a ready-made :class:`numpy.random.Generator`. Routines here normalise
+those inputs and derive *independent* child generators for parallel tasks
+so that a sweep executed with ``multiprocessing`` produces bit-identical
+results regardless of worker count or scheduling order (the same
+discipline the MPI guides prescribe for rank-local RNG streams).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "seed_sequence_for_task",
+]
+
+#: Fixed root entropy for the library; combined with user seeds so that
+#: the derived streams are stable across library versions.
+_LIBRARY_ENTROPY = 0x5BBC_2011  # "SPAA 2011 bounded budget creation"
+
+
+def as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a non-deterministic generator; an ``int`` yields a
+    deterministic one; a generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(np.random.SeedSequence([_LIBRARY_ENTROPY, int(seed)]))
+
+
+def seed_sequence_for_task(base_seed: int, task_index: int) -> np.random.SeedSequence:
+    """Seed sequence for the ``task_index``-th task of a sweep.
+
+    Tasks seeded this way are statistically independent and reproducible
+    independently of execution order.
+    """
+    return np.random.SeedSequence([_LIBRARY_ENTROPY, int(base_seed), int(task_index)])
+
+
+def derive_seed(base_seed: int, *components: int) -> int:
+    """Derive a stable 63-bit integer seed from ``base_seed`` and labels.
+
+    Useful when a task needs to pass a plain integer seed across a process
+    boundary (pickling a full generator is wasteful).
+    """
+    ss = np.random.SeedSequence([_LIBRARY_ENTROPY, int(base_seed), *map(int, components)])
+    return int(ss.generate_state(1, dtype=np.uint64)[0] >> 1)
+
+
+def spawn_generators(
+    seed: int | np.random.Generator | None, count: int
+) -> list[np.random.Generator]:
+    """Spawn ``count`` independent child generators from ``seed``."""
+    if count < 0:
+        raise ValueError(f"count must be nonnegative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]  # type: ignore[union-attr]
+    if seed is None:
+        root = np.random.SeedSequence()
+    else:
+        root = np.random.SeedSequence([_LIBRARY_ENTROPY, int(seed)])
+    return [np.random.default_rng(s) for s in root.spawn(count)]
+
+
+def random_subset(
+    rng: np.random.Generator, universe: Sequence[int] | np.ndarray, size: int
+) -> np.ndarray:
+    """Uniformly random ``size``-subset of ``universe`` (sorted, no repeats)."""
+    arr = np.asarray(universe, dtype=np.int64)
+    if size > arr.size:
+        raise ValueError(f"cannot draw {size} elements from universe of {arr.size}")
+    picked = rng.choice(arr, size=size, replace=False)
+    picked.sort()
+    return picked
+
+
+def random_partition(rng: np.random.Generator, total: int, parts: int) -> np.ndarray:
+    """Split ``total`` into ``parts`` nonnegative integers, uniformly.
+
+    Uses the stars-and-bars bijection: choose ``parts - 1`` cut points in
+    ``[0, total + parts - 1)``.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be nonnegative, got {total}")
+    if parts == 1:
+        return np.array([total], dtype=np.int64)
+    cuts = rng.choice(total + parts - 1, size=parts - 1, replace=False)
+    cuts.sort()
+    bounds = np.concatenate(([-1], cuts, [total + parts - 1]))
+    return np.diff(bounds) - 1

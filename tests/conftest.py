@@ -1,0 +1,85 @@
+"""Shared fixtures and oracle helpers for the test suite.
+
+``networkx`` and ``scipy`` serve as independent oracles for the
+from-scratch graph substrate; every random test is seeded for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import OwnedDigraph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for a single test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path5() -> OwnedDigraph:
+    """Path 0-1-2-3-4 with forward arc ownership."""
+    g = OwnedDigraph(5)
+    for i in range(4):
+        g.add_arc(i, i + 1)
+    return g
+
+
+@pytest.fixture
+def brace_pair() -> OwnedDigraph:
+    """Two vertices joined by a brace (anti-parallel arcs)."""
+    g = OwnedDigraph(2)
+    g.add_arc(0, 1)
+    g.add_arc(1, 0)
+    return g
+
+
+@pytest.fixture
+def two_components() -> OwnedDigraph:
+    """Disconnected graph: edge 0-1 and edge 2-3, vertex 4 isolated."""
+    g = OwnedDigraph(5)
+    g.add_arc(0, 1)
+    g.add_arc(2, 3)
+    return g
+
+
+def random_owned_digraph(
+    rng: np.random.Generator, n: int, p: float = 0.3
+) -> OwnedDigraph:
+    """Erdős–Rényi style random realization (each ordered pair w.p. p,
+    no braces forced — both directions may appear)."""
+    g = OwnedDigraph(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_arc(u, v)
+    return g
+
+
+def to_networkx_undirected(g: OwnedDigraph):
+    """Undirected networkx oracle view of a realization."""
+    import networkx as nx
+
+    G = nx.Graph()
+    G.add_nodes_from(range(g.n))
+    G.add_edges_from(g.underlying_edges())
+    return G
+
+
+def naive_vertex_cost(g: OwnedDigraph, u: int, version: str) -> int:
+    """Straight-from-the-definition cost via networkx shortest paths."""
+    import networkx as nx
+
+    G = to_networkx_undirected(g)
+    n = g.n
+    lengths = nx.single_source_shortest_path_length(G, u)
+    dist = [lengths.get(v, n * n) for v in range(n)]
+    if version == "sum":
+        return sum(dist) - dist[u]
+    kappa = nx.number_connected_components(G)
+    others = [d for v, d in enumerate(dist) if v != u]
+    local_diam = max(others) if others else 0
+    return local_diam + (kappa - 1) * n * n

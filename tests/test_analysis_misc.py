@@ -1,0 +1,160 @@
+"""Tests for the connectivity-theorem checker, Braess demo, scaling fits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FAMILIES,
+    best_family,
+    check_connectivity_theorem,
+    demonstrate_braess,
+    fit_scaling,
+)
+from repro.core import BoundedBudgetGame, best_response_dynamics
+from repro.errors import GraphError, ReproError
+from repro.graphs import cycle_realization, uniform_budgets
+
+
+# ----------------------------------------------------------------------
+# Theorem 7.2 checker
+# ----------------------------------------------------------------------
+def test_connectivity_report_cycle():
+    g = cycle_realization(8)
+    rep = check_connectivity_theorem(g, 1)
+    assert rep.connectivity == 2
+    assert rep.diameter_value == 4
+    assert rep.holds  # kappa = 2 >= k = 1
+    assert "HOLDS" in rep.summary()
+
+
+def test_connectivity_report_default_k():
+    g = cycle_realization(6)
+    rep = check_connectivity_theorem(g)
+    assert rep.k == 1  # min out-degree
+
+
+def test_connectivity_hypothesis_validation():
+    g = cycle_realization(5)
+    with pytest.raises(GraphError):
+        check_connectivity_theorem(g, 2)  # budgets are only 1
+    with pytest.raises(GraphError):
+        check_connectivity_theorem(g, 0)
+
+
+def test_theorem_7_2_on_dynamics_equilibria():
+    # All budgets >= 2: SUM equilibria must be 2-connected or diam <= 3.
+    for seed in range(4):
+        game = BoundedBudgetGame(uniform_budgets(9, 2))
+        res = best_response_dynamics(
+            game,
+            game.random_realization(seed=seed, connected=True),
+            "sum",
+            max_rounds=150,
+        )
+        assert res.converged
+        rep = check_connectivity_theorem(res.graph, 2)
+        assert rep.holds, (seed, rep.summary())
+
+
+def test_violating_graph_detected():
+    # A path-like budget-1 graph with diameter > 3 and connectivity 1
+    # would violate the k=1 statement trivially satisfied... build an
+    # artificial k=2 violation: two cycles joined by one vertex.
+    from repro.graphs import OwnedDigraph
+
+    g = OwnedDigraph(9)
+    for i in range(4):
+        g.add_arc(i, (i + 1) % 4)
+    for i in range(4, 8):
+        g.add_arc(i, 4 + (i - 3) % 4)
+    # join: 0 and 4 via vertex 8; give everyone out-degree >= 2 crudely.
+    arcs = [(8, 0), (8, 4)]
+    for u, v in arcs:
+        g.add_arc(u, v)
+    for u in range(8):
+        for w in range(9):
+            if g.out_degree(u) >= 2:
+                break
+            if w != u and not g.has_arc(u, w) and w in (8,):
+                g.add_arc(u, w)
+    rep = check_connectivity_theorem(g, 2)
+    # vertex 8 is a cut vertex => kappa = 1 < 2; holds only if diam <= 3.
+    assert rep.connectivity == 1
+    assert rep.holds == (rep.diameter_value <= 3)
+
+
+# ----------------------------------------------------------------------
+# Braess demonstration
+# ----------------------------------------------------------------------
+def test_braess_small_instance():
+    comp = demonstrate_braess(4, 2, seed=0)
+    assert comp.n == 16
+    assert comp.positive_diameter == 2
+    assert comp.unit_converged
+    assert comp.unit_diameter < 8  # Theorem 4.2
+    assert comp.positive_min_budget >= 1
+    assert isinstance(comp.summary(), str)
+
+
+# ----------------------------------------------------------------------
+# Scaling fits
+# ----------------------------------------------------------------------
+def test_fit_linear_exact():
+    ns = [10, 20, 30, 40]
+    ds = [2 * n + 3 for n in ns]
+    f = fit_scaling(ns, ds, "linear")
+    assert abs(f.slope - 2) < 1e-9
+    assert abs(f.intercept - 3) < 1e-9
+    assert f.r_squared > 0.999
+    assert np.allclose(f.predict(ns), ds)
+
+
+def test_fit_log_and_sqrtlog():
+    ns = [2**i for i in range(3, 10)]
+    ds_log = [5 * np.log2(n) for n in ns]
+    f = fit_scaling(ns, ds_log, "log")
+    assert abs(f.slope - 5) < 1e-9
+    ds_sq = [4 * np.sqrt(np.log2(n)) + 1 for n in ns]
+    f2 = fit_scaling(ns, ds_sq, "sqrtlog")
+    assert abs(f2.slope - 4) < 1e-6
+
+
+def test_fit_expsqrtlog():
+    ns = [2**i for i in range(2, 9)]
+    ds = [2 ** (1.5 * np.sqrt(np.log2(n))) for n in ns]
+    f = fit_scaling(ns, ds, "expsqrtlog")
+    assert abs(f.slope - 1.5) < 1e-6
+    assert np.allclose(f.predict(ns), ds)
+
+
+def test_fit_constant():
+    f = fit_scaling([4, 8, 16], [3, 3, 3], "constant")
+    assert f.slope == 0
+    assert f.intercept == 3
+    assert f.rmse == 0
+
+
+def test_best_family_selects_correctly():
+    ns = [2**i for i in range(3, 11)]
+    assert best_family(ns, [3 * n for n in ns]).family == "linear"
+    assert best_family(ns, [7.0] * len(ns)).family == "constant"
+    assert best_family(ns, [4 * np.log2(n) for n in ns]).family == "log"
+
+
+def test_fit_validation():
+    with pytest.raises(ReproError):
+        fit_scaling([10], [1], "linear")
+    with pytest.raises(ReproError):
+        fit_scaling([10, 20], [1, 2], "cubic")
+    with pytest.raises(ReproError):
+        fit_scaling([1, 10], [1, 2], "log")  # n must be >= 2
+    with pytest.raises(ReproError):
+        fit_scaling([4, 8], [0, 2], "expsqrtlog")  # d must be positive
+
+
+def test_describe_mentions_family():
+    f = fit_scaling([10, 20, 40], [1, 2, 3], "log")
+    assert "log2" in f.describe()
+    assert "R²" in f.describe()

@@ -1,0 +1,77 @@
+"""Tests for OPT-diameter bounds and PoA/PoS intervals."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    exact_optimal_diameter,
+    optimal_diameter_bounds,
+    poa_interval,
+    pos_interval,
+)
+from repro.errors import GameError
+from repro.graphs import cinf
+
+
+def test_disconnected_regime_exact():
+    b = [0, 0, 0, 1]
+    bounds = optimal_diameter_bounds(b)
+    assert bounds.lower == bounds.upper == cinf(4)
+    assert bounds.is_exact
+
+
+def test_single_player():
+    bounds = optimal_diameter_bounds([0])
+    assert bounds.lower == bounds.upper == 0
+
+
+def test_complete_graph_regime():
+    # sigma >= C(n, 2): diameter 1 achievable.
+    b = [2, 2, 2]  # sigma = 6 >= 3
+    bounds = optimal_diameter_bounds(b)
+    assert bounds.lower == 1
+
+
+def test_generic_connected_regime():
+    bounds = optimal_diameter_bounds([1, 1, 1, 1, 1, 1])
+    assert bounds.lower == 2
+    assert bounds.upper <= 4
+
+
+def test_bounds_contain_exact_optimum(rng):
+    for _ in range(8):
+        n = int(rng.integers(2, 6))
+        b = rng.integers(0, n, size=n)
+        bounds = optimal_diameter_bounds(b)
+        exact = exact_optimal_diameter(b)
+        assert bounds.lower <= exact <= bounds.upper, (b.tolist(), exact, bounds)
+
+
+def test_exact_optimal_guard():
+    with pytest.raises(GameError):
+        exact_optimal_diameter([5] * 12, max_profiles=10)
+
+
+def test_invalid_bounds_rejected():
+    from repro.analysis.poa import DiameterBounds
+
+    with pytest.raises(GameError):
+        DiameterBounds(3, 2)
+
+
+def test_poa_interval_fractions():
+    lo, hi = poa_interval(8, [1] * 8)
+    bounds = optimal_diameter_bounds([1] * 8)
+    assert lo == Fraction(8, bounds.upper)
+    assert hi == Fraction(8, bounds.lower)
+    assert lo <= hi
+
+
+def test_pos_interval():
+    lo, hi = pos_interval(2, [1] * 6)
+    assert lo <= Fraction(1) <= hi or lo <= hi  # sanity: a valid interval
+    assert hi == Fraction(2, 2)

@@ -1,0 +1,88 @@
+"""Tests for the Section 4 unit-budget structure audits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    MAX_DIAMETER_BOUND,
+    SUM_DIAMETER_BOUND,
+    check_unit_structure,
+)
+from repro.core import BoundedBudgetGame, best_response_dynamics
+from repro.errors import GraphError
+from repro.graphs import OwnedDigraph, cycle_realization, path_realization, unit_budgets
+
+
+def test_cycle_report():
+    rep = check_unit_structure(cycle_realization(5))
+    assert rep.is_unicyclic
+    assert rep.cycle_length == 5
+    assert rep.max_distance_to_cycle == 0
+    assert rep.diameter_value == 2
+    assert rep.satisfies("sum")
+    assert rep.satisfies("max")
+
+
+def test_long_cycle_violates_both():
+    rep = check_unit_structure(cycle_realization(20))
+    assert rep.is_unicyclic
+    assert not rep.satisfies("sum")
+    assert not rep.satisfies("max")
+
+
+def test_cycle_of_6_ok_for_max_only():
+    rep = check_unit_structure(cycle_realization(6))
+    assert rep.cycle_length == 6
+    assert not rep.satisfies("sum")  # cycle > 5
+    assert rep.satisfies("max")
+
+
+def test_requires_unit_budgets():
+    with pytest.raises(GraphError):
+        check_unit_structure(path_realization(4))
+
+
+def test_disconnected_unit_graph():
+    g = OwnedDigraph(4)
+    g.add_arc(0, 1)
+    g.add_arc(1, 0)
+    g.add_arc(2, 3)
+    g.add_arc(3, 2)
+    rep = check_unit_structure(g)
+    assert not rep.is_unicyclic
+    assert not rep.satisfies("sum")
+    assert rep.cycle == ()
+
+
+def test_deep_attachment_violates():
+    # rho-shape with a long tail: distance-to-cycle > 2.
+    g = OwnedDigraph(7)
+    g.add_arc(0, 1)
+    g.add_arc(1, 2)
+    g.add_arc(2, 0)
+    g.add_arc(3, 0)
+    g.add_arc(4, 3)
+    g.add_arc(5, 4)
+    g.add_arc(6, 5)
+    rep = check_unit_structure(g)
+    assert rep.is_unicyclic
+    assert rep.max_distance_to_cycle == 4
+    assert not rep.satisfies("sum")
+    assert not rep.satisfies("max")
+
+
+@pytest.mark.parametrize("version,bound", [("sum", SUM_DIAMETER_BOUND), ("max", MAX_DIAMETER_BOUND)])
+def test_dynamics_equilibria_satisfy_theorems(version, bound):
+    # Theorems 4.1 / 4.2 audited on equilibria reached by exact dynamics.
+    for seed in range(6):
+        n = 10 + 3 * seed
+        game = BoundedBudgetGame(unit_budgets(n))
+        res = best_response_dynamics(
+            game, game.random_realization(seed=seed), version, max_rounds=150
+        )
+        assert res.converged, (version, seed)
+        rep = check_unit_structure(res.graph)
+        assert rep.satisfies(version), (version, seed, rep)
+        assert rep.diameter_value < bound

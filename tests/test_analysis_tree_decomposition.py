@@ -1,0 +1,110 @@
+"""Tests for the Figure 3 decomposition and Theorem 3.3 verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    forward_arc_indices,
+    longest_path_decomposition,
+    theorem_3_3_bound,
+    verify_sum_equilibrium_inequality,
+)
+from repro.constructions import binary_tree_equilibrium, spider_equilibrium
+from repro.core import BoundedBudgetGame, best_response_dynamics
+from repro.errors import GraphError
+from repro.graphs import cycle_realization, path_realization, random_tree_realization, star_realization
+
+
+def test_path_decomposition():
+    g = path_realization(6)
+    dec = longest_path_decomposition(g)
+    assert dec.diameter_value == 5
+    assert dec.sizes.tolist() == [1] * 6
+    assert sorted(dec.path) == list(range(6))
+
+
+def test_star_decomposition():
+    g = star_realization(7)
+    dec = longest_path_decomposition(g)
+    assert dec.diameter_value == 2
+    # 5 leaves hang off the center (index 1 of the 3-vertex path).
+    assert sorted(dec.sizes.tolist()) == [1, 1, 5]
+    assert int(dec.sizes.sum()) == 7
+
+
+def test_decomposition_partitions_vertices(rng):
+    for _ in range(10):
+        n = int(rng.integers(2, 30))
+        g, _ = random_tree_realization(n, rng)
+        dec = longest_path_decomposition(g)
+        assert int(dec.sizes.sum()) == n
+        assert (dec.sizes > 0).all()
+        # Path vertices are their own attachment.
+        for i, v in enumerate(dec.path):
+            assert dec.attachment[v] == i
+        # set_of is consistent.
+        for i in range(len(dec.path)):
+            assert (dec.attachment[dec.set_of(i)] == i).all()
+
+
+def test_requires_tree():
+    with pytest.raises(GraphError):
+        longest_path_decomposition(cycle_realization(5))
+
+
+def test_forward_arcs_path():
+    g = path_realization(5)
+    dec = longest_path_decomposition(g)
+    fwd = forward_arc_indices(g, dec)
+    # All arcs point the same way along the path (either all forward or
+    # all backward depending on the BFS orientation of the path).
+    assert len(fwd) in (0, 4)
+
+
+def test_binary_tree_inequality_holds():
+    for depth in (2, 3, 4, 5):
+        inst = binary_tree_equilibrium(depth)
+        check = verify_sum_equilibrium_inequality(inst.graph)
+        assert check.holds, (depth, check)
+
+
+def test_sum_dynamics_trees_satisfy_inequality():
+    # Every exact SUM equilibrium tree must satisfy inequality (1).
+    from repro.graphs import is_tree
+
+    for seed in range(5):
+        g, budgets = random_tree_realization(14, seed=seed)
+        game = BoundedBudgetGame(budgets)
+        res = best_response_dynamics(game, g, "sum", max_rounds=200)
+        if not res.converged or not is_tree(res.graph):
+            continue
+        check = verify_sum_equilibrium_inequality(res.graph)
+        assert check.holds, (seed, check)
+
+
+def test_spider_violates_inequality_for_large_k():
+    # The spider is not a SUM equilibrium for big k; inequality fails.
+    inst = spider_equilibrium(8)
+    check = verify_sum_equilibrium_inequality(inst.graph)
+    assert not check.holds
+
+
+def test_theorem_bound_monotone():
+    values = [theorem_3_3_bound(n) for n in (1, 3, 7, 15, 63, 255)]
+    assert values == sorted(values)
+    assert theorem_3_3_bound(7) == 8
+    with pytest.raises(GraphError):
+        theorem_3_3_bound(0)
+
+
+def test_equilibrium_diameters_below_bound():
+    from repro.graphs import diameter, is_tree
+
+    for seed in range(4):
+        g, budgets = random_tree_realization(20, seed=100 + seed)
+        game = BoundedBudgetGame(budgets)
+        res = best_response_dynamics(game, g, "sum", max_rounds=200)
+        if res.converged:
+            assert diameter(res.graph) <= theorem_3_3_bound(20)

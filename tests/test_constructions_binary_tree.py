@@ -1,0 +1,56 @@
+"""Tests for the Theorem 3.4 perfect binary tree (SUM, Θ(log n))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions import binary_tree_equilibrium
+from repro.core import BoundedBudgetGame, certify_equilibrium, is_equilibrium
+from repro.errors import ConstructionError
+from repro.graphs import diameter, is_tree
+
+
+def test_structure():
+    inst = binary_tree_equilibrium(3)
+    assert inst.n == 15
+    assert is_tree(inst.graph)
+    assert diameter(inst.graph) == 6
+    assert inst.root == 0
+    assert inst.leaves().tolist() == list(range(7, 15))
+
+
+def test_budgets():
+    inst = binary_tree_equilibrium(2)
+    b = inst.budgets
+    assert b.tolist() == [2, 2, 2, 0, 0, 0, 0]
+    assert BoundedBudgetGame(b).is_tree_game
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3, 4])
+def test_is_sum_equilibrium(depth):
+    inst = binary_tree_equilibrium(depth)
+    cert = certify_equilibrium(inst.graph, "sum", method="exact")
+    assert cert.is_equilibrium, (depth, cert.summary())
+
+
+def test_diameter_logarithmic():
+    for depth in (2, 3, 4, 5):
+        inst = binary_tree_equilibrium(depth)
+        assert diameter(inst.graph) == 2 * depth
+        assert inst.diameter_value == 2 * depth
+        # 2 * depth = 2 * log2((n+1)/2) = Θ(log n).
+        assert diameter(inst.graph) <= 2 * np.log2(inst.n + 1)
+
+
+def test_heap_indexing_arcs():
+    inst = binary_tree_equilibrium(2)
+    g = inst.graph
+    assert g.has_arc(0, 1) and g.has_arc(0, 2)
+    assert g.has_arc(1, 3) and g.has_arc(1, 4)
+    assert g.has_arc(2, 5) and g.has_arc(2, 6)
+
+
+def test_invalid_depth():
+    with pytest.raises(ConstructionError):
+        binary_tree_equilibrium(0)

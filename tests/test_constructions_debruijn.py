@@ -1,0 +1,126 @@
+"""Tests for the Lemma 5.2 overlap graph (MAX, Ω(√log n) lower bound)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.constructions import (
+    index_to_word,
+    lemma_5_2_condition,
+    overlap_graph_edges,
+    overlap_graph_equilibrium,
+    word_to_index,
+)
+from repro.core import certify_equilibrium
+from repro.errors import ConstructionError
+from repro.graphs import build_csr, diameter, is_connected
+
+
+def test_word_index_roundtrip():
+    t, k = 5, 3
+    for idx in range(t**k):
+        word = index_to_word(idx, t, k)
+        assert word_to_index(word, t) == idx
+        assert len(word) == k
+        assert all(0 <= s < t for s in word)
+
+
+def test_word_index_validation():
+    with pytest.raises(ConstructionError):
+        word_to_index((0, 9), 3)
+
+
+def test_lemma_condition_threshold():
+    # (2t)^k - 1 < t^k (2t - 1)  <=>  t >= 2^(k-1) + 1.
+    for k in (2, 3, 4):
+        threshold = 2 ** (k - 1) + 1
+        assert not lemma_5_2_condition(threshold - 1, k)
+        assert lemma_5_2_condition(threshold, k)
+        assert lemma_5_2_condition(threshold + 3, k)
+
+
+def test_edges_match_shift_definition():
+    t, k = 3, 2
+    edges = set(overlap_graph_edges(t, k))
+    # Check against a brute-force adjacency from the paper's definition.
+    words = list(itertools.product(range(t), repeat=k))
+    for x in words:
+        for y in words:
+            if x == y:
+                continue
+            shift1 = all(x[i] == y[i + 1] for i in range(k - 1))
+            shift2 = all(y[i] == x[i + 1] for i in range(k - 1))
+            xi, yi = word_to_index(x, t), word_to_index(y, t)
+            edge = (min(xi, yi), max(xi, yi))
+            if shift1 or shift2:
+                assert edge in edges
+            else:
+                assert edge not in edges
+
+
+def test_graph_size_and_degrees():
+    t, k = 4, 2
+    inst = overlap_graph_equilibrium(t, k)
+    assert inst.n == t**k
+    csr = inst.graph.undirected_csr()
+    degs = csr.degrees()
+    # Paper: min degree >= t - 1, max degree <= 2t.
+    assert int(degs.min()) >= t - 1
+    assert int(degs.max()) <= 2 * t
+
+
+def test_diameter_is_k():
+    for t, k in ((4, 2), (6, 3)):
+        inst = overlap_graph_equilibrium(t, k)
+        assert is_connected(inst.graph)
+        assert diameter(inst.graph) == k
+
+
+def test_positive_budgets():
+    inst = overlap_graph_equilibrium(5, 2)
+    assert (inst.budgets > 0).all()
+    assert int(inst.budgets.sum()) == len(overlap_graph_edges(5, 2))
+
+
+def test_no_braces():
+    inst = overlap_graph_equilibrium(4, 2)
+    assert inst.graph.braces() == []
+
+
+def test_is_max_equilibrium_small():
+    inst = overlap_graph_equilibrium(4, 2)
+    cert = certify_equilibrium(inst.graph, "max", method="exact", max_candidates=None)
+    assert cert.is_equilibrium, cert.summary()
+
+
+def test_swap_stability_medium():
+    inst = overlap_graph_equilibrium(5, 2)
+    cert = certify_equilibrium(inst.graph, "max", method="swap")
+    assert cert.is_equilibrium
+
+
+def test_lemma_parameters_enforced():
+    with pytest.raises(ConstructionError):
+        overlap_graph_equilibrium(2, 3)  # t < 2^(k-1) + 1
+    with pytest.raises(ConstructionError):
+        overlap_graph_equilibrium(5, 3)  # t < 2k... (t=5 < 6)
+    # But require_lemma=False allows building the raw graph.
+    inst = overlap_graph_equilibrium(3, 2, require_lemma=False)
+    assert inst.n == 9
+
+
+def test_edges_validation():
+    with pytest.raises(ConstructionError):
+        overlap_graph_edges(3, 1)
+    with pytest.raises(ConstructionError):
+        overlap_graph_edges(1, 2)
+
+
+def test_sqrt_log_diameter_relation():
+    # With t = 2^k the diameter k equals sqrt(log2 n) exactly.
+    t, k = 4, 2  # t = 2^k with k = 2
+    inst = overlap_graph_equilibrium(t, k)
+    assert np.isclose(np.sqrt(np.log2(inst.n)), k)

@@ -1,0 +1,146 @@
+"""Tests for the Theorem 2.3 equilibrium constructions (all cases)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions import classify_case, construct_equilibrium
+from repro.core import BoundedBudgetGame, certify_equilibrium
+from repro.errors import ConstructionError
+from repro.graphs import cinf, diameter, is_connected
+
+
+def test_classify_cases():
+    # sigma >= n-1, b_max >= z.
+    assert classify_case([1, 1, 1]) == 1
+    # sigma >= n-1, b_max < z: many zeros, small max.
+    assert classify_case([0, 0, 0, 0, 2, 2, 2]) == 2
+    # sigma < n-1.
+    assert classify_case([0, 0, 0, 1]) == 3
+
+
+def test_case1_hub_structure():
+    ec = construct_equilibrium([1, 1, 1, 1])
+    assert ec.case == 1
+    assert is_connected(ec.graph)
+    assert diameter(ec.graph) <= 2
+
+
+def test_case1_is_equilibrium_both_versions(rng):
+    for _ in range(10):
+        n = int(rng.integers(2, 9))
+        b = rng.integers(0, n, size=n)
+        if classify_case(b) != 1:
+            continue
+        ec = construct_equilibrium(b)
+        BoundedBudgetGame(b).validate_realization(ec.graph)
+        for version in ("sum", "max"):
+            cert = certify_equilibrium(ec.graph, version, method="exact")
+            assert cert.is_equilibrium, (b.tolist(), version, cert.summary())
+
+
+def test_case2_figure1_parameters():
+    budgets = [0] * 16 + [2, 5, 5, 5, 5, 5]
+    ec = construct_equilibrium(budgets)
+    assert ec.case == 2
+    assert is_connected(ec.graph)
+    assert diameter(ec.graph) <= 4
+    BoundedBudgetGame(budgets).validate_realization(ec.graph)
+    for version in ("sum", "max"):
+        cert = certify_equilibrium(ec.graph, version, method="exact")
+        assert cert.is_equilibrium, cert.summary()
+
+
+def test_case2_no_braces():
+    # The paper's construction creates no brace.
+    budgets = [0] * 16 + [2, 5, 5, 5, 5, 5]
+    ec = construct_equilibrium(budgets)
+    assert ec.graph.braces() == []
+
+
+def test_case2_random_instances(rng):
+    found = 0
+    for _ in range(60):
+        n = int(rng.integers(6, 12))
+        z = int(rng.integers(n // 2 + 1, n - 1))
+        rich = n - z
+        b = np.zeros(n, dtype=np.int64)
+        # Rich players get budgets < z but summing to >= n - 1.
+        need = n - 1
+        maxb = min(z - 1, n - 1)
+        if rich * maxb < need:
+            continue
+        b[z:] = maxb
+        if classify_case(b) != 2:
+            continue
+        found += 1
+        ec = construct_equilibrium(b)
+        BoundedBudgetGame(np.sort(b)).validate_realization(
+            construct_equilibrium(np.sort(b)).graph
+        )
+        for version in ("sum", "max"):
+            cert = certify_equilibrium(ec.graph, version, method="exact")
+            assert cert.is_equilibrium, (b.tolist(), version, cert.summary())
+    assert found >= 3
+
+
+def test_case3_disconnected_structure():
+    b = [0, 0, 0, 1]
+    ec = construct_equilibrium(b)
+    assert ec.case == 3
+    assert not is_connected(ec.graph)
+    assert diameter(ec.graph) == cinf(4)
+
+
+def test_case3_is_equilibrium(rng):
+    for b in ([0, 0, 0, 1], [0, 0, 1, 1, 0], [0, 0, 0, 2, 0, 0]):
+        ec = construct_equilibrium(b)
+        if ec.case != 3:
+            continue
+        game = BoundedBudgetGame(sorted(b))
+        for version in ("sum", "max"):
+            cert = certify_equilibrium(ec.graph, version, method="exact")
+            assert cert.is_equilibrium, (b, version, cert.summary())
+
+
+def test_unsorted_budgets_map_back():
+    b = [1, 0, 2, 1, 0, 1]
+    ec = construct_equilibrium(b)
+    assert ec.graph.out_degrees().tolist() == b
+    assert len(ec.sorted_order) == len(b)
+
+
+def test_invalid_budgets():
+    with pytest.raises(ConstructionError):
+        construct_equilibrium([])
+    with pytest.raises(ConstructionError):
+        construct_equilibrium([3, 0, 0])
+    with pytest.raises(ConstructionError):
+        construct_equilibrium([-1, 1])
+
+
+def test_single_player():
+    ec = construct_equilibrium([0])
+    assert ec.graph.n == 1
+    assert ec.graph.num_arcs == 0
+
+
+def test_two_players():
+    for b in ([0, 1], [1, 1]):
+        ec = construct_equilibrium(b)
+        for version in ("sum", "max"):
+            cert = certify_equilibrium(ec.graph, version, method="exact")
+            assert cert.is_equilibrium
+
+
+def test_diameter_bound_price_of_stability(rng):
+    # Theorem 2.3: whenever sigma >= n - 1 the construction has O(1)
+    # diameter (at most 4).
+    for _ in range(20):
+        n = int(rng.integers(2, 12))
+        b = rng.integers(0, n, size=n)
+        if int(b.sum()) < n - 1:
+            continue
+        ec = construct_equilibrium(b)
+        assert diameter(ec.graph) <= 4, (b.tolist(), diameter(ec.graph))

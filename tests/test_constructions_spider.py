@@ -1,0 +1,97 @@
+"""Tests for the Theorem 3.2 spider (MAX tree equilibria, diameter Θ(n))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions import spider_budgets, spider_equilibrium
+from repro.core import BoundedBudgetGame, certify_equilibrium, is_equilibrium
+from repro.errors import ConstructionError
+from repro.graphs import diameter, eccentricities, is_tree
+
+
+def test_structure():
+    inst = spider_equilibrium(3)
+    assert inst.n == 10
+    assert is_tree(inst.graph)
+    assert diameter(inst.graph) == 6
+    assert inst.diameter_value == 6
+    assert inst.center == 0
+    assert len(inst.legs) == 3
+    for leg in inst.legs:
+        assert len(leg) == 3
+
+
+def test_budgets_form_tree_game():
+    b = spider_budgets(4)
+    game = BoundedBudgetGame(b)
+    assert game.is_tree_game
+    # Inner leg vertices own 2 arcs, leg ends and the center own 0.
+    assert sorted(b.tolist(), reverse=True)[:3] == [2, 2, 2]
+    assert (b == 0).sum() == 4  # center + three leg ends
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5])
+def test_is_max_equilibrium(k):
+    inst = spider_equilibrium(k)
+    cert = certify_equilibrium(inst.graph, "max", method="exact")
+    assert cert.is_equilibrium, cert.summary()
+
+
+def test_not_sum_equilibrium_for_large_k():
+    # For long legs the spider is NOT a SUM equilibrium (Theorem 3.3
+    # forbids linear-diameter SUM trees): inner vertices would rather
+    # link deep into the legs.
+    inst = spider_equilibrium(6)
+    assert not is_equilibrium(inst.graph, "sum")
+
+
+def test_diameter_is_linear():
+    ns, ds = [], []
+    for k in (2, 4, 8):
+        inst = spider_equilibrium(k)
+        ns.append(inst.n)
+        ds.append(diameter(inst.graph))
+    ratios = [d / n for n, d in zip(ns, ds)]
+    # d = 2k = 2(n-1)/3.
+    for r in ratios:
+        assert abs(r - 2 / 3) < 0.1
+
+
+def test_center_eccentricity():
+    inst = spider_equilibrium(4)
+    ecc = eccentricities(inst.graph)
+    assert ecc[inst.center] == 4  # center is k away from leg ends
+
+
+def test_invalid_k():
+    with pytest.raises(ConstructionError):
+        spider_equilibrium(0)
+
+
+def test_generalized_spider_more_legs():
+    # Any number of legs >= 3 remains a MAX equilibrium.
+    for legs in (4, 5):
+        inst = spider_equilibrium(2, legs=legs)
+        assert inst.n == legs * 2 + 1
+        assert len(inst.legs) == legs
+        assert is_equilibrium(inst.graph, "max")
+
+
+def test_two_legs_rejected_and_genuinely_unstable():
+    # The builder refuses legs < 3 ...
+    with pytest.raises(ConstructionError):
+        spider_equilibrium(3, legs=2)
+    # ... and rightly so: the hand-built 2-leg "spider" (a path with the
+    # inner vertex linking the center) is NOT a MAX equilibrium.
+    from repro.graphs import OwnedDigraph
+
+    k = 3
+    g = OwnedDigraph(2 * k + 1)
+    for j in range(2):
+        base = 1 + j * k
+        g.add_arc(base, 0)
+        for i in range(k - 1):
+            g.add_arc(base + i, base + i + 1)
+    assert not is_equilibrium(g, "max")

@@ -1,0 +1,88 @@
+"""Unit tests for the SUM / MAX cost functions, vs the naive oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Version, all_costs, cost_profile, social_cost, vertex_cost
+from repro.errors import GameError, VertexError
+from repro.graphs import OwnedDigraph, cinf, cycle_realization, path_realization
+
+from conftest import naive_vertex_cost, random_owned_digraph
+
+
+def test_version_coercion():
+    assert Version.coerce("sum") is Version.SUM
+    assert Version.coerce("MAX") is Version.MAX
+    assert Version.coerce(Version.SUM) is Version.SUM
+    with pytest.raises(GameError):
+        Version.coerce("average")
+
+
+def test_path_costs():
+    g = path_realization(5)
+    # End vertex: distances 1+2+3+4; middle: 2+1+1+2.
+    assert vertex_cost(g, 0, "sum") == 10
+    assert vertex_cost(g, 2, "sum") == 6
+    assert vertex_cost(g, 0, "max") == 4
+    assert vertex_cost(g, 2, "max") == 2
+
+
+def test_disconnected_costs(two_components):
+    n = 5
+    c = cinf(n)
+    # vertex 0: dist 1 to vertex 1, Cinf to the rest; kappa = 3.
+    assert vertex_cost(two_components, 0, "sum") == 1 + 3 * c
+    assert vertex_cost(two_components, 0, "max") == c + 2 * c
+    # isolated vertex 4.
+    assert vertex_cost(two_components, 4, "sum") == 4 * c
+    assert vertex_cost(two_components, 4, "max") == c + 2 * c
+
+
+def test_single_vertex_zero_cost():
+    g = OwnedDigraph(1)
+    assert vertex_cost(g, 0, "sum") == 0
+    assert vertex_cost(g, 0, "max") == 0
+    assert all_costs(g, "max").tolist() == [0]
+
+
+def test_vertex_cost_invalid_vertex(path5):
+    with pytest.raises(VertexError):
+        vertex_cost(path5, 9, "sum")
+
+
+def test_all_costs_matches_vertex_cost(rng):
+    for _ in range(8):
+        n = int(rng.integers(2, 12))
+        g = random_owned_digraph(rng, n, p=0.3)
+        for version in ("sum", "max"):
+            vec = all_costs(g, version)
+            for u in range(n):
+                assert vec[u] == vertex_cost(g, u, version)
+
+
+def test_costs_match_naive_oracle(rng):
+    for _ in range(10):
+        n = int(rng.integers(2, 12))
+        g = random_owned_digraph(rng, n, p=0.25)
+        for u in range(n):
+            assert vertex_cost(g, u, "sum") == naive_vertex_cost(g, u, "sum")
+            assert vertex_cost(g, u, "max") == naive_vertex_cost(g, u, "max")
+
+
+def test_social_cost_is_diameter():
+    g = cycle_realization(6)
+    assert social_cost(g) == 3
+    assert social_cost(path_realization(4)) == 3
+
+
+def test_cost_profile_dict(path5):
+    prof = cost_profile(path5, "max")
+    assert prof == {0: 4, 1: 3, 2: 2, 3: 3, 4: 4}
+
+
+def test_brace_cost(brace_pair):
+    # Two vertices joined by a brace: each at distance 1 from the other.
+    assert vertex_cost(brace_pair, 0, "sum") == 1
+    assert vertex_cost(brace_pair, 0, "max") == 1

@@ -1,0 +1,83 @@
+"""Unit tests for equilibrium certificates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Version, certify_equilibrium
+from repro.graphs import path_realization, star_realization
+
+
+def test_certificate_positive():
+    g = star_realization(6, 0, center_owns=True)
+    cert = certify_equilibrium(g, "sum", method="exact")
+    assert cert.is_equilibrium
+    assert cert.violators == ()
+    assert cert.max_regret() == 0
+    assert len(cert.witnesses) == 6
+    assert "NASH EQUILIBRIUM" in cert.summary()
+
+
+def test_certificate_negative_names_violators():
+    g = path_realization(5)
+    cert = certify_equilibrium(g, "sum", method="exact")
+    assert not cert.is_equilibrium
+    assert 0 in cert.violators
+    assert cert.max_regret() > 0
+    assert "NOT an equilibrium" in cert.summary()
+
+
+def test_lemma_shortcut_recorded():
+    g = star_realization(6, 0, center_owns=True)
+    cert = certify_equilibrium(g, "sum", method="exact", use_lemma=True)
+    lemma_players = [w for w in cert.witnesses if w.via_lemma]
+    assert len(lemma_players) == 6  # whole star satisfies Lemma 2.2
+    assert all(w.evaluated == 0 for w in lemma_players)
+    no_lemma = certify_equilibrium(g, "sum", method="exact", use_lemma=False)
+    assert all(not w.via_lemma for w in no_lemma.witnesses)
+    assert no_lemma.total_evaluated > 0
+
+
+def test_lemma_and_search_agree(rng):
+    from conftest import random_owned_digraph
+
+    for _ in range(6):
+        g = random_owned_digraph(rng, int(rng.integers(3, 8)), p=0.4)
+        if any(g.out_degree(u) > 3 for u in range(g.n)):
+            continue
+        with_lemma = certify_equilibrium(g, "max", method="exact", use_lemma=True)
+        without = certify_equilibrium(g, "max", method="exact", use_lemma=False)
+        assert with_lemma.is_equilibrium == without.is_equilibrium
+
+
+def test_players_subset_certification():
+    g = path_realization(4)
+    cert = certify_equilibrium(g, "sum", method="exact", players=[3])
+    assert len(cert.witnesses) == 1
+    assert cert.witnesses[0].player == 3
+    assert cert.is_equilibrium  # zero-budget player is trivially stable
+
+
+def test_witness_fields_consistent():
+    g = path_realization(5)
+    cert = certify_equilibrium(g, "max", method="exact", use_lemma=False)
+    for w in cert.witnesses:
+        assert w.best_cost <= w.current_cost or w.is_stable
+        assert len(w.best_strategy) == g.out_degree(w.player)
+
+
+def test_swap_certificate_weaker_than_exact():
+    # A swap certificate can pass where exact finds a deviation, never
+    # the other way around.
+    from conftest import random_owned_digraph
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    for _ in range(10):
+        g = random_owned_digraph(rng, int(rng.integers(3, 8)), p=0.4)
+        if any(g.out_degree(u) > 3 for u in range(g.n)):
+            continue
+        exact = certify_equilibrium(g, "sum", method="exact")
+        swap = certify_equilibrium(g, "sum", method="swap")
+        if exact.is_equilibrium:
+            assert swap.is_equilibrium

@@ -1,0 +1,115 @@
+"""Unit tests for the game specification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BoundedBudgetGame
+from repro.errors import BudgetError, StrategyError
+from repro.graphs import OwnedDigraph
+
+
+def test_basic_properties():
+    game = BoundedBudgetGame([2, 1, 0, 1])
+    assert game.n == 4
+    assert game.total_budget == 4
+    assert not game.is_tree_game
+    assert game.can_connect
+    assert game.min_budget == 0
+    assert not game.is_unit_game
+    assert not game.all_positive
+
+
+def test_tree_game_flag():
+    assert BoundedBudgetGame([1, 1, 1, 0]).is_tree_game
+    assert BoundedBudgetGame([1, 1]).is_unit_game
+    assert BoundedBudgetGame([1, 2, 1]).all_positive
+
+
+def test_budget_validation():
+    with pytest.raises(BudgetError):
+        BoundedBudgetGame([])
+    with pytest.raises(BudgetError):
+        BoundedBudgetGame([-1, 0])
+    with pytest.raises(BudgetError):
+        BoundedBudgetGame([3, 0, 0])  # b_i must be < n
+
+
+def test_budgets_read_only():
+    game = BoundedBudgetGame([1, 0])
+    with pytest.raises(ValueError):
+        game.budgets[0] = 5
+
+
+def test_budget_accessor():
+    game = BoundedBudgetGame([2, 0, 1])
+    assert game.budget(0) == 2
+    assert game.budget(1) == 0
+    with pytest.raises(BudgetError):
+        game.budget(3)
+
+
+def test_validate_strategy():
+    game = BoundedBudgetGame([2, 0, 0])
+    assert game.validate_strategy(0, [1, 2]) == frozenset({1, 2})
+    with pytest.raises(StrategyError):
+        game.validate_strategy(0, [1])  # wrong size
+    with pytest.raises(StrategyError):
+        game.validate_strategy(0, [0, 1])  # self-link
+    with pytest.raises(StrategyError):
+        game.validate_strategy(0, [1, 7])  # out of range
+    assert game.validate_strategy(1, []) == frozenset()
+
+
+def test_realization_roundtrip():
+    game = BoundedBudgetGame([1, 1, 1])
+    g = game.realization([{1}, {2}, {0}])
+    assert g.out_degrees().tolist() == [1, 1, 1]
+    game.validate_realization(g)
+    assert game.is_realization(g)
+
+
+def test_realization_wrong_profile_size():
+    game = BoundedBudgetGame([1, 1])
+    with pytest.raises(StrategyError):
+        game.realization([{1}])
+
+
+def test_validate_realization_mismatch():
+    game = BoundedBudgetGame([1, 1])
+    g = OwnedDigraph(2)
+    g.add_arc(0, 1)
+    with pytest.raises(StrategyError):
+        game.validate_realization(g)
+    assert not game.is_realization(g)
+    h = OwnedDigraph(3)
+    with pytest.raises(StrategyError):
+        game.validate_realization(h)
+
+
+def test_random_realization_budgets():
+    game = BoundedBudgetGame([2, 1, 0, 1, 1])
+    g = game.random_realization(seed=5)
+    game.validate_realization(g)
+    g2 = game.random_realization(seed=5, connected=True)
+    game.validate_realization(g2)
+    from repro.graphs import is_connected
+
+    assert is_connected(g2)
+
+
+def test_equality_and_hash():
+    a = BoundedBudgetGame([1, 2, 0])
+    b = BoundedBudgetGame([1, 2, 0])
+    c = BoundedBudgetGame([1, 2, 1])
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+    assert a != "not a game"
+
+
+def test_repr_long_vector():
+    game = BoundedBudgetGame([1] * 20)
+    assert "..." in repr(game)
+    assert "BoundedBudgetGame" in repr(BoundedBudgetGame([1, 0]))

@@ -1,0 +1,136 @@
+"""Tests for improvement graphs, FIP checking, and isomorphism counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BoundedBudgetGame,
+    are_isomorphic,
+    check_finite_improvement,
+    count_isomorphism_classes,
+    enumerate_equilibria,
+    find_improvement_cycle,
+    improvement_graph,
+    isomorphism_invariant,
+)
+from repro.errors import GameError
+from repro.graphs import OwnedDigraph, cycle_realization, path_realization
+
+
+# ----------------------------------------------------------------------
+# Improvement graphs / FIP
+# ----------------------------------------------------------------------
+def test_improvement_graph_shape():
+    game = BoundedBudgetGame([1, 1, 1])
+    g = improvement_graph(game, "sum", kind="better")
+    assert g.num_states == 8
+    # Sinks are exactly the enumerated equilibria.
+    sinks = set(g.sinks())
+    eqs = {x.profile_key() for x in enumerate_equilibria(game, "sum")}
+    assert sinks == eqs
+
+
+def test_improvement_edges_are_single_player_moves():
+    game = BoundedBudgetGame([1, 1, 1])
+    g = improvement_graph(game, "max", kind="better")
+    for src, outs in g.edges.items():
+        for dst in outs:
+            diff = [i for i in range(3) if src[i] != dst[i]]
+            assert len(diff) == 1
+
+
+def test_best_subset_of_better():
+    game = BoundedBudgetGame([1, 1, 1, 1])
+    better = improvement_graph(game, "sum", kind="better")
+    best = improvement_graph(game, "sum", kind="best")
+    assert best.num_states == better.num_states
+    for key in better.edges:
+        assert set(best.edges[key]) <= set(better.edges[key])
+    assert set(best.sinks()) == set(better.sinks())
+
+
+def test_invalid_kind():
+    game = BoundedBudgetGame([1, 1])
+    with pytest.raises(GameError):
+        improvement_graph(game, "sum", kind="steepest")
+
+
+@pytest.mark.parametrize("version", ["sum", "max"])
+@pytest.mark.parametrize("kind", ["better", "best"])
+def test_fip_holds_on_tiny_unit_games(version, kind):
+    # Section 8 open problem, answered exhaustively at n = 3, 4: every
+    # improvement path terminates — no Laoutaris-style loop exists.
+    for n in (3, 4):
+        game = BoundedBudgetGame([1] * n)
+        report = check_finite_improvement(game, version, kind=kind)
+        assert report.has_fip, (n, version, kind, report.cycle)
+        assert report.num_sinks >= 1
+        assert find_improvement_cycle(game, version, kind=kind) is None
+
+
+def test_fip_on_mixed_budgets():
+    game = BoundedBudgetGame([2, 1, 0, 1])
+    for version in ("sum", "max"):
+        report = check_finite_improvement(game, version)
+        assert report.has_fip
+        assert report.num_states == 27
+        assert report.num_sinks == len(enumerate_equilibria(game, version))
+
+
+# ----------------------------------------------------------------------
+# Isomorphism
+# ----------------------------------------------------------------------
+def test_isomorphic_relabelings():
+    a = OwnedDigraph.from_arcs(3, [(0, 1), (1, 2)])
+    b = OwnedDigraph.from_arcs(3, [(2, 0), (0, 1)])  # relabeled path
+    assert are_isomorphic(a, b)
+    assert isomorphism_invariant(a) == isomorphism_invariant(b)
+
+
+def test_non_isomorphic_by_ownership():
+    # Same undirected shape, different ownership pattern.
+    a = OwnedDigraph.from_arcs(3, [(0, 1), (1, 2)])  # chain ownership
+    c = OwnedDigraph.from_arcs(3, [(1, 0), (1, 2)])  # middle owns both
+    assert not are_isomorphic(a, c)
+
+
+def test_non_isomorphic_different_sizes_and_arcs():
+    a = path_realization(3)
+    b = path_realization(4)
+    assert not are_isomorphic(a, b)
+    c = OwnedDigraph(3)
+    assert not are_isomorphic(a, c)
+
+
+def test_isomorphism_cap():
+    big = OwnedDigraph(12)
+    with pytest.raises(GameError):
+        are_isomorphic(big, big.copy())
+
+
+def test_count_classes_cycles():
+    # All 5-cycles are isomorphic regardless of starting label.
+    graphs = []
+    for shift in range(3):
+        g = OwnedDigraph(5)
+        for i in range(5):
+            g.add_arc((i + shift) % 5, (i + 1 + shift) % 5)
+        graphs.append(g)
+    assert count_isomorphism_classes(graphs) == 1
+
+
+def test_count_classes_equilibrium_census():
+    # The 30 labeled SUM equilibria of (1,1,1,1)-BG collapse to a small
+    # number of structural shapes.
+    game = BoundedBudgetGame([1, 1, 1, 1])
+    eqs = enumerate_equilibria(game, "sum")
+    classes = count_isomorphism_classes(eqs)
+    assert 1 <= classes < len(eqs)
+    # Isomorphism preserves diameters within each class (spot check).
+    from repro.graphs import diameter
+
+    for g in eqs[:5]:
+        for h in eqs[:5]:
+            if are_isomorphic(g, h):
+                assert diameter(g) == diameter(h)

@@ -1,0 +1,52 @@
+"""Tests for the exact-census experiment and cross-validation of
+dynamics against full enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BoundedBudgetGame,
+    best_response_dynamics,
+    enumerate_equilibria,
+)
+from repro.experiments import exact_census_experiment
+from repro.experiments.runner import REGISTRY
+
+
+def test_census_experiment_rows():
+    rep = exact_census_experiment(instances=(("unit n=3", (1, 1, 1)),))
+    assert len(rep.rows) == 2  # sum + max
+    for r in rep.rows:
+        assert r["equilibria"] >= 1  # Theorem 2.3
+        assert r["structure_thms"] is True
+    assert not rep.notes  # no violations
+
+
+def test_census_registered():
+    assert "EXACT-tiny" in REGISTRY
+
+
+def test_dynamics_fixed_points_are_enumerated_equilibria():
+    # Cross-validation: every fixed point exact dynamics reaches must be
+    # a member of the exhaustively enumerated equilibrium set.
+    game = BoundedBudgetGame([1, 1, 1, 1])
+    for version in ("sum", "max"):
+        eq_keys = {g.profile_key() for g in enumerate_equilibria(game, version)}
+        for seed in range(6):
+            res = best_response_dynamics(
+                game, game.random_realization(seed=seed), version, max_rounds=60
+            )
+            assert res.converged
+            assert res.graph.profile_key() in eq_keys, (version, seed)
+
+
+def test_enumerated_equilibria_are_fixed_points():
+    # Converse: starting dynamics AT an enumerated equilibrium must not move.
+    game = BoundedBudgetGame([1, 1, 1])
+    for version in ("sum", "max"):
+        for g in enumerate_equilibria(game, version):
+            res = best_response_dynamics(game, g, version, max_rounds=5)
+            assert res.converged
+            assert res.num_moves == 0
+            assert res.graph == g

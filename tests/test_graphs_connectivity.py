@@ -1,0 +1,171 @@
+"""Unit tests for components, vertex connectivity and Menger witnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    OwnedDigraph,
+    articulation_points,
+    connected_components,
+    cycle_realization,
+    is_connected,
+    is_k_connected,
+    local_vertex_connectivity,
+    menger_paths,
+    num_components,
+    path_realization,
+    star_realization,
+    vertex_connectivity,
+)
+
+from conftest import random_owned_digraph, to_networkx_undirected
+
+
+def test_components_labels_canonical(two_components):
+    labels, k = connected_components(two_components)
+    assert k == 3
+    assert labels.tolist() == [0, 0, 1, 1, 2]
+
+
+def test_connected_predicates(path5, two_components):
+    assert is_connected(path5)
+    assert not is_connected(two_components)
+    assert num_components(path5) == 1
+
+
+def test_single_vertex_connectivity():
+    g = OwnedDigraph(1)
+    assert is_connected(g)
+    assert vertex_connectivity(g) == 0
+    assert not is_k_connected(g, 1)
+
+
+def test_path_connectivity():
+    g = path_realization(6)
+    assert vertex_connectivity(g) == 1
+    assert is_k_connected(g, 1)
+    assert not is_k_connected(g, 2)
+
+
+def test_cycle_connectivity():
+    g = cycle_realization(8)
+    assert vertex_connectivity(g) == 2
+    assert is_k_connected(g, 2)
+    assert not is_k_connected(g, 3)
+
+
+def test_complete_graph_connectivity():
+    g = OwnedDigraph(5)
+    for u in range(5):
+        for v in range(u + 1, 5):
+            g.add_arc(u, v)
+    assert vertex_connectivity(g) == 4
+    assert is_k_connected(g, 4)
+    assert not is_k_connected(g, 5)  # needs more than k vertices
+
+
+def test_star_connectivity():
+    g = star_realization(7)
+    assert vertex_connectivity(g) == 1
+    assert articulation_points(g).tolist() == [0]
+
+
+def test_disconnected_connectivity(two_components):
+    assert vertex_connectivity(two_components) == 0
+
+
+def test_local_connectivity_path():
+    g = path_realization(5)
+    assert local_vertex_connectivity(g, 0, 4) == 1
+
+
+def test_local_connectivity_requires_nonadjacent():
+    g = path_realization(3)
+    with pytest.raises(GraphError):
+        local_vertex_connectivity(g, 0, 1)
+    with pytest.raises(GraphError):
+        local_vertex_connectivity(g, 1, 1)
+
+
+def test_connectivity_matches_networkx(rng):
+    import networkx as nx
+
+    checked = 0
+    for _ in range(20):
+        n = int(rng.integers(4, 12))
+        g = random_owned_digraph(rng, n, p=float(rng.uniform(0.15, 0.5)))
+        ours = vertex_connectivity(g)
+        theirs = nx.node_connectivity(to_networkx_undirected(g))
+        assert ours == theirs, (g.underlying_edges(), ours, theirs)
+        checked += 1
+    assert checked == 20
+
+
+def test_articulation_matches_networkx(rng):
+    import networkx as nx
+
+    for _ in range(15):
+        n = int(rng.integers(3, 14))
+        g = random_owned_digraph(rng, n, p=0.25)
+        ours = set(articulation_points(g).tolist())
+        theirs = set(nx.articulation_points(to_networkx_undirected(g)))
+        assert ours == theirs
+
+
+def test_menger_paths_cycle():
+    g = cycle_realization(6)
+    paths = menger_paths(g, 0, 3)
+    assert len(paths) == 2
+    for p in paths:
+        assert p[0] == 0 and p[-1] == 3
+    # Internal vertices must be disjoint.
+    internals = [set(p[1:-1]) for p in paths]
+    assert internals[0].isdisjoint(internals[1])
+
+
+def test_menger_paths_count_equals_local_connectivity(rng):
+    for _ in range(10):
+        n = int(rng.integers(5, 11))
+        g = random_owned_digraph(rng, n, p=0.35)
+        csr = g.undirected_csr()
+        # Find a non-adjacent pair.
+        pair = None
+        for u in range(n):
+            for v in range(u + 1, n):
+                if not csr.has_edge(u, v):
+                    pair = (u, v)
+                    break
+            if pair:
+                break
+        if pair is None:
+            continue
+        k = local_vertex_connectivity(g, *pair)
+        paths = menger_paths(g, *pair)
+        assert len(paths) == k
+        seen: set[int] = set()
+        for p in paths:
+            inner = set(p[1:-1])
+            assert seen.isdisjoint(inner)
+            seen |= inner
+
+
+def test_menger_requires_nonadjacent(path5):
+    with pytest.raises(GraphError):
+        menger_paths(path5, 0, 1)
+
+
+def test_menger_paths_are_real_paths():
+    g = cycle_realization(7)
+    csr = g.undirected_csr()
+    for p in menger_paths(g, 0, 3):
+        for a, b in zip(p, p[1:]):
+            assert csr.has_edge(a, b)
+
+
+def test_connectivity_limit_early_exit():
+    g = cycle_realization(10)
+    assert vertex_connectivity(g, limit=1) >= 1
+    assert is_k_connected(g, 2)

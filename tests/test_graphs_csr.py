@@ -1,0 +1,88 @@
+"""Unit tests for the CSR adjacency builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.csr import CSRAdjacency, build_csr, csr_without_vertex
+
+
+def test_empty_graph():
+    csr = build_csr(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    assert csr.n == 3
+    assert csr.num_edges == 0
+    for v in range(3):
+        assert csr.neighbors(v).size == 0
+        assert csr.degree(v) == 0
+
+
+def test_single_edge_symmetrised():
+    csr = build_csr(2, np.array([0]), np.array([1]))
+    assert csr.neighbors(0).tolist() == [1]
+    assert csr.neighbors(1).tolist() == [0]
+    assert csr.num_edges == 1
+
+
+def test_brace_collapses_to_single_edge():
+    # Anti-parallel arcs 0->1 and 1->0 are one undirected edge.
+    csr = build_csr(2, np.array([0, 1]), np.array([1, 0]))
+    assert csr.num_edges == 1
+    assert csr.neighbors(0).tolist() == [1]
+
+
+def test_neighbors_sorted_and_deduped():
+    heads = np.array([2, 2, 0, 1, 0])
+    tails = np.array([0, 1, 2, 2, 1])
+    csr = build_csr(3, heads, tails)
+    assert csr.neighbors(2).tolist() == [0, 1]
+    assert csr.neighbors(0).tolist() == [1, 2]
+    assert csr.degrees().tolist() == [2, 2, 2]
+
+
+def test_has_edge():
+    csr = build_csr(4, np.array([0, 1]), np.array([1, 2]))
+    assert csr.has_edge(0, 1)
+    assert csr.has_edge(2, 1)
+    assert not csr.has_edge(0, 2)
+    assert not csr.has_edge(3, 0)
+
+
+def test_self_loop_rejected():
+    with pytest.raises(GraphError):
+        build_csr(3, np.array([1]), np.array([1]))
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(GraphError):
+        build_csr(3, np.array([0]), np.array([3]))
+    with pytest.raises(GraphError):
+        build_csr(3, np.array([-1]), np.array([0]))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(GraphError):
+        build_csr(3, np.array([0, 1]), np.array([1]))
+
+
+def test_without_vertex_isolates_but_keeps_indexing():
+    # Triangle 0-1-2; removing 1 leaves edge 0-2 and empty row 1.
+    csr = build_csr(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+    reduced = csr_without_vertex(csr, 1)
+    assert reduced.n == 3
+    assert reduced.neighbors(1).size == 0
+    assert reduced.neighbors(0).tolist() == [2]
+    assert reduced.neighbors(2).tolist() == [0]
+
+
+def test_without_vertex_invalid():
+    csr = build_csr(2, np.array([0]), np.array([1]))
+    with pytest.raises(GraphError):
+        csr_without_vertex(csr, 5)
+
+
+def test_without_vertex_preserves_original():
+    csr = build_csr(3, np.array([0, 1]), np.array([1, 2]))
+    csr_without_vertex(csr, 1)
+    assert csr.neighbors(1).tolist() == [0, 2]

@@ -1,0 +1,156 @@
+"""Unit tests for OwnedDigraph (ownership semantics and caching)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ArcError, GraphError, VertexError
+from repro.graphs import OwnedDigraph
+
+
+def test_empty_graph_properties():
+    g = OwnedDigraph(4)
+    assert g.n == 4
+    assert g.num_arcs == 0
+    assert g.out_degrees().tolist() == [0, 0, 0, 0]
+    assert list(g.arcs()) == []
+
+
+def test_invalid_size():
+    with pytest.raises(GraphError):
+        OwnedDigraph(0)
+
+
+def test_add_and_query_arcs():
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    g.add_arc(0, 2)
+    assert g.has_arc(0, 1)
+    assert not g.has_arc(1, 0)
+    assert g.out_neighbors(0).tolist() == [1, 2]
+    assert g.out_degree(0) == 2
+    assert g.in_neighbors(1).tolist() == [0]
+
+
+def test_self_loop_rejected():
+    g = OwnedDigraph(3)
+    with pytest.raises(ArcError):
+        g.add_arc(1, 1)
+
+
+def test_duplicate_arc_rejected():
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    with pytest.raises(ArcError):
+        g.add_arc(0, 1)
+
+
+def test_remove_arc():
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    g.remove_arc(0, 1)
+    assert not g.has_arc(0, 1)
+    with pytest.raises(ArcError):
+        g.remove_arc(0, 1)
+
+
+def test_vertex_range_checks():
+    g = OwnedDigraph(3)
+    with pytest.raises(VertexError):
+        g.add_arc(0, 3)
+    with pytest.raises(VertexError):
+        g.out_neighbors(-1)
+
+
+def test_braces_detection():
+    g = OwnedDigraph(4)
+    g.add_arc(0, 1)
+    g.add_arc(1, 0)
+    g.add_arc(2, 3)
+    assert g.braces() == [(0, 1)]
+
+
+def test_neighbors_union_of_in_and_out():
+    g = OwnedDigraph(4)
+    g.add_arc(0, 1)
+    g.add_arc(2, 0)
+    assert g.neighbors(0).tolist() == [1, 2]
+    assert g.degree(0) == 2
+
+
+def test_brace_counts_once_in_undirected_degree():
+    g = OwnedDigraph(2)
+    g.add_arc(0, 1)
+    g.add_arc(1, 0)
+    assert g.degree(0) == 1
+    assert g.underlying_edges() == [(0, 1)]
+
+
+def test_set_strategy_replaces_out_set():
+    g = OwnedDigraph(5)
+    g.add_arc(0, 1)
+    g.set_strategy(0, [2, 3])
+    assert g.out_neighbors(0).tolist() == [2, 3]
+
+
+def test_set_strategy_validation():
+    g = OwnedDigraph(4)
+    with pytest.raises(ArcError):
+        g.set_strategy(0, [0])
+    with pytest.raises(ArcError):
+        g.set_strategy(0, [1, 1])
+    with pytest.raises(VertexError):
+        g.set_strategy(0, [9])
+
+
+def test_from_strategies_and_profile_key():
+    g = OwnedDigraph.from_strategies([{1}, {2}, {0}])
+    assert g.profile_key() == ((1,), (2,), (0,))
+    g2 = OwnedDigraph.from_arcs(3, [(0, 1), (1, 2), (2, 0)])
+    assert g == g2
+
+
+def test_copy_is_deep():
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    h = g.copy()
+    h.add_arc(1, 2)
+    assert not g.has_arc(1, 2)
+    assert h.has_arc(0, 1)
+
+
+def test_csr_cache_invalidation():
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    csr1 = g.undirected_csr()
+    assert csr1.has_edge(0, 1)
+    g.add_arc(1, 2)
+    csr2 = g.undirected_csr()
+    assert csr2.has_edge(1, 2)
+    # Cached object must have been rebuilt after mutation.
+    assert csr1 is not csr2
+
+
+def test_csr_without_cache():
+    g = OwnedDigraph.from_arcs(4, [(0, 1), (1, 2), (2, 3)])
+    a = g.undirected_csr_without(1)
+    b = g.undirected_csr_without(1)
+    assert a is b  # cached
+    assert a.neighbors(1).size == 0
+    assert a.has_edge(2, 3)
+    g.remove_arc(2, 3)
+    c = g.undirected_csr_without(1)
+    assert not c.has_edge(2, 3)
+
+
+def test_to_networkx_roundtrip():
+    g = OwnedDigraph.from_arcs(4, [(0, 1), (2, 3), (3, 0)])
+    G = g.to_networkx()
+    assert set(G.edges()) == {(0, 1), (2, 3), (3, 0)}
+    assert G.number_of_nodes() == 4
+
+
+def test_repr_smoke():
+    g = OwnedDigraph(3)
+    assert "OwnedDigraph" in repr(g)

@@ -1,0 +1,109 @@
+"""Unit tests for distance aggregates under the Cinf convention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    OwnedDigraph,
+    cinf,
+    diameter,
+    distance_matrix,
+    distance_to_set,
+    eccentricities,
+    local_diameter,
+    pairwise_distance,
+    radius,
+    sum_distances,
+)
+
+
+def test_cinf_is_n_squared():
+    assert cinf(5) == 25
+    assert cinf(1) == 1
+
+
+def test_distance_matrix_connected(path5):
+    d = distance_matrix(path5)
+    assert d[0, 4] == 4
+    assert d[1, 3] == 2
+    assert (np.diag(d) == 0).all()
+
+
+def test_distance_matrix_cinf_substitution(two_components):
+    d = distance_matrix(two_components)
+    assert d[0, 1] == 1
+    assert d[0, 2] == cinf(5)
+    assert d[4, 0] == cinf(5)
+    raw = distance_matrix(two_components, apply_cinf=False)
+    assert raw[0, 2] == -1
+
+
+def test_eccentricities_and_diameter(path5):
+    ecc = eccentricities(path5)
+    assert ecc.tolist() == [4, 3, 2, 3, 4]
+    assert diameter(path5) == 4
+    assert radius(path5) == 2
+
+
+def test_disconnected_local_diameter_is_cinf(two_components):
+    # Paper: in a disconnected graph every local diameter is n^2.
+    ecc = eccentricities(two_components)
+    assert (ecc == cinf(5)).all()
+    assert diameter(two_components) == cinf(5)
+
+
+def test_single_vertex():
+    g = OwnedDigraph(1)
+    assert diameter(g) == 0
+    assert eccentricities(g).tolist() == [0]
+    assert local_diameter(g, 0) == 0
+    assert sum_distances(g).tolist() == [0]
+
+
+def test_local_diameter_matches_eccentricity(path5):
+    ecc = eccentricities(path5)
+    for u in range(5):
+        assert local_diameter(path5, u) == ecc[u]
+
+
+def test_sum_distances(path5):
+    s = sum_distances(path5)
+    assert s[0] == 1 + 2 + 3 + 4
+    assert s[2] == 2 + 1 + 1 + 2
+
+
+def test_sum_distances_disconnected(two_components):
+    s = sum_distances(two_components)
+    # vertex 0: dist 1 to vertex 1, Cinf to 2, 3, 4.
+    assert s[0] == 1 + 3 * cinf(5)
+    # isolated vertex 4: Cinf to everyone.
+    assert s[4] == 4 * cinf(5)
+
+
+def test_pairwise_distance(path5, two_components):
+    assert pairwise_distance(path5, 0, 3) == 3
+    assert pairwise_distance(two_components, 0, 3) == cinf(5)
+
+
+def test_distance_to_set(path5):
+    d = distance_to_set(path5, [0, 4])
+    assert d.tolist() == [0, 1, 2, 1, 0]
+
+
+def test_distance_to_set_empty_rejected(path5):
+    with pytest.raises(GraphError):
+        distance_to_set(path5, [])
+
+
+def test_distance_to_set_unreachable(two_components):
+    d = distance_to_set(two_components, [0])
+    assert d[1] == 1
+    assert d[2] == cinf(5)
+
+
+def test_brace_distance_is_one(brace_pair):
+    assert pairwise_distance(brace_pair, 0, 1) == 1
+    assert diameter(brace_pair) == 1

@@ -1,0 +1,143 @@
+"""Unit tests for instance generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import BudgetError, GraphError
+from repro.graphs import (
+    cycle_realization,
+    is_connected,
+    is_tree,
+    path_realization,
+    random_budgets_with_sum,
+    random_connected_realization,
+    random_positive_budgets,
+    random_realization,
+    random_tree_realization,
+    star_realization,
+    uniform_budgets,
+    unit_budgets,
+)
+
+
+def test_unit_budgets():
+    assert unit_budgets(5).tolist() == [1, 1, 1, 1, 1]
+    with pytest.raises(BudgetError):
+        unit_budgets(1)
+
+
+def test_uniform_budgets_validation():
+    assert uniform_budgets(5, 3).tolist() == [3] * 5
+    with pytest.raises(BudgetError):
+        uniform_budgets(4, 4)
+    with pytest.raises(BudgetError):
+        uniform_budgets(4, -1)
+
+
+def test_random_budgets_with_sum_basic(rng):
+    for _ in range(20):
+        n = int(rng.integers(2, 20))
+        total = int(rng.integers(0, n * (n - 1) // 2))
+        b = random_budgets_with_sum(n, total, rng)
+        assert b.sum() == total
+        assert (b >= 0).all() and (b < n).all()
+
+
+def test_random_budgets_min_budget(rng):
+    b = random_budgets_with_sum(10, 15, rng, min_budget=1)
+    assert b.sum() == 15
+    assert (b >= 1).all()
+
+
+def test_random_budgets_infeasible():
+    with pytest.raises(BudgetError):
+        random_budgets_with_sum(5, 3, 0, min_budget=1)
+
+
+def test_random_positive_budgets(rng):
+    b = random_positive_budgets(8, 12, rng)
+    assert (b > 0).all() and b.sum() == 12
+
+
+def test_random_realization_respects_budgets(rng):
+    b = np.array([2, 0, 1, 3, 1])
+    g = random_realization(b, rng)
+    assert g.out_degrees().tolist() == b.tolist()
+    for u, v in g.arcs():
+        assert u != v
+
+
+def test_random_realization_deterministic_seed():
+    b = [1, 2, 1, 0, 2]
+    g1 = random_realization(b, seed=99)
+    g2 = random_realization(b, seed=99)
+    assert g1 == g2
+    g3 = random_realization(b, seed=100)
+    # Overwhelmingly likely to differ.
+    assert g1 != g3 or g1.num_arcs == 0
+
+
+def test_random_realization_invalid_budgets():
+    with pytest.raises(BudgetError):
+        random_realization([5], 0)
+    with pytest.raises(BudgetError):
+        random_realization([-1, 0], 0)
+
+
+def test_random_connected_realization(rng):
+    for _ in range(10):
+        n = int(rng.integers(3, 15))
+        b = random_budgets_with_sum(n, n - 1 + int(rng.integers(0, 4)), rng)
+        g = random_connected_realization(b, rng)
+        assert is_connected(g)
+        assert g.out_degrees().tolist() == b.tolist()
+
+
+def test_random_connected_needs_enough_budget():
+    with pytest.raises(BudgetError):
+        random_connected_realization([1, 0, 0], 0)
+
+
+def test_random_tree_realization(rng):
+    for _ in range(10):
+        n = int(rng.integers(1, 25))
+        g, budgets = random_tree_realization(n, rng)
+        assert budgets.sum() == n - 1
+        assert g.out_degrees().tolist() == budgets.tolist()
+        if n >= 2:
+            assert is_tree(g)
+
+
+def test_random_tree_small_sizes():
+    g1, b1 = random_tree_realization(1, seed=0)
+    assert g1.num_arcs == 0 and b1.tolist() == [0]
+    g2, b2 = random_tree_realization(2, seed=0)
+    assert g2.num_arcs == 1 and b2.sum() == 1
+
+
+def test_path_realization_orientation():
+    f = path_realization(4, forward=True)
+    assert f.has_arc(0, 1) and f.has_arc(2, 3)
+    r = path_realization(4, forward=False)
+    assert r.has_arc(1, 0) and r.has_arc(3, 2)
+    assert is_tree(f) and is_tree(r)
+
+
+def test_cycle_realization():
+    g = cycle_realization(5)
+    assert g.out_degrees().tolist() == [1] * 5
+    assert is_connected(g)
+    with pytest.raises(GraphError):
+        cycle_realization(1)
+
+
+def test_star_realization_ownership():
+    center_owned = star_realization(5, 0, center_owns=True)
+    assert center_owned.out_degree(0) == 4
+    leaf_owned = star_realization(5, 2, center_owns=False)
+    assert leaf_owned.out_degree(2) == 0
+    assert leaf_owned.in_neighbors(2).size == 4
+    with pytest.raises(GraphError):
+        star_realization(3, 5)

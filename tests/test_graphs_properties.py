@@ -1,0 +1,144 @@
+"""Unit tests for structural predicates (trees, cycles, decompositions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    OwnedDigraph,
+    cycle_realization,
+    distance_to_cycle,
+    find_cycle,
+    functional_cycle,
+    is_forest,
+    is_tree,
+    is_unicyclic,
+    path_realization,
+    star_realization,
+    tree_center,
+    tree_longest_path,
+    unique_cycle,
+)
+
+
+def test_path_is_tree(path5):
+    assert is_tree(path5)
+    assert is_forest(path5)
+    assert not is_unicyclic(path5)
+    assert find_cycle(path5) is None
+
+
+def test_brace_is_unicyclic(brace_pair):
+    # The paper views a brace as a 2-vertex cycle of the multigraph.
+    assert not is_tree(brace_pair)
+    assert not is_forest(brace_pair)
+    assert is_unicyclic(brace_pair)
+    assert sorted(unique_cycle(brace_pair)) == [0, 1]
+
+
+def test_forest_disconnected(two_components):
+    assert is_forest(two_components)
+    assert not is_tree(two_components)
+    assert not is_unicyclic(two_components)
+
+
+def test_cycle_is_unicyclic():
+    g = cycle_realization(6)
+    assert is_unicyclic(g)
+    cyc = unique_cycle(g)
+    assert sorted(cyc) == list(range(6))
+
+
+def test_unicyclic_with_pendant():
+    g = cycle_realization(4)
+    # Can't add arcs to the cycle vertices (unit budgets); grow a new graph.
+    h = OwnedDigraph(6)
+    for i in range(4):
+        h.add_arc(i, (i + 1) % 4)
+    h.add_arc(4, 0)
+    h.add_arc(5, 4)
+    assert is_unicyclic(h)
+    assert sorted(unique_cycle(h)) == [0, 1, 2, 3]
+    d = distance_to_cycle(h)
+    assert d.tolist() == [0, 0, 0, 0, 1, 2]
+
+
+def test_unique_cycle_rejects_trees(path5):
+    with pytest.raises(GraphError):
+        unique_cycle(path5)
+
+
+def test_find_cycle_returns_real_cycle():
+    g = OwnedDigraph(7)
+    for i in range(5):
+        g.add_arc(i, (i + 1) % 5)
+    g.add_arc(5, 2)
+    g.add_arc(6, 5)
+    cyc = find_cycle(g)
+    assert cyc is not None
+    k = len(cyc)
+    assert k >= 2
+    csr = g.undirected_csr()
+    for i in range(k):
+        assert csr.has_edge(cyc[i], cyc[(i + 1) % k])
+
+
+def test_functional_cycle():
+    g = cycle_realization(5)
+    assert functional_cycle(g) == [0, 1, 2, 3, 4]
+    # rho-shaped functional graph: tail 4 -> 0 joins cycle 0->1->2->0.
+    h = OwnedDigraph(5)
+    h.add_arc(0, 1)
+    h.add_arc(1, 2)
+    h.add_arc(2, 0)
+    h.add_arc(3, 0)
+    h.add_arc(4, 3)
+    assert functional_cycle(h) == [0, 1, 2]
+
+
+def test_functional_cycle_requires_outdeg_one(path5):
+    with pytest.raises(GraphError):
+        functional_cycle(path5)
+
+
+def test_tree_longest_path(path5):
+    p = tree_longest_path(path5)
+    assert p in ([0, 1, 2, 3, 4], [4, 3, 2, 1, 0])
+
+
+def test_tree_longest_path_star():
+    g = star_realization(6)
+    p = tree_longest_path(g)
+    assert len(p) == 3
+    assert p[1] == 0  # the center is interior
+
+
+def test_tree_longest_path_requires_tree():
+    with pytest.raises(GraphError):
+        tree_longest_path(cycle_realization(4))
+
+
+def test_tree_center_path_even_odd():
+    assert tree_center(path_realization(5)) == [2]
+    assert sorted(tree_center(path_realization(4))) == [1, 2]
+
+
+def test_tree_center_star():
+    assert tree_center(star_realization(9)) == [0]
+
+
+def test_longest_path_matches_networkx_diameter(rng):
+    import networkx as nx
+
+    from repro.graphs import random_tree_realization
+
+    for _ in range(10):
+        n = int(rng.integers(2, 30))
+        g, _ = random_tree_realization(n, rng)
+        p = tree_longest_path(g)
+        G = nx.Graph()
+        G.add_nodes_from(range(n))
+        G.add_edges_from(g.underlying_edges())
+        assert len(p) - 1 == nx.diameter(G)

@@ -1,0 +1,214 @@
+"""Integration tests: end-to-end machine checks of the paper's theorems.
+
+Each test exercises the full stack (generators -> dynamics -> exact
+certification -> structural analysis) on one theorem. These are the
+"does the reproduction actually reproduce the paper" tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    check_connectivity_theorem,
+    check_unit_structure,
+    theorem_3_3_bound,
+    verify_sum_equilibrium_inequality,
+)
+from repro.constructions import (
+    binary_tree_equilibrium,
+    construct_equilibrium,
+    overlap_graph_equilibrium,
+    spider_equilibrium,
+)
+from repro.core import (
+    BoundedBudgetGame,
+    best_response_dynamics,
+    certify_equilibrium,
+    exact_best_response,
+)
+from repro.graphs import (
+    cinf,
+    diameter,
+    is_connected,
+    is_tree,
+    random_budgets_with_sum,
+    random_tree_realization,
+    uniform_budgets,
+    unit_budgets,
+)
+from repro.optimization import exact_k_center, k_center_via_best_response
+from repro.graphs import build_csr, distance_matrix
+
+
+class TestTheorem21:
+    """Best response embeds k-center / k-median."""
+
+    def test_k_center_equals_game_best_response(self, rng):
+        import networkx as nx
+
+        G = nx.petersen_graph()
+        edges = list(G.edges())
+        csr = build_csr(10, np.array([u for u, _ in edges]), np.array([v for _, v in edges]))
+        D = distance_matrix(csr, apply_cinf=False)
+        for k in (1, 2, 3):
+            assert exact_k_center(D, k).objective == k_center_via_best_response(csr, k).objective
+
+
+class TestTheorem23:
+    """Nash equilibria exist for every budget vector; PoS = O(1)."""
+
+    def test_equilibria_exist_various_budget_shapes(self):
+        shapes = [
+            [0, 0, 0, 0, 0, 5],       # one rich player
+            [1, 1, 1, 1, 1, 1, 1],    # all-unit
+            [0, 0, 0, 2, 2, 2],       # case 2 flavour
+            [0, 0, 0, 0, 1],          # disconnected (case 3)
+            [3, 3, 3, 3],             # dense
+        ]
+        for budgets in shapes:
+            ec = construct_equilibrium(budgets)
+            for version in ("sum", "max"):
+                cert = certify_equilibrium(ec.graph, version, method="exact")
+                assert cert.is_equilibrium, (budgets, version)
+
+    def test_price_of_stability_constant(self):
+        for budgets in ([1] * 9, [0, 0, 0, 2, 2, 2, 2], [2] * 7):
+            ec = construct_equilibrium(budgets)
+            assert diameter(ec.graph) <= 4
+
+
+class TestLemma31:
+    """sigma >= n - 1 => equilibria are connected."""
+
+    def test_dynamics_equilibria_connected(self):
+        for seed in range(5):
+            n = 10
+            budgets = random_budgets_with_sum(n, n - 1 + seed, seed=seed)
+            game = BoundedBudgetGame(budgets)
+            res = best_response_dynamics(
+                game, game.random_realization(seed=seed), "sum", max_rounds=200
+            )
+            if res.converged:
+                assert is_connected(res.graph), seed
+
+
+class TestTheorem32:
+    """MAX tree equilibria with diameter Θ(n)."""
+
+    def test_spider_linear_diameter_certified(self):
+        for k in (2, 4, 6):
+            inst = spider_equilibrium(k)
+            assert diameter(inst.graph) == 2 * k
+            cert = certify_equilibrium(inst.graph, "max", method="exact")
+            assert cert.is_equilibrium
+
+
+class TestTheorem33:
+    """SUM tree equilibria have diameter O(log n)."""
+
+    def test_equilibrium_trees_obey_log_bound(self):
+        for seed in range(8):
+            n = 18
+            g, budgets = random_tree_realization(n, seed=seed)
+            game = BoundedBudgetGame(budgets)
+            res = best_response_dynamics(game, g, "sum", max_rounds=300)
+            if not res.converged:
+                continue
+            assert is_tree(res.graph)
+            assert diameter(res.graph) <= theorem_3_3_bound(n)
+            assert verify_sum_equilibrium_inequality(res.graph).holds
+
+
+class TestTheorem34:
+    """Perfect binary trees are SUM equilibria: PoA >= Ω(log n)."""
+
+    def test_binary_tree_certified(self):
+        inst = binary_tree_equilibrium(4)
+        cert = certify_equilibrium(inst.graph, "sum", method="exact")
+        assert cert.is_equilibrium
+        assert diameter(inst.graph) == 8
+
+
+class TestSection4:
+    """All-unit budgets: Θ(1) diameter, unicyclic structure."""
+
+    @pytest.mark.parametrize("version", ["sum", "max"])
+    def test_structure_theorems_on_equilibria(self, version):
+        for seed in range(5):
+            game = BoundedBudgetGame(unit_budgets(15))
+            res = best_response_dynamics(
+                game, game.random_realization(seed=seed), version, max_rounds=200
+            )
+            assert res.converged
+            rep = check_unit_structure(res.graph)
+            assert rep.satisfies(version), (version, seed, rep)
+
+
+class TestTheorem53:
+    """All-positive budgets can have diameter Ω(√log n) in MAX."""
+
+    def test_overlap_graph_certified_with_positive_budgets(self):
+        inst = overlap_graph_equilibrium(4, 2)
+        assert (inst.budgets > 0).all()
+        assert diameter(inst.graph) == 2
+        cert = certify_equilibrium(inst.graph, "max", method="exact", max_candidates=None)
+        assert cert.is_equilibrium
+
+    def test_braess_contrast_with_unit_budgets(self):
+        # At the same n, unit budgets give a smaller or equal diameter
+        # bound class: unit < 8 always; overlap grows as sqrt(log n).
+        inst = overlap_graph_equilibrium(6, 3)
+        assert diameter(inst.graph) == 3
+        game = BoundedBudgetGame(unit_budgets(20))
+        res = best_response_dynamics(game, game.random_realization(seed=0), "max")
+        assert diameter(res.graph) < 8
+
+
+class TestTheorem69:
+    """SUM equilibria have sub-polynomial diameter."""
+
+    def test_diameters_below_envelope(self):
+        for seed in range(4):
+            n = 24
+            budgets = random_budgets_with_sum(n, n + 4, seed=seed)
+            game = BoundedBudgetGame(budgets)
+            from repro.experiments import stabilize
+
+            out = stabilize(game, game.random_realization(seed=seed, connected=True), "sum", seed=seed)
+            if out.converged:
+                # Generous concrete envelope at this size.
+                assert diameter(out.graph) <= 4 * 2 ** np.sqrt(np.log2(n))
+
+
+class TestTheorem72:
+    """Min budget k => k-connected or diameter <= 3 (SUM)."""
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_connectivity_dichotomy(self, k):
+        for seed in range(3):
+            n = 9
+            game = BoundedBudgetGame(uniform_budgets(n, k))
+            res = best_response_dynamics(
+                game,
+                game.random_realization(seed=seed, connected=True),
+                "sum",
+                max_rounds=150,
+            )
+            if not res.converged:
+                continue
+            rep = check_connectivity_theorem(res.graph, k)
+            assert rep.holds, (k, seed, rep.summary())
+
+
+class TestNPHardnessScaling:
+    """The exact best response really does blow up exponentially."""
+
+    def test_candidate_counts_grow_combinatorially(self):
+        import math
+
+        game_small = BoundedBudgetGame([2] + [1] * 7)
+        g = game_small.random_realization(seed=0, connected=True)
+        r = exact_best_response(g, 0, "sum")
+        assert r.evaluated == math.comb(7, 2)

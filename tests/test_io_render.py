@@ -1,0 +1,101 @@
+"""Tests for JSON serialization and text rendering."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ReproError
+from repro.graphs import (
+    OwnedDigraph,
+    adjacency_table,
+    degree_summary,
+    path_realization,
+    to_dot,
+)
+from repro.io import (
+    load_realization,
+    realization_from_dict,
+    realization_to_dict,
+    save_realization,
+)
+
+
+def test_roundtrip_dict():
+    g = path_realization(5)
+    data = realization_to_dict(g)
+    game, back = realization_from_dict(data)
+    assert back == g
+    assert game.budgets.tolist() == g.out_degrees().tolist()
+
+
+def test_roundtrip_file(tmp_path):
+    g = OwnedDigraph.from_arcs(4, [(0, 1), (1, 2), (3, 0), (3, 1)])
+    path = tmp_path / "realization.json"
+    save_realization(g, path)
+    game, back = load_realization(path)
+    assert back == g
+    # File is human-readable JSON.
+    raw = json.loads(path.read_text())
+    assert raw["format"] == "repro-bbncg/1"
+    assert raw["budgets"] == [1, 1, 0, 2]
+
+
+def test_from_dict_validation():
+    with pytest.raises(ReproError):
+        realization_from_dict({"format": "other"})
+    with pytest.raises(ReproError):
+        realization_from_dict({"format": "repro-bbncg/1", "budgets": [1, 0]})
+    with pytest.raises(ReproError):
+        realization_from_dict(
+            {"format": "repro-bbncg/1", "budgets": [1, 0], "arcs": [[0]]}
+        )
+
+
+def test_load_invalid_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ReproError):
+        load_realization(path)
+
+
+def test_budget_arc_consistency_enforced():
+    # Arcs not matching the recorded budgets must be rejected.
+    data = {"format": "repro-bbncg/1", "budgets": [2, 0], "arcs": [[0, 1]]}
+    with pytest.raises(Exception):
+        realization_from_dict(data)
+
+
+def test_to_dot_deterministic():
+    g = OwnedDigraph.from_arcs(3, [(0, 1), (2, 0)])
+    dot = to_dot(g)
+    assert dot == to_dot(g)
+    assert "v0 -> v1;" in dot
+    assert "v2 -> v0;" in dot
+    assert dot.startswith("digraph realization {")
+
+
+def test_to_dot_labels_and_highlight():
+    g = path_realization(3)
+    dot = to_dot(g, labels={0: "w"}, highlight={1})
+    assert 'label="w"' in dot
+    assert "fillcolor" in dot
+
+
+def test_adjacency_table():
+    g = OwnedDigraph.from_arcs(3, [(0, 1), (0, 2)])
+    table = adjacency_table(g)
+    assert "0 -> [1, 2]" in table
+    assert "1 -> []" in table
+    big = OwnedDigraph(100)
+    with pytest.raises(GraphError):
+        adjacency_table(big)
+
+
+def test_degree_summary():
+    g = OwnedDigraph.from_arcs(3, [(0, 1), (1, 0), (1, 2)])
+    text = degree_summary(g)
+    assert "n=3" in text
+    assert "braces=1" in text

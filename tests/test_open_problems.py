@@ -1,0 +1,133 @@
+"""Tests for the Section 8 open-problem experiments and CLI export."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    convergence_experiment,
+    general_max_experiment,
+    uniform_budget_experiment,
+)
+from repro.experiments.runner import REGISTRY
+
+
+def test_general_max_small():
+    rep = general_max_experiment(ns=(10,), ks=(2, 4), replications=2)
+    assert rep.fit is not None
+    assert abs(rep.fit.slope - 2 / 3) < 1e-6  # spider: d = 2(n-1)/3
+    spiders = [r for r in rep.rows if r["source"] == "spider"]
+    assert [r["worst_diameter"] for r in spiders] == [4, 8]
+
+
+def test_uniform_budget_small():
+    rep = uniform_budget_experiment(ns=(8,), Bs=(2,), replications=2)
+    assert len(rep.rows) == 2  # sum and max
+    for r in rep.rows:
+        # Small diameters at these sizes; Thm 7.2 consistent.
+        assert r["worst_diameter"] <= 4
+
+
+def test_convergence_small():
+    rep = convergence_experiment(ns=(10,), seeds_per_cell=3)
+    dyn_rows = [r for r in rep.rows if r["schedule"] != "(exhaustive FIP)"]
+    fip_rows = [r for r in rep.rows if r["schedule"] == "(exhaustive FIP)"]
+    assert len(dyn_rows) == 4  # 2 versions x 2 schedules
+    for r in dyn_rows:
+        assert r["converged"] == "3/3"
+        assert r["cycles_found"] == 0
+    assert len(fip_rows) == 4  # 2 versions x n in {3, 4}
+    assert all(r["converged"] == "proved" for r in fip_rows)
+
+
+def test_new_experiments_registered():
+    assert "T1-MAX-general" in REGISTRY
+    assert "OPEN-uniform-B" in REGISTRY
+    assert "OPEN-convergence" in REGISTRY
+
+
+# ----------------------------------------------------------------------
+# CLI export
+# ----------------------------------------------------------------------
+def test_build_construction_specs():
+    from repro.cli import build_construction
+    from repro.graphs import diameter
+
+    assert build_construction("fig1").n == 22
+    assert build_construction("spider:3").n == 10
+    assert build_construction("binary-tree:2").n == 7
+    assert build_construction("overlap:4,2").n == 16
+    g = build_construction("thm2.3:1,1,1,0")
+    assert g.n == 4
+    assert diameter(g) <= 4
+
+
+def test_build_construction_errors():
+    from repro.cli import build_construction
+
+    with pytest.raises(ExperimentError):
+        build_construction("nonsense")
+    with pytest.raises(ExperimentError):
+        build_construction("spider:notanint")
+    with pytest.raises(ExperimentError):
+        build_construction("overlap:4")  # missing k
+
+
+def test_cli_export_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+    from repro.io import load_realization
+
+    json_path = tmp_path / "g.json"
+    dot_path = tmp_path / "g.dot"
+    code = main(["export", "binary-tree:2", "--json", str(json_path), "--dot", str(dot_path)])
+    assert code == 0
+    game, graph = load_realization(json_path)
+    assert graph.n == 7
+    dot = dot_path.read_text()
+    assert "digraph" in dot
+    out = capsys.readouterr().out
+    assert "n=7" in out
+
+
+def test_cli_export_prints_table_without_files(capsys):
+    from repro.cli import main
+
+    assert main(["export", "spider:2"]) == 0
+    out = capsys.readouterr().out
+    assert "->" in out
+
+
+def test_cli_export_bad_spec(capsys):
+    from repro.cli import main
+
+    assert main(["export", "bogus:1"]) == 1
+    assert "export failed" in capsys.readouterr().err
+
+
+def test_ablation_best_response_quality():
+    from repro.experiments import best_response_quality_experiment
+
+    rep = best_response_quality_experiment(ns=(12,), budgets_of_interest=(2,), trials=2)
+    assert len(rep.rows) == 1
+    row = rep.rows[0]
+    # Heuristics can never beat exact: ratio >= 1.
+    assert float(row["greedy/exact cost"]) >= 1.0
+    assert float(row["swap/exact cost"]) >= 1.0
+    assert row["exact evals"] > row["greedy evals"]
+
+
+def test_ablation_lemma_shortcut():
+    from repro.experiments import lemma_shortcut_experiment
+
+    rep = lemma_shortcut_experiment(sizes=(12,))
+    row = rep.rows[0]
+    assert row["evals_with_lemma"] <= row["evals_without"]
+
+
+def test_ablations_registered():
+    assert "ABL-BR" in REGISTRY
+    assert "ABL-lemma22" in REGISTRY

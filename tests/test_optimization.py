@@ -1,0 +1,193 @@
+"""Tests for k-center / k-median solvers and the Theorem 2.1 reductions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.graphs import build_csr, distance_matrix, path_realization
+from repro.optimization import (
+    best_response_via_k_center,
+    best_response_via_k_median,
+    embed_graph_with_new_player,
+    exact_k_center,
+    exact_k_median,
+    greedy_k_center,
+    k_center_value,
+    k_center_via_best_response,
+    k_median_value,
+    k_median_via_best_response,
+    local_search_k_median,
+)
+
+from conftest import random_owned_digraph
+
+
+def _random_connected_csr(rng, n, p=0.35):
+    import networkx as nx
+
+    while True:
+        G = nx.gnp_random_graph(n, p, seed=int(rng.integers(1 << 30)))
+        if nx.is_connected(G):
+            edges = list(G.edges())
+            heads = np.array([u for u, _ in edges], dtype=np.int64)
+            tails = np.array([v for _, v in edges], dtype=np.int64)
+            return build_csr(n, heads, tails)
+
+
+def test_path_k_center():
+    D = distance_matrix(path_realization(7), apply_cinf=False)
+    sol = exact_k_center(D, 1)
+    assert sol.objective == 3  # middle of a 7-path
+    assert sol.centers == (3,)
+    sol2 = exact_k_center(D, 2)
+    # Two centers split a 7-path into halves, one of size >= 4: radius 2.
+    assert sol2.objective == 2
+    assert k_center_value(D, sol2.centers) == sol2.objective
+
+
+def test_path_k_median():
+    D = distance_matrix(path_realization(5), apply_cinf=False)
+    sol = exact_k_median(D, 1)
+    assert sol.medians == (2,)
+    assert sol.objective == 6
+    sol2 = exact_k_median(D, 5)
+    assert sol2.objective == 0
+
+
+def test_objective_helpers():
+    D = distance_matrix(path_realization(4), apply_cinf=False)
+    assert k_center_value(D, [0]) == 3
+    assert k_median_value(D, [0]) == 6
+    with pytest.raises(OptimizationError):
+        k_center_value(D, [])
+    with pytest.raises(OptimizationError):
+        k_median_value(D, [])
+
+
+def test_input_validation():
+    D = np.zeros((3, 4))
+    with pytest.raises(OptimizationError):
+        exact_k_center(D, 1)
+    sq = np.zeros((3, 3))
+    with pytest.raises(OptimizationError):
+        exact_k_center(sq, 0)
+    with pytest.raises(OptimizationError):
+        exact_k_median(sq, 4)
+    with pytest.raises(OptimizationError):
+        greedy_k_center(sq, 1, first=5)
+
+
+def test_candidate_caps():
+    D = np.zeros((30, 30))
+    with pytest.raises(OptimizationError):
+        exact_k_center(D, 15, max_candidates=100)
+    with pytest.raises(OptimizationError):
+        exact_k_median(D, 15, max_candidates=100)
+
+
+def test_greedy_k_center_2_approximation(rng):
+    for _ in range(8):
+        csr = _random_connected_csr(rng, int(rng.integers(5, 12)))
+        D = distance_matrix(csr, apply_cinf=False)
+        for k in (1, 2, 3):
+            opt = exact_k_center(D, k)
+            apx = greedy_k_center(D, k)
+            assert opt.objective <= apx.objective <= 2 * opt.objective
+            assert len(set(apx.centers)) == k
+
+
+def test_local_search_k_median_quality(rng):
+    for _ in range(8):
+        csr = _random_connected_csr(rng, int(rng.integers(5, 11)))
+        D = distance_matrix(csr, apply_cinf=False)
+        for k in (1, 2):
+            opt = exact_k_median(D, k)
+            apx = local_search_k_median(D, k)
+            assert opt.objective <= apx.objective <= 5 * opt.objective
+
+
+def test_local_search_initial_validation():
+    D = np.zeros((4, 4))
+    with pytest.raises(OptimizationError):
+        local_search_k_median(D, 2, initial=(0, 0))
+    with pytest.raises(OptimizationError):
+        local_search_k_median(D, 2, initial=(0, 9))
+
+
+def test_embedding_shape():
+    csr = build_csr(4, np.array([0, 1, 2]), np.array([1, 2, 3]))
+    inst = embed_graph_with_new_player(csr, 2)
+    assert inst.game_graph.n == 5
+    assert inst.new_player == 4
+    assert inst.game_graph.out_degree(4) == 2
+    assert inst.game_graph.in_neighbors(4).size == 0
+    # Original graph structure preserved.
+    assert inst.game_graph.underlying_edges()[:3] == [(0, 1), (0, 4), (1, 2)]
+
+
+def test_embedding_from_edge_list():
+    inst = embed_graph_with_new_player([(0, 1), (1, 2)], 1)
+    assert inst.game_graph.n == 4
+
+
+def test_embedding_budget_validation():
+    with pytest.raises(OptimizationError):
+        embed_graph_with_new_player([(0, 1)], 0)
+    with pytest.raises(OptimizationError):
+        embed_graph_with_new_player([(0, 1)], 3)
+
+
+def test_reduction_equivalence_k_center(rng):
+    # Hardness direction: game best response solves k-center.
+    for _ in range(6):
+        csr = _random_connected_csr(rng, int(rng.integers(5, 10)))
+        D = distance_matrix(csr, apply_cinf=False)
+        for k in (1, 2):
+            direct = exact_k_center(D, k)
+            via_game = k_center_via_best_response(csr, k)
+            assert direct.objective == via_game.objective
+            assert k_center_value(D, via_game.centers) == direct.objective
+
+
+def test_reduction_equivalence_k_median(rng):
+    for _ in range(6):
+        csr = _random_connected_csr(rng, int(rng.integers(5, 10)))
+        D = distance_matrix(csr, apply_cinf=False)
+        for k in (1, 2):
+            direct = exact_k_median(D, k)
+            via_game = k_median_via_best_response(csr, k)
+            assert direct.objective == via_game.objective
+            assert k_median_value(D, via_game.medians) == direct.objective
+
+
+def test_algorithmic_direction(rng):
+    # Solving a player's best response through the location solvers.
+    from repro.core import exact_best_response
+    from repro.graphs import OwnedDigraph
+
+    g = OwnedDigraph(6)
+    # Ring among 0..4; player 5 owns 2 arcs, has none incoming.
+    for i in range(5):
+        g.add_arc(i, (i + 1) % 5)
+    g.add_arc(5, 0)
+    g.add_arc(5, 1)
+    c_max, s_max = best_response_via_k_center(g, 5)
+    c_sum, s_sum = best_response_via_k_median(g, 5)
+    r_max = exact_best_response(g, 5, "max")
+    r_sum = exact_best_response(g, 5, "sum")
+    assert c_max == r_max.cost
+    assert c_sum == r_sum.cost
+
+
+def test_algorithmic_direction_preconditions():
+    from repro.graphs import OwnedDigraph
+
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    g.add_arc(1, 2)
+    g.add_arc(2, 0)
+    # Player 0 has an incoming arc: reduction refuses.
+    with pytest.raises(OptimizationError):
+        best_response_via_k_center(g, 0)

@@ -1,0 +1,56 @@
+"""Property-based tests: the paper's constructions hold at random sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constructions import (
+    binary_tree_equilibrium,
+    construct_equilibrium,
+    spider_equilibrium,
+)
+from repro.core import BoundedBudgetGame, is_equilibrium
+from repro.graphs import cinf, diameter, is_connected, is_tree
+
+
+@given(st.lists(st.integers(min_value=0, max_value=6), min_size=2, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_theorem_2_3_any_budget_vector(budgets):
+    """Theorem 2.3: the construction is always a valid equilibrium."""
+    n = len(budgets)
+    budgets = [min(b, n - 1) for b in budgets]
+    ec = construct_equilibrium(budgets)
+    game = BoundedBudgetGame(budgets)
+    game.validate_realization(ec.graph)
+    # Price-of-stability structure: connected with O(1) diameter iff
+    # sigma >= n - 1.
+    if sum(budgets) >= n - 1:
+        assert is_connected(ec.graph)
+        assert diameter(ec.graph) <= 4
+    else:
+        assert not is_connected(ec.graph)
+        assert diameter(ec.graph) == cinf(n)
+    assert is_equilibrium(ec.graph, "sum")
+    assert is_equilibrium(ec.graph, "max")
+
+
+@given(st.integers(min_value=1, max_value=6))
+@settings(max_examples=6, deadline=None)
+def test_spider_equilibrium_every_k(k):
+    """Theorem 3.2 holds for every leg length."""
+    inst = spider_equilibrium(k)
+    assert is_tree(inst.graph)
+    assert diameter(inst.graph) == 2 * k
+    assert is_equilibrium(inst.graph, "max")
+
+
+@given(st.integers(min_value=1, max_value=4))
+@settings(max_examples=4, deadline=None)
+def test_binary_tree_equilibrium_every_depth(depth):
+    """Theorem 3.4 holds for every depth."""
+    inst = binary_tree_equilibrium(depth)
+    assert is_tree(inst.graph)
+    assert diameter(inst.graph) == 2 * depth
+    assert is_equilibrium(inst.graph, "sum")

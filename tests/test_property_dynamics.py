@@ -1,0 +1,66 @@
+"""Property-based tests for best-response dynamics."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BoundedBudgetGame,
+    all_costs,
+    best_response_dynamics,
+    is_equilibrium,
+)
+from repro.graphs import unit_budgets
+
+
+@given(
+    n=st.integers(min_value=3, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**31),
+    version=st.sampled_from(["sum", "max"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_unit_dynamics_always_converges_to_equilibrium(n, seed, version):
+    """On tiny unit-budget games, exact dynamics converges from every
+    sampled start and the fixed point is a certified equilibrium."""
+    game = BoundedBudgetGame(unit_budgets(n))
+    res = best_response_dynamics(
+        game, game.random_realization(seed=seed), version, max_rounds=120, seed=seed
+    )
+    assert res.converged
+    assert not res.cycled
+    assert is_equilibrium(res.graph, version)
+
+
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_moving_player_cost_strictly_decreases(n, seed):
+    """Each executed move lowers the mover's cost by exactly its gain."""
+    game = BoundedBudgetGame(unit_budgets(n))
+    res = best_response_dynamics(
+        game, game.random_realization(seed=seed), "sum", max_rounds=120, seed=seed
+    )
+    for move in res.moves:
+        assert move.gain > 0
+        assert len(move.new_strategy) == len(move.old_strategy) == 1
+
+
+@given(
+    budgets=st.lists(st.integers(min_value=0, max_value=2), min_size=3, max_size=7),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_total_cost_never_increases_on_convergence(budgets, seed):
+    """Converged dynamics never leaves the network socially worse in SUM
+    total cost than the *final* round's snapshot (sanity of the trace) —
+    and the final graph remains a valid realization."""
+    game = BoundedBudgetGame(budgets)
+    start = game.random_realization(seed=seed)
+    res = best_response_dynamics(game, start, "sum", max_rounds=120, seed=seed)
+    game.validate_realization(res.graph)
+    if res.converged and res.social_costs:
+        assert res.social_costs[-1] <= max(res.social_costs)

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for game costs and best responses."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BestResponseEnvironment,
+    BoundedBudgetGame,
+    Version,
+    exact_best_response,
+    greedy_best_response,
+    swap_best_response,
+    vertex_cost,
+)
+from repro.graphs import OwnedDigraph, cinf
+from repro.rng import as_generator
+
+
+@st.composite
+def games_with_realizations(draw, max_n: int = 9, max_budget: int = 2):
+    """A random small game and one of its realizations."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    budgets = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=min(max_budget, n - 1)),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    game = BoundedBudgetGame(budgets)
+    graph = game.random_realization(seed=seed)
+    return game, graph
+
+
+@given(games_with_realizations())
+@settings(max_examples=50, deadline=None)
+def test_cost_bounds(args):
+    game, graph = args
+    n = game.n
+    for version in (Version.SUM, Version.MAX):
+        for u in range(n):
+            c = vertex_cost(graph, u, version)
+            assert c >= 0
+            if version is Version.SUM:
+                # At most (n-1) Cinf; at least n-1 if connected-ish.
+                assert c <= (n - 1) * cinf(n)
+            else:
+                assert c <= cinf(n) + (n - 1) * cinf(n)
+
+
+@given(games_with_realizations())
+@settings(max_examples=40, deadline=None)
+def test_environment_matches_direct_cost(args):
+    game, graph = args
+    for version in ("sum", "max"):
+        for u in range(game.n):
+            env = BestResponseEnvironment(graph, u, version)
+            cur = tuple(int(v) for v in graph.out_neighbors(u))
+            assert env.evaluate(cur) == vertex_cost(graph, u, version)
+
+
+@given(games_with_realizations(max_n=7))
+@settings(max_examples=30, deadline=None)
+def test_method_ordering(args):
+    """exact <= swap <= current and exact <= greedy <= current costs."""
+    game, graph = args
+    for version in ("sum", "max"):
+        for u in range(game.n):
+            ex = exact_best_response(graph, u, version)
+            gr = greedy_best_response(graph, u, version)
+            sw = swap_best_response(graph, u, version)
+            assert ex.cost <= gr.cost <= gr.current_cost
+            assert ex.cost <= sw.cost <= sw.current_cost
+            assert ex.current_cost == gr.current_cost == sw.current_cost
+
+
+@given(games_with_realizations(max_n=7))
+@settings(max_examples=30, deadline=None)
+def test_applying_best_response_achieves_reported_cost(args):
+    """The engine's predicted cost must equal the realised cost after
+    actually rewiring the graph — the fundamental soundness property."""
+    game, graph = args
+    for version in ("sum", "max"):
+        for u in range(game.n):
+            r = exact_best_response(graph, u, version)
+            h = graph.copy()
+            h.set_strategy(u, r.strategy)
+            assert vertex_cost(h, u, version) == r.cost
+
+
+@given(games_with_realizations(max_n=8))
+@settings(max_examples=30, deadline=None)
+def test_relabeling_preserves_equilibrium(args):
+    """Equilibrium is a graph property: invariant under player relabeling
+    (when budgets are permuted accordingly)."""
+    from repro.core import is_equilibrium
+
+    game, graph = args
+    rng = as_generator(0)
+    perm = rng.permutation(game.n)
+    h = OwnedDigraph(game.n)
+    for u, v in graph.arcs():
+        h.add_arc(int(perm[u]), int(perm[v]))
+    eq_g = is_equilibrium(graph, "sum")
+    eq_h = is_equilibrium(h, "sum")
+    assert eq_g == eq_h

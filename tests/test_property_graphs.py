@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    OwnedDigraph,
+    UNREACHABLE,
+    all_pairs_distances,
+    cinf,
+    connected_components,
+    diameter,
+    distance_matrix,
+    eccentricities,
+    is_connected,
+)
+
+
+@st.composite
+def owned_digraphs(draw, max_n: int = 12):
+    """Random OwnedDigraph via an arc-set strategy."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    arcs = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=min(len(pairs), 30))) if pairs else []
+    return OwnedDigraph.from_arcs(n, arcs)
+
+
+@given(owned_digraphs())
+@settings(max_examples=60, deadline=None)
+def test_distance_matrix_is_metric(g):
+    d = all_pairs_distances(g.undirected_csr())
+    n = g.n
+    # Symmetry and zero diagonal.
+    assert np.array_equal(d, d.T)
+    assert (np.diag(d) == 0).all()
+    # Triangle inequality on reachable triples.
+    finite = d != UNREACHABLE
+    for u in range(n):
+        for v in range(n):
+            if not finite[u, v]:
+                continue
+            for w in range(n):
+                if finite[u, w] and finite[w, v]:
+                    assert d[u, v] <= d[u, w] + d[w, v]
+
+
+@given(owned_digraphs())
+@settings(max_examples=60, deadline=None)
+def test_distance_one_iff_adjacent(g):
+    d = all_pairs_distances(g.undirected_csr())
+    csr = g.undirected_csr()
+    for u in range(g.n):
+        for v in range(g.n):
+            if u != v:
+                assert (d[u, v] == 1) == csr.has_edge(u, v)
+
+
+@given(owned_digraphs())
+@settings(max_examples=60, deadline=None)
+def test_components_consistent_with_distances(g):
+    labels, k = connected_components(g)
+    d = all_pairs_distances(g.undirected_csr())
+    for u in range(g.n):
+        for v in range(g.n):
+            same = labels[u] == labels[v]
+            assert same == (d[u, v] != UNREACHABLE)
+    assert is_connected(g) == (k == 1)
+
+
+@given(owned_digraphs())
+@settings(max_examples=60, deadline=None)
+def test_diameter_is_max_eccentricity(g):
+    ecc = eccentricities(g)
+    assert diameter(g) == int(ecc.max())
+    if not is_connected(g) and g.n > 1:
+        assert diameter(g) == cinf(g.n)
+
+
+@given(owned_digraphs(max_n=10))
+@settings(max_examples=40, deadline=None)
+def test_relabeling_preserves_diameter(g):
+    # Graph isomorphism invariance under a random relabeling.
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(g.n)
+    h = OwnedDigraph(g.n)
+    for u, v in g.arcs():
+        h.add_arc(int(perm[u]), int(perm[v]))
+    assert diameter(h) == diameter(g)
+    assert sorted(eccentricities(h).tolist()) == sorted(eccentricities(g).tolist())
+
+
+@given(owned_digraphs(max_n=10))
+@settings(max_examples=40, deadline=None)
+def test_adding_arc_never_increases_distances(g):
+    d_before = distance_matrix(g)
+    # Find a missing arc to add.
+    for u in range(g.n):
+        for v in range(g.n):
+            if u != v and not g.has_arc(u, v):
+                h = g.copy()
+                h.add_arc(u, v)
+                d_after = distance_matrix(h)
+                assert (d_after <= d_before).all()
+                return

@@ -1,0 +1,88 @@
+"""Property-based tests for the k-center / k-median solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import OwnedDigraph, distance_matrix
+from repro.optimization import (
+    exact_k_center,
+    exact_k_median,
+    greedy_k_center,
+    k_center_value,
+    k_median_value,
+    local_search_k_median,
+)
+
+
+@st.composite
+def connected_metric(draw, max_n: int = 9):
+    """Distance matrix of a random connected graph (path + extra arcs)."""
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    g = OwnedDigraph(n)
+    for i in range(n - 1):
+        g.add_arc(i, i + 1)  # connected spine
+    extra_pairs = [(u, v) for u in range(n) for v in range(n) if v > u + 1]
+    extras = draw(
+        st.lists(st.sampled_from(extra_pairs), unique=True, max_size=6)
+        if extra_pairs
+        else st.just([])
+    )
+    for u, v in extras:
+        g.add_arc(u, v)
+    k = draw(st.integers(min_value=1, max_value=n - 1))
+    return distance_matrix(g, apply_cinf=False), k
+
+
+@given(connected_metric())
+@settings(max_examples=40, deadline=None)
+def test_exact_k_center_is_minimum(args):
+    D, k = args
+    n = D.shape[0]
+    sol = exact_k_center(D, k)
+    # Every random subset is at least as costly.
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        subset = rng.choice(n, size=k, replace=False)
+        assert k_center_value(D, tuple(subset)) >= sol.objective
+    # The reported objective matches its own centers.
+    assert k_center_value(D, sol.centers) == sol.objective
+
+
+@given(connected_metric())
+@settings(max_examples=40, deadline=None)
+def test_exact_k_median_is_minimum(args):
+    D, k = args
+    n = D.shape[0]
+    sol = exact_k_median(D, k)
+    rng = np.random.default_rng(1)
+    for _ in range(10):
+        subset = rng.choice(n, size=k, replace=False)
+        assert k_median_value(D, tuple(subset)) >= sol.objective
+    assert k_median_value(D, sol.medians) == sol.objective
+
+
+@given(connected_metric())
+@settings(max_examples=40, deadline=None)
+def test_heuristics_bracket_optimum(args):
+    D, k = args
+    opt_c = exact_k_center(D, k).objective
+    apx_c = greedy_k_center(D, k).objective
+    assert opt_c <= apx_c <= 2 * max(opt_c, 0) + (0 if opt_c else apx_c)
+    opt_m = exact_k_median(D, k).objective
+    apx_m = local_search_k_median(D, k).objective
+    assert opt_m <= apx_m <= 5 * opt_m + (0 if opt_m else apx_m)
+
+
+@given(connected_metric())
+@settings(max_examples=30, deadline=None)
+def test_objectives_monotone_in_k(args):
+    D, _ = args
+    n = D.shape[0]
+    centers = [exact_k_center(D, k).objective for k in range(1, n + 1)]
+    medians = [exact_k_median(D, k).objective for k in range(1, n + 1)]
+    assert centers == sorted(centers, reverse=True)
+    assert medians == sorted(medians, reverse=True)
+    assert centers[-1] == 0 and medians[-1] == 0  # all vertices are centers

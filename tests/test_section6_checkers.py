@@ -1,0 +1,90 @@
+"""Tests for the Lemma 6.5 and Theorem 6.1 checkers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.weighted import (
+    WeightedRealization,
+    degree_two_path_edges,
+    lemma_6_5_bound,
+    theorem_6_1_radius,
+    tree_ball_radius,
+)
+from repro.constructions import binary_tree_equilibrium
+from repro.core import BoundedBudgetGame, best_response_dynamics
+from repro.graphs import OwnedDigraph, cycle_realization, path_realization, unit_budgets
+
+
+def test_degree_two_count_on_path():
+    g = path_realization(6)
+    wr = WeightedRealization.unit(g)
+    # Interior vertices 1..4 have degree 2; edges with both endpoints
+    # interior: (1,2), (2,3), (3,4).
+    assert degree_two_path_edges(wr, [0, 1, 2, 3, 4, 5]) == 3
+
+
+def test_lemma_6_5_bound_value():
+    g = path_realization(7)
+    wr = WeightedRealization.unit(g)
+    path = list(range(7))
+    # w(P) = 7 -> bound = 2 * (floor(log2 8) + 1) = 8.
+    assert lemma_6_5_bound(wr, path) == 8
+
+
+def test_lemma_6_5_on_sum_equilibria():
+    # Equilibrium trees from dynamics: the degree-2 edge count along the
+    # diameter path must respect the Lemma 6.5 bound.
+    from repro.analysis import longest_path_decomposition
+    from repro.graphs import is_tree, random_tree_realization
+
+    for seed in range(4):
+        g, budgets = random_tree_realization(16, seed=seed)
+        game = BoundedBudgetGame(budgets)
+        res = best_response_dynamics(game, g, "sum", max_rounds=200)
+        if not res.converged or not is_tree(res.graph):
+            continue
+        wr = WeightedRealization.unit(res.graph)
+        path = list(longest_path_decomposition(res.graph).path)
+        assert degree_two_path_edges(wr, path) <= lemma_6_5_bound(wr, path)
+
+
+def test_tree_ball_radius_on_tree():
+    # A path is a tree everywhere: the ball radius equals the eccentricity.
+    g = path_realization(7)
+    assert tree_ball_radius(g, 3) == 3
+    assert tree_ball_radius(g, 0) == 6
+    assert theorem_6_1_radius(g) == 6
+
+
+def test_tree_ball_radius_cycle():
+    # On C_8, balls are trees until the antipode closes the cycle.
+    g = cycle_realization(8)
+    r = tree_ball_radius(g, 0)
+    assert r == 3  # B_4 contains the whole cycle
+    g5 = cycle_realization(5)
+    assert tree_ball_radius(g5, 0) == 1  # B_2 already closes C_5
+
+
+def test_tree_ball_brace_counts_as_cycle():
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    g.add_arc(1, 0)
+    g.add_arc(1, 2)
+    # B_1(0) contains the brace {0,1}: a multigraph 2-cycle, not a tree.
+    assert tree_ball_radius(g, 0) == 0
+
+
+def test_theorem_6_1_on_sum_equilibria():
+    # SUM equilibria: tree-ball radii are logarithmic. Use the certified
+    # binary tree (whole graph is a tree, so radius = diameter-ish but n
+    # is exponential in it) and unit-budget equilibria (tiny radii).
+    inst = binary_tree_equilibrium(4)
+    r = theorem_6_1_radius(inst.graph)
+    assert r == 8  # = diameter; and 8 <= c log2(31) for c ~ 2
+    assert r <= 2 * (np.log2(inst.n + 1))
+    game = BoundedBudgetGame(unit_budgets(12))
+    res = best_response_dynamics(game, game.random_realization(seed=0), "sum")
+    assert res.converged
+    assert theorem_6_1_radius(res.graph) <= 4
