@@ -18,6 +18,7 @@ from .deviations import (
     is_weak_equilibrium,
     satisfies_lemma_2_2,
 )
+from .distance_cache import DistanceCache
 from .dynamics import DynamicsResult, MoveRecord, Schedule, best_response_dynamics
 from .enumeration import (
     ExactPriceReport,
@@ -42,6 +43,7 @@ __all__ = [
     "BestResponseEnvironment",
     "BestResponseResult",
     "BoundedBudgetGame",
+    "DistanceCache",
     "DynamicsResult",
     "EquilibriumCertificate",
     "ExactPriceReport",

@@ -26,11 +26,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import GameError, VertexError
-from ..graphs.bfs import UNREACHABLE, all_pairs_distances
+from ..errors import GameError, StaleDistanceError, VertexError
 from ..graphs.connectivity import connected_components
 from ..graphs.digraph import OwnedDigraph
 from ..graphs.distances import cinf
+from ..graphs.engine import DistanceEngine
 from .costs import Version
 
 __all__ = [
@@ -107,22 +107,55 @@ class BestResponseEnvironment:
         environment (only other players' arcs matter).
     version:
         SUM or MAX.
+    engine:
+        Optional shared :class:`~repro.graphs.engine.DistanceEngine`
+        over ``U(G - u)`` (as handed out by
+        :class:`~repro.core.distance_cache.DistanceCache`). When given,
+        its matrix is used zero-copy and the engine's epoch is
+        snapshotted: evaluations after the engine moves on raise
+        :class:`~repro.errors.StaleDistanceError`. When omitted, a
+        private engine is built from scratch.
     """
 
-    def __init__(self, graph: OwnedDigraph, u: int, version: Version | str) -> None:
+    def __init__(
+        self,
+        graph: OwnedDigraph,
+        u: int,
+        version: Version | str,
+        *,
+        engine: DistanceEngine | None = None,
+    ) -> None:
         if not 0 <= u < graph.n:
             raise VertexError(u, graph.n)
         self.u = int(u)
         self.version = Version.coerce(version)
         self.n = graph.n
         self.cinf = cinf(self.n)
-        csr_minus = graph.undirected_csr_without(u)
-        # D[w, v] = dist_{G-u}(w, v); UNREACHABLE replaced by a sentinel
-        # strictly larger than any finite distance (cinf works: finite
-        # distances are <= n - 2 < n^2 for n >= 2).
-        D = all_pairs_distances(csr_minus)
-        D[D == UNREACHABLE] = self.cinf
-        self.D = D
+        if engine is None:
+            engine = DistanceEngine(graph.undirected_csr_without(u))
+        else:
+            if engine.n != self.n:
+                raise GameError(
+                    f"engine substrate has {engine.n} vertices, graph has {self.n}"
+                )
+            if engine.csr.degree(u) != 0:
+                raise GameError(
+                    f"engine substrate must isolate player {u} (U(G - u))"
+                )
+        if engine.inf != self.cinf:
+            raise GameError(
+                f"engine sentinel {engine.inf} != Cinf = {self.cinf}; build the "
+                f"engine with the default inf"
+            )
+        self._engine = engine
+        self._epoch = engine.epoch
+        self._graph = graph
+        self._revision = graph.revision
+        csr_minus = engine.csr
+        # D[w, v] = dist_{G-u}(w, v); unreachable pairs carry the engine's
+        # sentinel, strictly larger than any finite distance (cinf works:
+        # finite distances are <= n - 2 < n^2 for n >= 2).
+        D = self.D = engine.matrix
         comp, ncomp = connected_components(csr_minus)
         self.comp = comp
         # u is isolated in csr_minus and forms a singleton component, so
@@ -139,6 +172,66 @@ class BestResponseEnvironment:
         self._others_mask[u] = False
 
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> DistanceEngine:
+        """The distance engine whose matrix this environment evaluates on."""
+        return self._engine
+
+    @property
+    def graph(self) -> OwnedDigraph:
+        """The realization this environment evaluates against."""
+        return self._graph
+
+    def is_fresh(self) -> bool:
+        """Whether this environment still describes the current graph.
+
+        True while the backing engine serves the epoch captured at
+        construction and, if the graph has mutated since, both the
+        substrate ``U(G - u)`` and the player's in-neighbourhood are
+        verifiably unchanged. The player's own moves keep all of these
+        invariants (``U(G - u)`` and ``In(u)`` do not depend on ``u``'s
+        strategy), so an environment survives its own player's
+        deviations by design.
+        """
+        try:
+            self._check_fresh()
+        except StaleDistanceError:
+            return False
+        return True
+
+    def _check_fresh(self) -> None:
+        if self._engine.epoch != self._epoch:
+            raise StaleDistanceError(
+                f"environment for player {self.u} was built at engine epoch "
+                f"{self._epoch}, but the engine is now at epoch "
+                f"{self._engine.epoch}; rebuild the environment"
+            )
+        rev = self._graph.revision
+        if rev != self._revision:
+            # The graph mutated since this environment was built. The
+            # evaluation is still exact iff the substrate U(G - u) and
+            # the player's in-neighbourhood both survived — the engine
+            # epoch alone cannot witness this, because a lazily-synced
+            # engine only bumps it when someone hands it the new CSR.
+            cur = self._graph.undirected_csr_without(self.u)
+            eng_csr = self._engine.csr
+            if not (
+                cur.indices.size == eng_csr.indices.size
+                and np.array_equal(cur.indptr, eng_csr.indptr)
+                and np.array_equal(cur.indices, eng_csr.indices)
+            ):
+                raise StaleDistanceError(
+                    f"substrate U(G - {self.u}) changed since this environment "
+                    f"was built and its engine was not re-synced; rebuild the "
+                    f"environment"
+                )
+            if not np.array_equal(self._graph.in_neighbors(self.u), self.in_nbrs):
+                raise StaleDistanceError(
+                    f"in-neighbourhood of player {self.u} changed since this "
+                    f"environment was built; rebuild the environment"
+                )
+            self._revision = rev
+
     def candidate_pool(self) -> np.ndarray:
         """All legal link targets for the player (everyone but itself)."""
         return np.flatnonzero(self._others_mask).astype(np.int64)
@@ -194,6 +287,7 @@ class BestResponseEnvironment:
         -------
         ``(k,)`` ``int64`` array of costs.
         """
+        self._check_fresh()
         candidates = np.asarray(candidates, dtype=np.int64)
         if candidates.ndim != 2:
             raise GameError("candidates must be a 2-D (k, b) array")
@@ -209,7 +303,7 @@ class BestResponseEnvironment:
             mins = np.broadcast_to(self._base_min, (k, self.n)).copy()
         dist = self._distances_for_min(mins)
         if self.version is Version.SUM:
-            return dist.sum(axis=1)
+            return dist.sum(axis=1, dtype=np.int64)
         kappa = self._kappa_batch(candidates)
         return dist.max(axis=1) + (kappa - 1) * self.cinf
 
@@ -220,6 +314,7 @@ class BestResponseEnvironment:
 
     def distances_for(self, strategy: "np.ndarray | tuple[int, ...] | list[int]") -> np.ndarray:
         """Distance vector from ``u`` under a hypothetical strategy."""
+        self._check_fresh()
         s = np.asarray(sorted(strategy), dtype=np.int64)
         if s.size:
             mins = np.minimum(self.D[s].min(axis=0), self._base_min)
@@ -278,6 +373,7 @@ class BestResponseEnvironment:
         Theorem 2.1 forbids a polynomial exact algorithm unless P = NP.
         Returns ``(cost, strategy, num_evaluated)``.
         """
+        self._check_fresh()
         pool = list(self.candidate_pool().tolist())
         chosen: list[int] = []
         evaluated = 0
@@ -289,7 +385,7 @@ class BestResponseEnvironment:
             mins = np.minimum(self.D[remaining], cur_min)
             dist = self._distances_for_min(mins)
             if self.version is Version.SUM:
-                costs = dist.sum(axis=1)
+                costs = dist.sum(axis=1, dtype=np.int64)
             else:
                 base = np.asarray(chosen, dtype=np.int64)
                 cand_rows = remaining.reshape(-1, 1)
@@ -320,6 +416,7 @@ class BestResponseEnvironment:
         paper's Section 6 uses as *weak equilibria*. Returns
         ``(cost, strategy, num_evaluated)``.
         """
+        self._check_fresh()
         cur = tuple(sorted(int(v) for v in current))
         cur_cost = self.evaluate(cur)
         best_cost, best_strategy = cur_cost, cur
@@ -352,7 +449,7 @@ class BestResponseEnvironment:
             mins = np.minimum(excl, self.D[pool])
             dist = self._distances_for_min(mins)
             if self.version is Version.SUM:
-                costs = dist.sum(axis=1)
+                costs = dist.sum(axis=1, dtype=np.int64)
             else:
                 kept_arr = np.asarray(kept, dtype=np.int64)
                 cand_rows = pool.reshape(-1, 1)
@@ -381,19 +478,44 @@ def _current_strategy(graph: OwnedDigraph, u: int) -> tuple[int, ...]:
     return tuple(int(v) for v in graph.out_neighbors(u))
 
 
+def _coerce_env(
+    graph: OwnedDigraph,
+    u: int,
+    version: Version | str,
+    env: BestResponseEnvironment | None,
+) -> BestResponseEnvironment:
+    """Validate a shared environment or build a fresh one."""
+    if env is None:
+        return BestResponseEnvironment(graph, u, version)
+    if env.u != u or env.version is not Version.coerce(version):
+        raise GameError(
+            f"environment is for player {env.u}/{env.version.value}, "
+            f"requested {u}/{Version.coerce(version).value}"
+        )
+    if env.graph is not graph:
+        raise GameError(
+            "environment was built on a different graph object; build one "
+            "for this graph (or route through DistanceCache.environment)"
+        )
+    return env
+
+
 def exact_best_response(
     graph: OwnedDigraph,
     u: int,
     version: Version | str,
     *,
     max_candidates: int | None = DEFAULT_MAX_CANDIDATES,
+    env: BestResponseEnvironment | None = None,
 ) -> BestResponseResult:
     """Provably optimal strategy for player ``u`` (exponential in budget).
 
     NP-hard in general (Theorem 2.1); intended for certification and for
-    the small budgets that dominate the paper's instances.
+    the small budgets that dominate the paper's instances. Pass ``env``
+    (e.g. from :class:`~repro.core.distance_cache.DistanceCache`) to
+    reuse an incrementally maintained distance substrate.
     """
-    env = BestResponseEnvironment(graph, u, version)
+    env = _coerce_env(graph, u, version, env)
     current = _current_strategy(graph, u)
     current_cost = env.evaluate(current)
     cost, strategy, evaluated = env.exact(
@@ -410,10 +532,14 @@ def exact_best_response(
 
 
 def greedy_best_response(
-    graph: OwnedDigraph, u: int, version: Version | str
+    graph: OwnedDigraph,
+    u: int,
+    version: Version | str,
+    *,
+    env: BestResponseEnvironment | None = None,
 ) -> BestResponseResult:
     """Greedy heuristic response for player ``u`` (polynomial)."""
-    env = BestResponseEnvironment(graph, u, version)
+    env = _coerce_env(graph, u, version, env)
     current = _current_strategy(graph, u)
     current_cost = env.evaluate(current)
     cost, strategy, evaluated = env.greedy(len(current))
@@ -432,14 +558,18 @@ def greedy_best_response(
 
 
 def swap_best_response(
-    graph: OwnedDigraph, u: int, version: Version | str
+    graph: OwnedDigraph,
+    u: int,
+    version: Version | str,
+    *,
+    env: BestResponseEnvironment | None = None,
 ) -> BestResponseResult:
     """Best single-arc swap for player ``u`` (polynomial).
 
     A profile stable under these moves for every player is a *weak
     equilibrium* in the sense of Section 6 of the paper.
     """
-    env = BestResponseEnvironment(graph, u, version)
+    env = _coerce_env(graph, u, version, env)
     current = _current_strategy(graph, u)
     current_cost = env.evaluate(current)
     cost, strategy, evaluated = env.best_swap(current)

@@ -77,9 +77,19 @@ def all_costs(graph: OwnedDigraph, version: Version | str) -> np.ndarray:
     return ecc + (kappa - 1) * cinf(n)
 
 
-def social_cost(graph: OwnedDigraph) -> int:
+def social_cost(graph: OwnedDigraph, *, engine=None) -> int:
     """The paper's social cost: the diameter of ``U(G)`` (``Cinf`` if
-    disconnected)."""
+    disconnected).
+
+    ``engine`` (a maintained :class:`~repro.graphs.engine.DistanceEngine`
+    over ``U(G)``) replaces the all-pairs BFS with a matrix reduction.
+    """
+    if engine is not None:
+        if graph.n == 1:
+            return 0
+        # Unreachable pairs carry the engine's finite sentinel (Cinf by
+        # construction), so the plain maximum is the paper's diameter.
+        return int(engine.matrix.max())
     from ..graphs.distances import diameter
 
     return diameter(graph)

@@ -21,9 +21,12 @@ from typing import Literal
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ..errors import GameError
 from ..graphs.bfs import UNREACHABLE, bfs_distances
 from ..graphs.digraph import OwnedDigraph
+from ..graphs.engine import DistanceEngine
 from .best_response import (
     BestResponseResult,
     exact_best_response,
@@ -31,6 +34,9 @@ from .best_response import (
     swap_best_response,
 )
 from .costs import Version
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .distance_cache import DistanceCache
 
 __all__ = [
     "Method",
@@ -52,29 +58,65 @@ _METHODS = {
 
 
 def best_response_for(
-    graph: OwnedDigraph, u: int, version: Version | str, method: Method = "exact", **kwargs
+    graph: OwnedDigraph,
+    u: int,
+    version: Version | str,
+    method: Method = "exact",
+    *,
+    cache: "DistanceCache | None" = None,
+    **kwargs,
 ) -> BestResponseResult:
-    """Dispatch to the requested best-response routine."""
+    """Dispatch to the requested best-response routine.
+
+    ``cache`` routes the evaluation through a shared
+    :class:`~repro.core.distance_cache.DistanceCache`, replacing the
+    per-call all-pairs BFS of ``U(G - u)`` with an incremental repair.
+    """
     try:
         fn = _METHODS[method]
     except KeyError:
         raise GameError(f"unknown method {method!r}; use exact/greedy/swap") from None
+    if cache is not None:
+        _check_cache_graph(cache, graph)
+        if "env" not in kwargs:
+            kwargs["env"] = cache.environment(u, version)
     return fn(graph, u, version, **kwargs)
 
 
-def satisfies_lemma_2_2(graph: OwnedDigraph, u: int) -> bool:
+def _check_cache_graph(cache: "DistanceCache", graph: OwnedDigraph) -> None:
+    """A cache bound to another graph would silently mix two graphs'
+    state into one answer — refuse instead."""
+    if cache.graph is not graph:
+        raise GameError(
+            "distance cache is bound to a different graph object; call "
+            "cache.rebind(graph) first"
+        )
+
+
+def satisfies_lemma_2_2(
+    graph: OwnedDigraph, u: int, *, engine: DistanceEngine | None = None
+) -> bool:
     """Paper's Lemma 2.2 sufficient condition for a best response.
 
     True when ``u`` has local diameter 1, or local diameter 2 and is not
     contained in any brace. In either case ``u`` plays a best response in
     both SUM and MAX versions, so the exponential search can be skipped.
+
+    ``engine`` (a maintained engine over ``U(G)``, e.g.
+    ``DistanceCache.base()``) turns the per-call BFS into a row read.
     """
     if graph.n == 1:
         return True
-    d = bfs_distances(graph.undirected_csr(), u)
-    if (d == UNREACHABLE).any():
-        return False
-    ecc = int(d.max())
+    if engine is not None:
+        d = engine.row(u)
+        if int(d.max()) >= engine.inf:
+            return False
+        ecc = int(d.max())
+    else:
+        d = bfs_distances(graph.undirected_csr(), u)
+        if (d == UNREACHABLE).any():
+            return False
+        ecc = int(d.max())
     if ecc <= 1:
         return True
     if ecc == 2:
@@ -91,6 +133,7 @@ def find_improving_deviation(
     method: Method = "exact",
     *,
     use_lemma: bool = True,
+    cache: "DistanceCache | None" = None,
     **kwargs,
 ) -> BestResponseResult | None:
     """An improving deviation for ``u``, or ``None`` if none was found.
@@ -99,9 +142,13 @@ def find_improving_deviation(
     a best response. With the heuristics, ``None`` only means the
     restricted search found nothing.
     """
-    if use_lemma and satisfies_lemma_2_2(graph, u):
+    if cache is not None:
+        _check_cache_graph(cache, graph)
+    if use_lemma and satisfies_lemma_2_2(
+        graph, u, engine=cache.base() if cache is not None else None
+    ):
         return None
-    result = best_response_for(graph, u, version, method, **kwargs)
+    result = best_response_for(graph, u, version, method, cache=cache, **kwargs)
     return result if result.is_improving else None
 
 

@@ -1,0 +1,228 @@
+"""Shared distance engines kept coherent with one evolving realization.
+
+Best-response dynamics needs two families of distance matrices: the
+underlying graph ``U(G)`` (social cost, Lemma 2.2 skips) and, per
+deviating player ``u``, the punctured substrate ``U(G - u)`` that every
+candidate strategy of ``u`` is evaluated against. Both change by a few
+edges per dynamics step, so :class:`DistanceCache` keeps one
+:class:`~repro.graphs.engine.DistanceEngine` per substrate and repairs
+it lazily on access instead of recomputing all-pairs BFS from scratch.
+
+Coherence is revision-driven, not notification-driven: every access
+compares the graph's mutation counter with the revision the engine last
+synced to, and on mismatch hands the engine the current CSR to diff.
+Out-of-band mutations (callers poking the graph directly) are therefore
+picked up automatically — there is no way to read distances of a stale
+substrate, and a changed-then-rolled-back graph syncs as a no-op.
+
+Two structural facts make the per-player family cheap:
+
+* ``U(G - u)`` does not depend on ``u``'s own strategy, so a player's
+  engine survives that player's own moves untouched;
+* every other player's move rewires only edges incident to that mover,
+  which is exactly the single-pivot delta the engine repairs fastest.
+
+Memory: each cached player engine holds an ``(n, n)`` matrix (int32
+for every realistic ``n``). ``max_player_engines`` (default: a ~256 MB
+budget) bounds the total; least-recently-used engines are evicted and
+rebuilt on re-entry, which degrades gracefully to the from-scratch
+cost, never worse.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import VertexError
+from ..graphs.digraph import OwnedDigraph
+from ..graphs.distances import cinf
+from ..graphs.engine import DistanceEngine
+from .best_response import BestResponseEnvironment
+from .costs import Version
+
+__all__ = ["DistanceCache"]
+
+#: Default memory budget for per-player engines (bytes of distance rows).
+_DEFAULT_CACHE_BYTES: int = 256 * 1024 * 1024
+
+
+class DistanceCache:
+    """Lazily repaired :class:`DistanceEngine` pool for one graph.
+
+    Parameters
+    ----------
+    graph:
+        The realization to track. The cache never mutates it.
+    max_player_engines:
+        Cap on simultaneously cached per-player engines (LRU eviction).
+        Defaults to whatever fits a ~256 MB matrix budget, at least one.
+    dirty_fraction:
+        Forwarded to every engine; see
+        :mod:`repro.graphs.engine` for the repair/fallback policy.
+    """
+
+    def __init__(
+        self,
+        graph: OwnedDigraph,
+        *,
+        max_player_engines: int | None = None,
+        dirty_fraction: float | None = None,
+    ) -> None:
+        self._graph = graph
+        self._max_players_requested = max_player_engines
+        self._max_players = self._resolve_max_players(graph.n)
+        self._engine_kwargs = (
+            {} if dirty_fraction is None else {"dirty_fraction": dirty_fraction}
+        )
+        self._base: DistanceEngine | None = None
+        self._base_revision = -1
+        self._players: "OrderedDict[int, DistanceEngine]" = OrderedDict()
+        self._player_revisions: dict[int, int] = {}
+        self._envs: dict[tuple[int, Version], tuple[BestResponseEnvironment, int]] = {}
+        self.evictions = 0
+        self.env_hits = 0
+
+    def _resolve_max_players(self, n: int) -> int:
+        """Engine-count cap for instance size ``n`` (at least one).
+
+        With no explicit request, sized so the matrices fit the ~256 MB
+        budget: engines store int32 whenever the sentinel arithmetic
+        fits (every realistic ``n``), int64 otherwise.
+        """
+        if self._max_players_requested is not None:
+            return max(1, int(self._max_players_requested))
+        itemsize = 4 if 2 * cinf(n) < 2**31 else 8
+        per_engine = max(1, n * n * itemsize)
+        return max(1, min(n, _DEFAULT_CACHE_BYTES // per_engine))
+
+    @property
+    def graph(self) -> OwnedDigraph:
+        """The tracked realization."""
+        return self._graph
+
+    def rebind(self, graph: OwnedDigraph) -> None:
+        """Point the cache at another graph of the same size.
+
+        Engines (and their preallocated matrices) are kept; each next
+        access diffs against the new graph's CSR, which degrades to a
+        buffer-reusing rebuild when the graphs are unrelated. Sweep
+        workers use this to recycle buffers across tasks.
+        """
+        if graph.n != self._graph.n:
+            self._base = None
+            self._players.clear()
+            self._player_revisions.clear()
+            self._max_players = self._resolve_max_players(graph.n)
+        self._graph = graph
+        self._base_revision = -1
+        self._player_revisions = {u: -1 for u in self._players}
+        self._envs.clear()
+
+    # ------------------------------------------------------------------
+    def base(self) -> DistanceEngine:
+        """Engine over ``U(G)``, synced to the graph's current revision."""
+        rev = self._graph.revision
+        if self._base is None:
+            self._base = DistanceEngine(
+                self._graph.undirected_csr(), **self._engine_kwargs
+            )
+        elif self._base_revision != rev:
+            self._base.update(self._graph.undirected_csr())
+        self._base_revision = rev
+        return self._base
+
+    def base_if_fresh(self) -> DistanceEngine | None:
+        """The ``U(G)`` engine only if it is already synced, else ``None``.
+
+        Point reads (one lemma check, one eccentricity) are cheaper as a
+        single BFS than as a full matrix repair, so callers that only
+        need a row use the maintained matrix when it happens to be
+        current — e.g. for every player of a converged round, right
+        after the round-boundary :meth:`base` sync — and fall back to
+        the direct computation otherwise, instead of forcing a sync.
+        """
+        if self._base is not None and self._base_revision == self._graph.revision:
+            return self._base
+        return None
+
+    def player(self, u: int) -> DistanceEngine:
+        """Engine over ``U(G - u)``, synced to the current revision."""
+        if not 0 <= u < self._graph.n:
+            raise VertexError(u, self._graph.n)
+        rev = self._graph.revision
+        engine = self._players.get(u)
+        if engine is None:
+            engine = DistanceEngine(
+                self._graph.undirected_csr_without(u), **self._engine_kwargs
+            )
+            self._players[u] = engine
+            if len(self._players) > self._max_players:
+                evicted, _ = self._players.popitem(last=False)
+                self._player_revisions.pop(evicted, None)
+                for version in Version:
+                    self._envs.pop((evicted, version), None)
+                self.evictions += 1
+        elif self._player_revisions.get(u) != rev:
+            engine.update(self._graph.undirected_csr_without(u))
+        self._players.move_to_end(u)
+        self._player_revisions[u] = rev
+        return engine
+
+    def environment(self, u: int, version: Version | str) -> BestResponseEnvironment:
+        """Engine-backed evaluation substrate for player ``u``.
+
+        The environment snapshots the engine's epoch; if the graph moves
+        on afterwards, its evaluation calls raise
+        :class:`~repro.errors.StaleDistanceError` instead of silently
+        using outdated distances.
+
+        Environments are themselves cached per ``(player, version)``:
+        while the graph revision is unchanged, the previous round's
+        in-neighbour sets and component labels are still exact, so the
+        whole object is reused without touching the graph.
+        """
+        version = Version.coerce(version)
+        key = (int(u), version)
+        cached = self._envs.get(key)
+        if cached is not None and cached[1] == self._graph.revision:
+            self.env_hits += 1
+            return cached[0]
+        env = BestResponseEnvironment(self._graph, u, version, engine=self.player(u))
+        self._envs[key] = (env, self._graph.revision)
+        return env
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero every engine's counters (and the cache's own).
+
+        Counters are cumulative over the cache's lifetime — including
+        across :meth:`rebind` — so callers that want per-run numbers
+        from a shared cache should reset before the run.
+        """
+        for engine in self._players.values():
+            for key in engine.stats:
+                engine.stats[key] = 0
+        if self._base is not None:
+            for key in self._base.stats:
+                self._base.stats[key] = 0
+        self.evictions = 0
+        self.env_hits = 0
+
+    def stats(self) -> dict[str, int]:
+        """Aggregated engine counters (rebuilds/deltas/noops/rows/evictions).
+
+        Cumulative since construction or the last :meth:`reset_stats` —
+        a cache shared across several dynamics runs reports the total,
+        not the last run's share.
+        """
+        total = {"rebuilds": 0, "deltas": 0, "noops": 0, "rows_recomputed": 0}
+        engines = list(self._players.values())
+        if self._base is not None:
+            engines.append(self._base)
+        for engine in engines:
+            for key in total:
+                total[key] += engine.stats[key]
+        total["player_engines"] = len(self._players)
+        total["evictions"] = self.evictions
+        total["env_hits"] = self.env_hits
+        return total

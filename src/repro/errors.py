@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "GraphError",
+    "StaleDistanceError",
     "VertexError",
     "ArcError",
     "GameError",
@@ -28,6 +29,16 @@ class ReproError(Exception):
 
 class GraphError(ReproError):
     """Raised for invalid graph operations or malformed graph inputs."""
+
+
+class StaleDistanceError(GraphError):
+    """Raised when a distance view is read after its engine moved on.
+
+    A :class:`~repro.graphs.engine.DistanceEngine` bumps its epoch on
+    every repair or rebuild; consumers that captured an earlier epoch
+    get this error instead of silently reading distances of a substrate
+    that no longer exists.
+    """
 
 
 class VertexError(GraphError):

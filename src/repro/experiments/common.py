@@ -69,9 +69,16 @@ def stabilize(
     equilibrium that greedy cannot refute).
     """
     version = Version.coerce(version)
+    # One distance cache per worker process (keyed by instance size):
+    # engines and their matrices survive across the alternating passes
+    # below and across sweep tasks of the same n.
+    from ..parallel.sweep import shared_distance_cache
+
+    cache = shared_distance_cache(graph)
     if exact_is_feasible(game, exact_cap):
         res = best_response_dynamics(
-            game, graph, version, method="exact", max_rounds=max_rounds, seed=seed
+            game, graph, version, method="exact", max_rounds=max_rounds, seed=seed,
+            cache=cache,
         )
         return StabilizeOutcome(
             graph=res.graph,
@@ -85,11 +92,13 @@ def stabilize(
     cycled = False
     for _ in range(8):  # alternate passes; each pass is itself iterated
         greedy = best_response_dynamics(
-            game, current, version, method="greedy", max_rounds=max_rounds, seed=seed
+            game, current, version, method="greedy", max_rounds=max_rounds, seed=seed,
+            cache=cache,
         )
         rounds += greedy.rounds
         swap = best_response_dynamics(
-            game, greedy.graph, version, method="swap", max_rounds=max_rounds, seed=seed
+            game, greedy.graph, version, method="swap", max_rounds=max_rounds, seed=seed,
+            cache=cache,
         )
         rounds += swap.rounds
         cycled = cycled or greedy.cycled or swap.cycled

@@ -28,6 +28,7 @@ from .connectivity import (
 )
 from .csr import CSRAdjacency, build_csr, csr_without_vertex
 from .digraph import OwnedDigraph
+from .engine import DistanceEngine
 from .distances import (
     cinf,
     diameter,
@@ -67,6 +68,7 @@ from .properties import (
 __all__ = [
     "UNREACHABLE",
     "CSRAdjacency",
+    "DistanceEngine",
     "OwnedDigraph",
     "adjacency_table",
     "all_pairs_distances",

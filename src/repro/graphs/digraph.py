@@ -40,7 +40,7 @@ class OwnedDigraph:
       reverse arc ``v -> u`` may coexist, forming a *brace*.
     """
 
-    __slots__ = ("_n", "_out", "_csr_cache", "_csr_without_cache")
+    __slots__ = ("_n", "_out", "_csr_cache", "_csr_without_cache", "_revision")
 
     def __init__(self, n: int) -> None:
         if n <= 0:
@@ -49,6 +49,7 @@ class OwnedDigraph:
         self._out: list[set[int]] = [set() for _ in range(self._n)]
         self._csr_cache: CSRAdjacency | None = None
         self._csr_without_cache: dict[int, CSRAdjacency] = {}
+        self._revision = 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -89,6 +90,16 @@ class OwnedDigraph:
     def n(self) -> int:
         """Number of vertices."""
         return self._n
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter, bumped on every arc/strategy change.
+
+        Distance caches key their coherence checks on this: equal
+        revisions guarantee the graph is unchanged since the cache last
+        synced, so the (cheap but not free) CSR diff can be skipped.
+        """
+        return self._revision
 
     @property
     def num_arcs(self) -> int:
@@ -178,6 +189,7 @@ class OwnedDigraph:
     def _invalidate(self) -> None:
         self._csr_cache = None
         self._csr_without_cache.clear()
+        self._revision += 1
 
     def add_arc(self, u: int, v: int) -> None:
         """Add the owned arc ``u -> v``."""

@@ -1,0 +1,488 @@
+"""Incremental all-pairs distance engine for best-response workloads.
+
+A :class:`DistanceEngine` owns one CSR substrate and the full ``(n, n)``
+BFS distance matrix over it, and keeps that matrix correct as the
+substrate evolves one strategy swap at a time. Best-response dynamics
+rewires only the handful of undirected edges incident to the deviating
+player per step, so repairing the matrix is far cheaper than the
+from-scratch all-pairs BFS the engine replaces.
+
+Repair / fallback policy
+------------------------
+``update(new_csr)`` diffs the old and new CSR edge sets and picks one of
+three paths, returned as a status string:
+
+* ``"noop"`` — the edge sets are identical; distances and the epoch are
+  untouched (a strategy change that was rolled back, or a swap between a
+  brace and its surviving single edge).
+* ``"delta"`` — incremental repair:
+
+  - **Deletions** can only *increase* distances. Small batches (at most
+    ``_SEQUENTIAL_DELETION_CAP`` edges) are processed one edge at a
+    time with the exact support criterion: removing ``{x, y}`` affects
+    source ``s`` only if the downhill endpoint (say ``d(s, y) =
+    d(s, x) + 1``) loses its *only* tight parent — if another neighbour
+    ``z`` of ``y`` with ``d(s, z) = d(s, y) - 1`` survives, every
+    shortest path through the edge reroutes through ``z`` at equal
+    length and row ``s`` is untouched. Affected rows get a bounded
+    recompute: a fresh batched BFS of just those sources on the
+    intermediate substrate. Larger batches use the coarser (sound but
+    pessimistic) tightness filter ``|d(s, x) - d(s, y)| == 1`` in one
+    composed pass.
+  - **Insertions** can only *decrease* distances. Every inserted edge is
+    covered by a small *pivot* vertex set (greedy vertex cover of the
+    inserted edges — for a best-response step this is exactly the
+    deviating player). Pivot rows are recomputed exactly on the final
+    substrate, after which every other row repairs in one vectorised
+    decrease-only pass: ``d(s, v) = min(d(s, v), min_p d(p, s) +
+    d(p, v))`` — any path through an inserted edge passes through a
+    pivot ``p``.
+
+* ``"rebuild"`` — full batched all-pairs BFS into the preallocated
+  matrix, taken whenever the rows needing a fresh BFS exceed
+  ``dirty_fraction * n`` (repairing most rows costs more than starting
+  over), whenever the changed-edge count alone exceeds the analysis
+  budget (heavy churn), and always available via :meth:`rebuild`.
+
+Every path that may change distances bumps the ``epoch`` counter;
+consumers snapshot the epoch at read time and revalidate with
+:meth:`ensure_epoch`, so a stale view raises
+:class:`~repro.errors.StaleDistanceError` instead of silently serving
+distances of a substrate that no longer exists.
+
+Unreachable pairs are stored as the finite sentinel ``inf`` (the paper's
+``Cinf = n^2`` by default) so that the min-plus repair needs no special
+cases; :meth:`distances` converts back to the BFS module's
+``UNREACHABLE`` convention on request. Matrices are stored as ``int32``
+whenever the sentinel arithmetic fits (it does for every realistic
+``n``), halving the memory traffic of a pool of per-player engines;
+consumers that aggregate rows should accumulate into ``int64``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GraphError, StaleDistanceError, VertexError
+from .bfs import UNREACHABLE
+from .csr import CSRAdjacency, csr_without_vertex
+from .distances import cinf
+
+__all__ = ["DistanceEngine"]
+
+#: Default fallback threshold: delta-repair only while the rows needing a
+#: fresh BFS stay below this fraction of all rows.
+DEFAULT_DIRTY_FRACTION: float = 0.5
+
+#: Deletion batches up to this size are repaired edge-by-edge with the
+#: exact support criterion; larger batches use the composed tightness
+#: filter (cheaper to evaluate, far more pessimistic).
+_SEQUENTIAL_DELETION_CAP: int = 32
+
+
+def _edge_ids(csr: CSRAdjacency) -> np.ndarray:
+    """Sorted unique ids ``x * n + y`` (``x < y``) of the undirected edges."""
+    row_of = np.repeat(np.arange(csr.n, dtype=np.int64), np.diff(csr.indptr))
+    mask = row_of < csr.indices
+    return row_of[mask] * csr.n + csr.indices[mask]
+
+
+def _csr_remove_edge(csr: CSRAdjacency, x: int, y: int) -> CSRAdjacency:
+    """Copy of ``csr`` with the undirected edge ``{x, y}`` removed."""
+    keep = np.ones(csr.indices.size, dtype=bool)
+    for a, b in ((x, y), (y, x)):
+        lo, hi = int(csr.indptr[a]), int(csr.indptr[a + 1])
+        pos = lo + int(np.searchsorted(csr.indices[lo:hi], b))
+        if pos >= hi or csr.indices[pos] != b:
+            raise GraphError(f"edge {{{x}, {y}}} not present in substrate")
+        keep[pos] = False
+    counts = np.diff(csr.indptr).copy()
+    counts[x] -= 1
+    counts[y] -= 1
+    indptr = np.zeros(csr.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRAdjacency(n=csr.n, indptr=indptr, indices=csr.indices[keep])
+
+
+def _pivot_cover(edges: np.ndarray) -> np.ndarray:
+    """Small vertex set covering every edge (greedy max-degree, deterministic).
+
+    For the edges inserted by one player's strategy change this returns
+    exactly that player; the greedy rule keeps the cover near-minimal
+    when several pending moves are composed into one delta.
+    """
+    remaining = [(int(x), int(y)) for x, y in edges]
+    pivots: list[int] = []
+    while remaining:
+        counts: dict[int, int] = {}
+        for x, y in remaining:
+            counts[x] = counts.get(x, 0) + 1
+            counts[y] = counts.get(y, 0) + 1
+        # Highest cover count wins; ties break to the smallest vertex id
+        # so replays are deterministic.
+        best = min(counts, key=lambda v: (-counts[v], v))
+        pivots.append(best)
+        remaining = [e for e in remaining if best not in e]
+    return np.asarray(sorted(pivots), dtype=np.int64)
+
+
+class DistanceEngine:
+    """All-pairs BFS distances over one CSR substrate, with delta repair.
+
+    Parameters
+    ----------
+    csr:
+        The initial substrate (an undirected CSR adjacency).
+    inf:
+        Finite sentinel stored for unreachable pairs. Defaults to the
+        paper's ``Cinf = n^2``, which the best-response environment
+        consumes directly; any value ``> 2 * (n - 1)`` is safe for the
+        min-plus repair.
+    dirty_fraction:
+        Fallback knob: see the module docstring. ``0.0`` disables delta
+        repair entirely (every change rebuilds), ``1.0`` forces delta
+        repair whenever the analysis budget allows it.
+    """
+
+    __slots__ = ("_csr", "_n", "_inf", "_dtype", "_D", "_epoch", "_dirty_fraction", "stats")
+
+    def __init__(
+        self,
+        csr: CSRAdjacency,
+        *,
+        inf: int | None = None,
+        dirty_fraction: float = DEFAULT_DIRTY_FRACTION,
+    ) -> None:
+        if not isinstance(csr, CSRAdjacency):
+            raise GraphError("DistanceEngine needs a CSRAdjacency substrate")
+        if not 0.0 <= dirty_fraction <= 1.0:
+            raise GraphError(
+                f"dirty_fraction must be in [0, 1], got {dirty_fraction}"
+            )
+        self._n = csr.n
+        self._inf = cinf(csr.n) if inf is None else int(inf)
+        if self._inf <= 2 * (self._n - 1):
+            raise GraphError(
+                f"inf sentinel {self._inf} too small for n={self._n}; "
+                f"need inf > 2(n-1) for the min-plus repair"
+            )
+        # int32 halves the footprint of an engine pool; all stored values
+        # are bounded by inf and the min-plus repair peaks at 2 * inf.
+        self._dtype = np.int32 if 2 * self._inf < 2**31 else np.int64
+        self._dirty_fraction = float(dirty_fraction)
+        self._csr = csr
+        self._D = np.empty((self._n, self._n), dtype=self._dtype)
+        self._epoch = 0
+        self.stats = {"rebuilds": 0, "deltas": 0, "noops": 0, "rows_recomputed": 0}
+        self.rebuild()
+
+    @classmethod
+    def from_graph(
+        cls, graph, *, isolate: int | None = None, **kwargs
+    ) -> "DistanceEngine":
+        """Engine over ``U(G)``, optionally with one vertex isolated.
+
+        ``isolate=u`` builds the best-response substrate ``U(G - u)``
+        (same index space, ``u`` edgeless).
+        """
+        csr = graph.undirected_csr()
+        if isolate is not None:
+            csr = csr_without_vertex(csr, isolate)
+        return cls(csr, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Read API
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices of the substrate."""
+        return self._n
+
+    @property
+    def csr(self) -> CSRAdjacency:
+        """The substrate the current matrix describes."""
+        return self._csr
+
+    @property
+    def inf(self) -> int:
+        """Finite sentinel stored for unreachable pairs."""
+        return self._inf
+
+    @property
+    def epoch(self) -> int:
+        """Counter bumped whenever the distance content may have changed."""
+        return self._epoch
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(n, n)`` distance view (``inf`` for unreachable).
+
+        The view aliases the engine's buffer: it is only valid for the
+        epoch at which it was taken. Guard reuse with
+        :meth:`ensure_epoch`.
+        """
+        view = self._D.view()
+        view.flags.writeable = False
+        return view
+
+    def row(self, s: int) -> np.ndarray:
+        """Read-only distance row from source ``s`` (``inf`` convention)."""
+        if not 0 <= s < self._n:
+            raise VertexError(s, self._n)
+        return self.matrix[s]
+
+    def distance(self, s: int, v: int) -> int:
+        """Distance ``s -> v``; ``UNREACHABLE`` across components."""
+        if not 0 <= s < self._n:
+            raise VertexError(s, self._n)
+        if not 0 <= v < self._n:
+            raise VertexError(v, self._n)
+        d = int(self._D[s, v])
+        return UNREACHABLE if d >= self._inf else d
+
+    def distances(self, *, sentinel: int = UNREACHABLE) -> np.ndarray:
+        """``int64`` copy of the full matrix, unreachable pairs remapped."""
+        out = self._D.astype(np.int64)
+        if sentinel != self._inf:
+            out[out >= self._inf] = sentinel
+        return out
+
+    def ensure_epoch(self, epoch: int) -> None:
+        """Raise :class:`StaleDistanceError` unless ``epoch`` is current."""
+        if epoch != self._epoch:
+            raise StaleDistanceError(
+                f"distance view from epoch {epoch} is stale; engine is at "
+                f"epoch {self._epoch}"
+            )
+
+    # ------------------------------------------------------------------
+    # Batched BFS kernel
+    # ------------------------------------------------------------------
+    def _bfs_rows(
+        self,
+        csr: CSRAdjacency,
+        sources: np.ndarray,
+        out: np.ndarray,
+        out_rows: np.ndarray,
+    ) -> None:
+        """Batched BFS: ``out[out_rows[i]] = dist(sources[i], .)`` in-place.
+
+        All sources expand level-synchronously in one flat frontier of
+        ``(output row, vertex)`` pairs, so each level costs a handful of
+        numpy gathers regardless of how many sources are in flight. The
+        output buffer is written through its flat view — no per-source
+        allocation.
+        """
+        n = self._n
+        k = sources.size
+        if k == 0:
+            return
+        if not out.flags.c_contiguous or out.shape[1] != n:
+            raise GraphError("batched BFS needs a C-contiguous (k, n) buffer")
+        inf = self._inf
+        out[out_rows] = inf
+        flat = out.reshape(-1)
+        slots = out_rows.astype(np.int64, copy=True)
+        verts = sources.astype(np.int64, copy=True)
+        flat[slots * n + verts] = 0
+        level = 0
+        while verts.size:
+            level += 1
+            starts = csr.indptr[verts]
+            counts = csr.indptr[verts + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(counts)
+            offsets = np.repeat(starts - (cum - counts), counts) + np.arange(
+                total, dtype=np.int64
+            )
+            nbrs = csr.indices[offsets]
+            idx = np.repeat(slots, counts) * n + nbrs
+            idx = idx[flat[idx] == inf]
+            if idx.size == 0:
+                break
+            # Dedupe via sort + run mask (same result as np.unique, much
+            # cheaper than its hash path on these small int ranges).
+            idx.sort(kind="stable")
+            keep = np.empty(idx.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(idx[1:], idx[:-1], out=keep[1:])
+            idx = idx[keep]
+            flat[idx] = level
+            slots = idx // n
+            verts = idx - slots * n
+        self.stats["rows_recomputed"] += k
+
+    def distances_from(
+        self, sources: Sequence[int] | np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Batched multi-source BFS on the current substrate.
+
+        Row ``i`` of the result holds distances from ``sources[i]``
+        under the engine's ``inf`` convention. Pass a preallocated
+        C-contiguous ``(len(sources), n)`` buffer of the engine's dtype
+        as ``out`` to avoid the allocation on hot paths.
+        """
+        src = np.asarray(sources, dtype=np.int64).ravel()
+        if src.size and (src.min() < 0 or src.max() >= self._n):
+            bad = int(src.min()) if src.min() < 0 else int(src.max())
+            raise VertexError(bad, self._n)
+        if out is None:
+            out = np.empty((src.size, self._n), dtype=self._dtype)
+        elif out.shape != (src.size, self._n) or out.dtype != self._dtype:
+            raise GraphError(
+                f"out buffer must be {np.dtype(self._dtype).name} of shape "
+                f"{(src.size, self._n)}"
+            )
+        self._bfs_rows(self._csr, src, out, np.arange(src.size, dtype=np.int64))
+        return out
+
+    # ------------------------------------------------------------------
+    # Mutation API
+    # ------------------------------------------------------------------
+    def rebuild(self, new_csr: CSRAdjacency | None = None) -> None:
+        """Full batched all-pairs BFS (optionally onto a new substrate)."""
+        if new_csr is not None:
+            if new_csr.n != self._n:
+                raise GraphError(
+                    f"substrate size changed ({new_csr.n} != {self._n}); "
+                    f"build a fresh engine instead"
+                )
+            self._csr = new_csr
+        all_rows = np.arange(self._n, dtype=np.int64)
+        self._bfs_rows(self._csr, all_rows, self._D, all_rows)
+        self._epoch += 1
+        self.stats["rebuilds"] += 1
+
+    def _deletion_dirty_rows(
+        self, x: int, y: int, after_csr: CSRAdjacency
+    ) -> np.ndarray:
+        """Sources whose row may change when edge ``{x, y}`` is removed.
+
+        Exact support criterion against the current matrix: a source is
+        affected only if the downhill endpoint has no surviving tight
+        parent in ``after_csr`` (the substrate with the edge already
+        removed, and without any not-yet-applied insertions).
+        """
+        dirty = np.zeros(self._n, dtype=bool)
+        dx = self._D[:, x]
+        dy = self._D[:, y]
+        for hi, dlo in ((y, dx), (x, dy)):
+            supported = self._D[:, hi] == dlo + 1
+            if not supported.any():
+                continue
+            alt_nbrs = after_csr.neighbors(hi)
+            if alt_nbrs.size:
+                alt = (self._D[:, alt_nbrs] == dlo[:, None]).any(axis=1)
+                dirty |= supported & ~alt
+            else:
+                dirty |= supported
+        return np.flatnonzero(dirty)
+
+    def update(self, new_csr: CSRAdjacency) -> str:
+        """Sync the matrix to ``new_csr``; returns the path taken.
+
+        ``"noop"`` | ``"delta"`` | ``"rebuild"`` — see the module
+        docstring for the policy. The epoch is bumped unless the edge
+        sets are identical.
+        """
+        if new_csr is self._csr:
+            self.stats["noops"] += 1
+            return "noop"
+        if new_csr.n != self._n:
+            raise GraphError(
+                f"substrate size changed ({new_csr.n} != {self._n}); "
+                f"build a fresh engine instead"
+            )
+        old_ids = _edge_ids(self._csr)
+        new_ids = _edge_ids(new_csr)
+        removed_ids = np.setdiff1d(old_ids, new_ids, assume_unique=True)
+        added_ids = np.setdiff1d(new_ids, old_ids, assume_unique=True)
+        if removed_ids.size == 0 and added_ids.size == 0:
+            self._csr = new_csr
+            self.stats["noops"] += 1
+            return "noop"
+
+        n = self._n
+        row_budget = self._dirty_fraction * n
+        analysis_cap = min(row_budget, max(16.0, n / 8))
+        sequential = removed_ids.size <= _SEQUENTIAL_DELETION_CAP
+        if self._dirty_fraction == 0.0 or (
+            not sequential and removed_ids.size + added_ids.size > analysis_cap
+        ):
+            # Heavy churn: the per-edge analysis below would cost more
+            # than the batched rebuild it is trying to avoid.
+            self.rebuild(new_csr)
+            return "rebuild"
+
+        pivots = np.empty(0, dtype=np.int64)
+        if added_ids.size:
+            if added_ids.size > analysis_cap:
+                self.rebuild(new_csr)
+                return "rebuild"
+            ax = added_ids // n
+            ay = added_ids - ax * n
+            pivots = _pivot_cover(np.stack([ax, ay], axis=1))
+
+        rows_spent = pivots.size
+        if rows_spent > row_budget:
+            self.rebuild(new_csr)
+            return "rebuild"
+        if sequential and removed_ids.size:
+            # One edge at a time with the exact support filter; the
+            # matrix and a working substrate advance together, so each
+            # step's filter and repair are against exact distances.
+            work_csr = self._csr
+            for eid in removed_ids:
+                x = int(eid // n)
+                y = int(eid - x * n)
+                work_csr = _csr_remove_edge(work_csr, x, y)
+                dirty_rows = self._deletion_dirty_rows(x, y, work_csr)
+                rows_spent += dirty_rows.size
+                if rows_spent > row_budget:
+                    self.rebuild(new_csr)
+                    return "rebuild"
+                self._bfs_rows(work_csr, dirty_rows, self._D, dirty_rows)
+            exempt = pivots
+        elif removed_ids.size:
+            # Composed batch: the coarse tightness filter, one pass.
+            x = removed_ids // n
+            y = removed_ids - x * n
+            Dx = self._D[:, x].astype(np.int64)
+            Dy = self._D[:, y].astype(np.int64)
+            dirty = (np.abs(Dx - Dy) == 1).any(axis=1)
+            recompute = np.union1d(np.flatnonzero(dirty), pivots)
+            rows_spent += recompute.size - pivots.size
+            if rows_spent > row_budget:
+                self.rebuild(new_csr)
+                return "rebuild"
+            # Recomputed on the final substrate, so these rows are
+            # already exact and skip the insertion repair below.
+            self._bfs_rows(new_csr, recompute, self._D, recompute)
+            exempt = recompute
+        else:
+            exempt = pivots
+
+        self._csr = new_csr
+        if pivots.size:
+            if exempt is pivots:
+                # Not yet recomputed (the composed path folds the pivot
+                # rows into `recompute` on the final substrate already).
+                self._bfs_rows(new_csr, pivots, self._D, pivots)
+            survivors = np.ones(n, dtype=bool)
+            survivors[exempt] = False
+            rows = np.flatnonzero(survivors)
+            if rows.size:
+                # Decrease-only repair: any path using an inserted edge
+                # passes through a pivot, whose row is now exact.
+                block = self._D[rows]
+                for p in pivots:
+                    dp = self._D[p]
+                    np.minimum(block, dp[rows, None] + dp[None, :], out=block)
+                self._D[rows] = block
+        self._epoch += 1
+        self.stats["deltas"] += 1
+        return "delta"

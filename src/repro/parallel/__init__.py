@@ -1,14 +1,24 @@
 """Process-parallel sweep harness with deterministic seeding."""
 
 from .executor import cpu_workers, parallel_map
-from .sweep import SweepSpec, SweepTask, aggregate_max, aggregate_mean, run_sweep
+from .sweep import (
+    SweepSpec,
+    SweepTask,
+    aggregate_max,
+    aggregate_mean,
+    clear_distance_caches,
+    run_sweep,
+    shared_distance_cache,
+)
 
 __all__ = [
     "SweepSpec",
     "SweepTask",
     "aggregate_max",
     "aggregate_mean",
+    "clear_distance_caches",
     "cpu_workers",
     "parallel_map",
     "run_sweep",
+    "shared_distance_cache",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -9,6 +10,22 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def _example_env() -> dict[str, str]:
+    """Subprocess environment with the package importable.
+
+    pytest's ``pythonpath`` ini option only patches the test process's
+    own ``sys.path``; the example subprocesses need ``src`` on
+    ``PYTHONPATH`` explicitly.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
 
 
 @pytest.mark.parametrize(
@@ -29,6 +46,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=600,
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "example produced no output"
