@@ -149,25 +149,45 @@ def fold_all_poor_leaves(wr: WeightedRealization, *, max_rounds: int | None = No
 def _weighted_swap_improves(wr: WeightedRealization, u: int) -> bool:
     """Whether some single-arc swap strictly lowers ``u``'s weighted cost.
 
-    Reuses the best-response environment's ``G - u`` distance matrix:
-    every candidate strategy's distance vector is a row-min reduction,
-    and the weighted cost is one dot product.
+    Reuses the best-response environment's ``G - u`` distance matrix,
+    batched like ``BestResponseEnvironment.evaluate_batch``: per-column
+    first/second minima over the kept rows (current strategy plus
+    in-neighbours) evaluate every "drop one arc" exclusion in O(1) per
+    column, every "add one arc" candidate is one row-min against that
+    exclusion, and the weighted costs of a whole candidate block reduce
+    to a single matrix–vector product — no per-candidate BFS, no
+    per-candidate python loop.
     """
     cur = tuple(int(v) for v in wr.graph.out_neighbors(u))
     if not cur:
         return False
     env = BestResponseEnvironment(wr.graph, u, "sum")
+    n = wr.graph.n
     w = wr.weights
     cur_cost = int((env.distances_for(cur) * w).sum())
-    ghost = set(np.flatnonzero(wr.weights == 0).tolist())
-    for dropped in cur:
-        kept = tuple(v for v in cur if v != dropped)
-        for cand in range(wr.graph.n):
-            if cand == u or cand in cur or cand in ghost:
-                continue
-            dist = env.distances_for(kept + (cand,))
-            if int((dist * w).sum()) < cur_cost:
-                return True
+    blocked = set(cur) | {u} | set(np.flatnonzero(wr.weights == 0).tolist())
+    pool = np.asarray([v for v in range(n) if v not in blocked], dtype=np.int64)
+    if pool.size == 0:
+        return False
+    rows = env.D[np.asarray(cur, dtype=np.int64)]
+    if env.in_nbrs.size:
+        rows = np.vstack([rows, env.D[env.in_nbrs]])
+    order = np.argsort(rows, axis=0, kind="stable")
+    m1 = np.take_along_axis(rows, order[:1], axis=0)[0]
+    arg1 = order[0]
+    if rows.shape[0] > 1:
+        m2 = np.take_along_axis(rows, order[1:2], axis=0)[0]
+    else:
+        m2 = np.full(n, env.cinf, dtype=np.int64)
+    cand_rows = env.D[pool]
+    for i in range(len(cur)):
+        # Min over the kept rows when owned row i is excluded.
+        excl = np.where(arg1 == i, m2, m1)
+        mins = np.minimum(excl, cand_rows)
+        dist = np.minimum(mins + 1, env.cinf)
+        dist[:, u] = 0
+        if (dist @ w < cur_cost).any():
+            return True
     return False
 
 

@@ -4,8 +4,13 @@ Subcommands
 -----------
 ``list``
     Show every registered experiment id with its description.
-``run <id> [<id> ...]``
+``run <id> [<id> ...] [--workers N] [--symmetry/--no-symmetry] [--extended]``
     Regenerate specific Table 1 cells / figures and print the reports.
+    ``--workers`` shards supporting experiments (e.g. the exact census)
+    across processes; ``--symmetry`` toggles census orbit pruning;
+    ``--extended`` adds the census instances the incremental kernel
+    unlocks (unit n=6, mixed n=5).
+    Flags are forwarded only to experiments whose signature takes them.
 ``all``
     Regenerate everything (the full paper reproduction).
 ``export <spec> --json out.json [--dot out.dot]``
@@ -68,6 +73,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
     run_p = sub.add_parser("run", help="run one or more experiments by id")
     run_p.add_argument("ids", nargs="+", metavar="ID", help="experiment ids (see 'list')")
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process shards for experiments that support them (census kernel)",
+    )
+    run_p.add_argument(
+        "--symmetry",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="census orbit pruning (bit-identical results either way)",
+    )
+    run_p.add_argument(
+        "--extended",
+        action="store_true",
+        default=None,
+        help="census: run the extended instance battery (adds unit n=6, mixed n=5)",
+    )
     sub.add_parser("all", help="run every experiment")
     exp_p = sub.add_parser("export", help="build a construction and save it")
     exp_p.add_argument("spec", help="fig1 | spider:<k> | binary-tree:<d> | overlap:<t>,<k> | thm2.3:<b,...>")
@@ -76,10 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_and_print(experiment_id: str) -> int:
+def _run_and_print(experiment_id: str, **overrides) -> int:
     start = time.perf_counter()
     try:
-        report = run_experiment(experiment_id)
+        report = run_experiment(experiment_id, **overrides)
     except Exception as exc:  # surface the failure but keep going in batches
         print(f"!! {experiment_id} failed: {exc}", file=sys.stderr)
         return 1
@@ -98,7 +122,15 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"{key:18s} {desc}")
         return 0
     if args.command == "run":
-        return max(_run_and_print(i) for i in args.ids)
+        return max(
+            _run_and_print(
+                i,
+                workers=args.workers,
+                symmetry=args.symmetry,
+                extended=args.extended,
+            )
+            for i in args.ids
+        )
     if args.command == "all":
         return max(_run_and_print(key) for key in REGISTRY)
     if args.command == "export":

@@ -17,18 +17,29 @@ from .deviations import (
     is_equilibrium,
     is_weak_equilibrium,
     satisfies_lemma_2_2,
+    screen_best_responders,
 )
 from .distance_cache import DistanceCache
 from .dynamics import DynamicsResult, MoveRecord, Schedule, best_response_dynamics
 from .enumeration import (
+    CensusResult,
     ExactPriceReport,
+    census_scan,
     enumerate_equilibria,
     enumerate_realizations,
     exact_prices,
+    gray_profile_walk,
     profile_space_size,
+    revolving_door_combinations,
 )
 from .equilibrium import EquilibriumCertificate, PlayerWitness, certify_equilibrium
-from .isomorphism import are_isomorphic, count_isomorphism_classes, isomorphism_invariant
+from .isomorphism import (
+    are_isomorphic,
+    canonical_form,
+    count_isomorphism_classes,
+    isomorphism_invariant,
+    refined_vertex_colors,
+)
 from .potential import (
     FIPReport,
     ImprovementGraph,
@@ -43,6 +54,7 @@ __all__ = [
     "BestResponseEnvironment",
     "BestResponseResult",
     "BoundedBudgetGame",
+    "CensusResult",
     "DistanceCache",
     "DynamicsResult",
     "EquilibriumCertificate",
@@ -50,11 +62,17 @@ __all__ = [
     "FIPReport",
     "ImprovementGraph",
     "are_isomorphic",
+    "canonical_form",
+    "census_scan",
     "check_finite_improvement",
     "count_isomorphism_classes",
     "find_improvement_cycle",
+    "gray_profile_walk",
     "improvement_graph",
     "isomorphism_invariant",
+    "refined_vertex_colors",
+    "revolving_door_combinations",
+    "screen_best_responders",
     "enumerate_equilibria",
     "enumerate_realizations",
     "exact_prices",

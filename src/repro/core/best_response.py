@@ -151,25 +151,45 @@ class BestResponseEnvironment:
         self._epoch = engine.epoch
         self._graph = graph
         self._revision = graph.revision
-        csr_minus = engine.csr
         # D[w, v] = dist_{G-u}(w, v); unreachable pairs carry the engine's
         # sentinel, strictly larger than any finite distance (cinf works:
         # finite distances are <= n - 2 < n^2 for n >= 2).
         D = self.D = engine.matrix
-        comp, ncomp = connected_components(csr_minus)
-        self.comp = comp
-        # u is isolated in csr_minus and forms a singleton component, so
-        # the other n-1 vertices span ncomp - 1 components.
-        self.ncomp_others = ncomp - 1 if self.n > 1 else 0
         self.in_nbrs = graph.in_neighbors(u)
         if self.in_nbrs.size:
             self._base_min = D[self.in_nbrs].min(axis=0)
-            self._in_labels = np.unique(comp[self.in_nbrs])
         else:
             self._base_min = np.full(self.n, self.cinf, dtype=np.int64)
-            self._in_labels = np.empty(0, dtype=np.int64)
         self._others_mask = np.ones(self.n, dtype=bool)
         self._others_mask[u] = False
+        # Component labels of G - u are only consumed by the MAX
+        # version's kappa term; they are computed on first use so SUM
+        # evaluations never pay for the extra BFS sweep.
+        self._comp: "np.ndarray | None" = None
+        self._ncomp_others = 0
+        self._in_labels = np.empty(0, dtype=np.int64)
+
+    def _ensure_components(self) -> None:
+        if self._comp is None:
+            comp, ncomp = connected_components(self._engine.csr)
+            self._comp = comp
+            # u is isolated in the substrate and forms a singleton
+            # component, so the other n-1 vertices span ncomp - 1.
+            self._ncomp_others = ncomp - 1 if self.n > 1 else 0
+            if self.in_nbrs.size:
+                self._in_labels = np.unique(comp[self.in_nbrs])
+
+    @property
+    def comp(self) -> np.ndarray:
+        """Component labels of ``G - u`` (lazily computed)."""
+        self._ensure_components()
+        return self._comp
+
+    @property
+    def ncomp_others(self) -> int:
+        """Components of ``G - u`` spanned by the other vertices."""
+        self._ensure_components()
+        return self._ncomp_others
 
     # ------------------------------------------------------------------
     @property

@@ -45,6 +45,7 @@ __all__ = [
     "is_equilibrium",
     "is_weak_equilibrium",
     "satisfies_lemma_2_2",
+    "screen_best_responders",
     "best_response_for",
 ]
 
@@ -126,6 +127,33 @@ def satisfies_lemma_2_2(
     return False
 
 
+def screen_best_responders(graph: OwnedDigraph, engine: DistanceEngine) -> np.ndarray:
+    """Vectorized Lemma 2.2 over a maintained distance matrix.
+
+    Returns a boolean mask: ``mask[u]`` is ``True`` when player ``u`` is
+    *certified* to play a best response (local diameter 1, or local
+    diameter 2 with no incident brace), computed for all players in one
+    pass over ``engine``'s all-pairs matrix instead of one BFS each.
+    ``False`` entries are merely unscreened — they still need a search.
+
+    ``engine`` must be synced to ``graph`` (e.g. ``DistanceCache.base()``);
+    the result then agrees with :func:`satisfies_lemma_2_2` player by
+    player.
+    """
+    n = graph.n
+    if n == 1:
+        return np.ones(1, dtype=bool)
+    ecc = engine.matrix.max(axis=1).astype(np.int64)
+    certified = ecc <= 1
+    at_two = ecc == 2
+    if at_two.any():
+        adj = np.zeros((n, n), dtype=bool)
+        for u, v in graph.arcs():
+            adj[u, v] = True
+        certified |= at_two & ~(adj & adj.T).any(axis=1)
+    return certified
+
+
 def find_improving_deviation(
     graph: OwnedDigraph,
     u: int,
@@ -169,16 +197,28 @@ def is_equilibrium(
     method: Method = "exact",
     *,
     players: "list[int] | None" = None,
+    cache: "DistanceCache | None" = None,
     **kwargs,
 ) -> bool:
     """Whether the profile is a Nash equilibrium (``method="exact"``)
     or stable under the given move set (heuristic methods).
 
     ``players`` restricts the check (useful for symmetric constructions
-    where one representative per orbit suffices).
+    where one representative per orbit suffices). ``cache`` routes every
+    player through a shared :class:`DistanceCache` and screens all
+    players at once with :func:`screen_best_responders` on the
+    maintained ``U(G)`` matrix before any per-player search runs — the
+    census fast path. The answer is identical with or without a cache.
     """
     todo = range(graph.n) if players is None else players
+    screened = None
+    if cache is not None:
+        _check_cache_graph(cache, graph)
+        screened = screen_best_responders(graph, cache.base())
+        kwargs = dict(kwargs, cache=cache, use_lemma=False)
     for u in todo:
+        if screened is not None and screened[u]:
+            continue
         if not is_best_response(graph, u, version, method, **kwargs):
             return False
     return True

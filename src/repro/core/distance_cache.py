@@ -57,8 +57,9 @@ class DistanceCache:
         Cap on simultaneously cached per-player engines (LRU eviction).
         Defaults to whatever fits a ~256 MB matrix budget, at least one.
     dirty_fraction:
-        Forwarded to every engine; see
-        :mod:`repro.graphs.engine` for the repair/fallback policy.
+        Forwarded to every engine; a float fixes the delta-vs-rebuild
+        cutoff, ``"adaptive"`` lets each engine tune it from its own
+        cost EMAs — see :mod:`repro.graphs.engine` for the policy.
     """
 
     def __init__(
@@ -66,7 +67,7 @@ class DistanceCache:
         graph: OwnedDigraph,
         *,
         max_player_engines: int | None = None,
-        dirty_fraction: float | None = None,
+        dirty_fraction: "float | str | None" = None,
     ) -> None:
         self._graph = graph
         self._max_players_requested = max_player_engines

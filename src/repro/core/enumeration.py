@@ -10,8 +10,43 @@ enumerable, which buys three things the asymptotic machinery cannot:
   equilibrium at n = 5 is unicyclic with cycle ≤ 5" verified over the
   whole space rather than sampled).
 
-Everything here is deliberately brute force and guarded by profile
-caps; the sampling/dynamics pipeline covers larger sizes.
+Incremental census design
+-------------------------
+The kernel walks the profile space in **Gray order** instead of
+materialising a fresh graph per profile: each player's strategy space
+is laid out in *revolving-door* order (consecutive ``C(n-1, b)``
+combinations differ by dropping one target and adding one), and the
+per-player sequences are composed with a reflected mixed-radix Gray
+code, so consecutive profiles of the whole walk differ by exactly one
+arc swap of one player. That swap is applied in place to a single
+mutable :class:`~repro.graphs.digraph.OwnedDigraph` and repaired by the
+:class:`~repro.graphs.engine.DistanceEngine` delta machinery (via a
+:class:`~repro.core.distance_cache.DistanceCache`), replacing the
+rebuild-per-profile all-pairs BFS of the brute-force path with a
+few-row repair per step. Equilibrium membership screens all players at
+once with the vectorized Lemma 2.2 pass
+(:func:`~repro.core.deviations.screen_best_responders`) over the
+maintained matrix before any per-player ``exact()`` search runs.
+
+**Symmetry pruning** (``symmetry=True``): players with equal budgets
+induce profile-space orbits under the budget-preserving relabeling
+group ``∏ Sym(budget class)``. A profile is *canonical* when its
+ownership-adjacency bit key is minimal over its orbit; the walk keeps
+all ``|group|`` relabeled keys up to date incrementally (two bit
+toggles per group element per step), evaluates only canonical
+representatives, and multiplies their contributions by the orbit size
+``|group| / |stabilizer|``. Diameter and equilibrium membership are
+orbit invariants, so the census is bit-identical with pruning on or
+off.
+
+**Sharding** (``workers > 1``): the Gray rank space splits into
+contiguous ranges (one unranking per shard, then stepping), dispatched
+through :func:`~repro.parallel.executor.parallel_map`; each worker owns
+its own mutable graph and engine pool, and the merge of shard partials
+is order-independent, so reports are identical for any worker count.
+
+Everything is still guarded by profile caps; the sampling/dynamics
+pipeline covers larger sizes.
 """
 
 from __future__ import annotations
@@ -20,22 +55,34 @@ import itertools
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterator
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+import numpy as np
 
 from ..errors import GameError
 from ..graphs.digraph import OwnedDigraph
 from ..graphs.distances import diameter
 from .costs import Version
 from .deviations import is_equilibrium
+from .distance_cache import DistanceCache
 from .game import BoundedBudgetGame
 
 __all__ = [
     "profile_space_size",
     "enumerate_realizations",
     "enumerate_equilibria",
+    "revolving_door_combinations",
+    "gray_profile_walk",
+    "CensusResult",
+    "census_scan",
     "ExactPriceReport",
     "exact_prices",
 ]
+
+#: Symmetry pruning packs the ownership adjacency into one 64-bit key
+#: per group element, which needs ``n^2 <= 64``.
+_MAX_SYMMETRY_N: int = 8
 
 
 def profile_space_size(game: BoundedBudgetGame) -> int:
@@ -70,23 +117,388 @@ def enumerate_realizations(
         yield OwnedDigraph.from_strategies(profile, n)
 
 
+# ----------------------------------------------------------------------
+# Gray-order profile walk
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _revolving_door_indices(m: int, t: int) -> tuple[tuple[int, ...], ...]:
+    if t < 0 or t > m:
+        return ()
+    if t == 0:
+        return ((),)
+    if t == m:
+        return (tuple(range(t)),)
+    head = _revolving_door_indices(m - 1, t)
+    tail = _revolving_door_indices(m - 1, t - 1)
+    return head + tuple(c + (m - 1,) for c in reversed(tail))
+
+
+def revolving_door_combinations(pool: Sequence[int], t: int) -> list[tuple[int, ...]]:
+    """All ``C(len(pool), t)`` combinations in revolving-door Gray order.
+
+    Consecutive combinations (and the wrap-around pair) differ by
+    exactly one element dropped and one added — the Nijenhuis–Wilf
+    ordering, built by the reflected recurrence ``A(m, t) = A(m-1, t)
+    ++ reverse(A(m-1, t-1)) * {m-1}``. Elements within each
+    combination are in increasing pool order.
+    """
+    pool = list(pool)
+    return [
+        tuple(pool[i] for i in combo)
+        for combo in _revolving_door_indices(len(pool), t)
+    ]
+
+
+def _gray_digits(rank: int, radices: Sequence[int], rests: Sequence[int]) -> list[int]:
+    """Reflected mixed-radix Gray digits of ``rank`` (MSB first).
+
+    ``rests[i]`` is ``prod(radices[i:])``. Consecutive ranks differ in
+    exactly one digit, by exactly ±1.
+    """
+    digits = []
+    r = rank
+    for i in range(len(radices)):
+        rest = rests[i + 1]
+        d, r = divmod(r, rest)
+        digits.append(d)
+        if d & 1:
+            r = rest - 1 - r  # odd digit: the suffix block is reversed
+    return digits
+
+
+def _profile_tables(
+    game: BoundedBudgetGame,
+) -> tuple[list[list[tuple[int, ...]]], list[int], list[int]]:
+    """Per-player revolving-door strategy tables, radices and suffix products."""
+    n = game.n
+    combos = []
+    for u in range(n):
+        pool = [v for v in range(n) if v != u]
+        combos.append(revolving_door_combinations(pool, int(game.budgets[u])))
+    radices = [len(c) for c in combos]
+    rests = [1] * (n + 1)
+    for i in reversed(range(n)):
+        rests[i] = rests[i + 1] * radices[i]
+    return combos, radices, rests
+
+
+def gray_profile_walk(
+    game: BoundedBudgetGame,
+    *,
+    start: int = 0,
+    stop: "int | None" = None,
+    max_profiles: int = 2_000_000,
+) -> Iterator[tuple[int, OwnedDigraph, "tuple[int, int, int] | None"]]:
+    """Walk profile ranks ``[start, stop)`` in Gray order over ONE graph.
+
+    Yields ``(rank, graph, swap)`` where ``graph`` is the same mutable
+    :class:`OwnedDigraph` every time (snapshot with ``graph.copy()`` if
+    you need to keep a profile) and ``swap`` is ``None`` for the first
+    yield, then ``(player, dropped_target, added_target)`` — the single
+    arc swap that produced this profile from the previous one. Ranks
+    index the reflected-Gray order, not the lexicographic one;
+    restarting at any ``start`` is O(n) (one unranking), which is what
+    lets shards split the rank space.
+    """
+    _check_cap(game, max_profiles)
+    n = game.n
+    combos, radices, rests = _profile_tables(game)
+    total = rests[0]
+    stop = total if stop is None else stop
+    if not 0 <= start <= stop <= total:
+        raise GameError(f"bad walk range [{start}, {stop}) for {total} profiles")
+    if start == stop:
+        return
+    digits = _gray_digits(start, radices, rests)
+    graph = OwnedDigraph.from_strategies(
+        [combos[u][digits[u]] for u in range(n)], n
+    )
+    yield start, graph, None
+    for rank in range(start + 1, stop):
+        nxt = _gray_digits(rank, radices, rests)
+        j = next(i for i in range(n) if nxt[i] != digits[i])
+        old = combos[j][digits[j]]
+        new = combos[j][nxt[j]]
+        (dropped,) = set(old) - set(new)
+        (added,) = set(new) - set(old)
+        graph.remove_arc(j, dropped)
+        graph.add_arc(j, added)
+        digits = nxt
+        yield rank, graph, (j, dropped, added)
+
+
+# ----------------------------------------------------------------------
+# Symmetry pruning: orbit-canonical profiles under budget-preserving
+# relabelings
+# ----------------------------------------------------------------------
+def _budget_symmetry_group(budgets: Sequence[int]) -> np.ndarray:
+    """All player relabelings preserving the budget vector, ``(g, n)``.
+
+    Row ``k`` maps player ``i`` to ``perms[k, i]``; the identity is row
+    0. The group is the direct product of the symmetric groups on the
+    equal-budget classes.
+    """
+    n = len(budgets)
+    classes: "dict[int, list[int]]" = {}
+    for i, b in enumerate(budgets):
+        classes.setdefault(int(b), []).append(i)
+    blocks = list(classes.values())
+    perms = []
+    for images in itertools.product(*(itertools.permutations(c) for c in blocks)):
+        perm = np.empty(n, dtype=np.int64)
+        for block, image in zip(blocks, images):
+            for src, dst in zip(block, image):
+                perm[src] = dst
+        perms.append(perm)
+    out = np.stack(perms)
+    assert np.array_equal(out[0], np.arange(n))  # identity first
+    return out
+
+
+class _OrbitKeys:
+    """Incrementally maintained canonical keys of one evolving profile.
+
+    For every group element the ownership adjacency of the relabeled
+    profile is packed into a single ``uint64`` bit key (bit ``a*n + b``
+    set iff arc ``a -> b``), kept current with two bit toggles per
+    element per Gray step. A profile is canonical iff its own key (the
+    identity row) is the orbit minimum; the orbit size follows from the
+    stabilizer count. Keys are injective on directed graphs with
+    ``n^2 <= 64``, so equal keys mean equal relabeled profiles.
+    """
+
+    __slots__ = ("_slot", "_weight", "_vals", "_g")
+
+    def __init__(self, n: int, perms: np.ndarray) -> None:
+        if n * n > 64:
+            raise GameError(
+                f"symmetry pruning packs profiles into 64-bit keys and is "
+                f"capped at n = {_MAX_SYMMETRY_N}, got n = {n}"
+            )
+        inv = np.argsort(perms, axis=1)
+        # slot[k, i, j]: bit position of arc (i, j) after relabeling by
+        # perms[k] — the arc lands at (perm[i], perm[j]), so reading it
+        # back from position (a, b) needs the inverse images.
+        self._slot = (inv[:, :, None] * n + inv[:, None, :]).astype(np.int64)
+        self._weight = np.uint64(1) << np.arange(n * n, dtype=np.uint64)
+        self._vals = np.zeros(perms.shape[0], dtype=np.uint64)
+        self._g = int(perms.shape[0])
+
+    def toggle(self, i: int, j: int, present: bool) -> None:
+        """Record that arc ``i -> j`` was added (or removed)."""
+        delta = self._weight[self._slot[:, i, j]]
+        if present:
+            self._vals += delta
+        else:
+            self._vals -= delta
+
+    def canonical_orbit_size(self) -> "int | None":
+        """Orbit size if the current profile is canonical, else ``None``."""
+        key = self._vals[0]  # identity relabeling = the profile itself
+        if self._vals.min() < key:
+            return None
+        return self._g // int((self._vals == key).sum())
+
+
+def _expand_orbit(
+    profile: "tuple[tuple[int, ...], ...]", perms: np.ndarray
+) -> "set[tuple[tuple[int, ...], ...]]":
+    """All distinct relabelings of a profile under the group."""
+    out = set()
+    for perm in perms:
+        relabeled = [()] * len(profile)
+        for i, strat in enumerate(profile):
+            relabeled[int(perm[i])] = tuple(sorted(int(perm[v]) for v in strat))
+        out.add(tuple(relabeled))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Incremental census kernel
+# ----------------------------------------------------------------------
+def _census_shard(payload: tuple) -> "dict[str, object]":
+    """One contiguous Gray-rank range of the census (worker function).
+
+    Owns a private mutable graph, engine pool and orbit keys; returns
+    order-independently mergeable partial aggregates.
+    """
+    budgets, version_value, lo, hi, symmetry, collect, max_profiles = payload
+    game = BoundedBudgetGame(list(budgets))
+    version = Version.coerce(version_value)
+    n = game.n
+    perms = _budget_symmetry_group(budgets) if symmetry else None
+    orbit = _OrbitKeys(n, perms) if perms is not None else None
+    count = 0
+    eq_count = 0
+    opt: "int | None" = None
+    best_eq: "int | None" = None
+    worst_eq: "int | None" = None
+    eq_profiles: "list[tuple[tuple[int, ...], ...]]" = []
+    cache: "DistanceCache | None" = None
+    for rank, graph, swap in gray_profile_walk(
+        game, start=lo, stop=hi, max_profiles=max_profiles
+    ):
+        if cache is None:
+            cache = DistanceCache(graph, dirty_fraction="adaptive")
+            if orbit is not None:
+                for a, b in graph.arcs():
+                    orbit.toggle(a, b, True)
+        elif orbit is not None and swap is not None:
+            j, dropped, added = swap
+            orbit.toggle(j, dropped, False)
+            orbit.toggle(j, added, True)
+        if orbit is not None:
+            orbit_size = orbit.canonical_orbit_size()
+            if orbit_size is None:
+                continue  # a smaller relabeling exists; its rep is counted
+        else:
+            orbit_size = 1
+        d = int(cache.base().matrix.max()) if n > 1 else 0
+        count += orbit_size
+        if opt is None or d < opt:
+            opt = d
+        if is_equilibrium(graph, version, cache=cache):
+            eq_count += orbit_size
+            if best_eq is None or d < best_eq:
+                best_eq = d
+            if worst_eq is None or d > worst_eq:
+                worst_eq = d
+            if collect:
+                key = graph.profile_key()
+                if perms is not None and orbit_size > 1:
+                    eq_profiles.extend(_expand_orbit(key, perms))
+                else:
+                    eq_profiles.append(key)
+    return {
+        "count": count,
+        "eq_count": eq_count,
+        "opt": opt,
+        "best_eq": best_eq,
+        "worst_eq": worst_eq,
+        "eq_profiles": eq_profiles if collect else None,
+    }
+
+
+@dataclass(frozen=True)
+class CensusResult:
+    """Merged output of one full census scan.
+
+    ``equilibria`` (when collected) holds every equilibrium profile as
+    a :meth:`~repro.graphs.digraph.OwnedDigraph.profile_key`, sorted —
+    which is exactly lexicographic profile order, matching the
+    brute-force enumeration.
+    """
+
+    report: "ExactPriceReport"
+    equilibria: "tuple[tuple[tuple[int, ...], ...], ...] | None" = None
+
+    def equilibrium_graphs(self) -> "list[OwnedDigraph]":
+        """Materialise the collected equilibria as graphs."""
+        if self.equilibria is None:
+            raise GameError("census was run without collect_equilibria=True")
+        n = len(self.equilibria[0]) if self.equilibria else 0
+        return [
+            OwnedDigraph.from_strategies(key, n) for key in self.equilibria
+        ]
+
+
+def census_scan(
+    game: BoundedBudgetGame,
+    version: "Version | str",
+    *,
+    max_profiles: int = 500_000,
+    symmetry: bool = False,
+    workers: int = 1,
+    collect_equilibria: bool = False,
+) -> CensusResult:
+    """Full equilibrium census via the incremental Gray-order kernel.
+
+    One pass over the profile space (or its canonical orbit
+    representatives with ``symmetry=True``) computes the optimal
+    diameter, the equilibrium count, and the best/worst equilibrium
+    diameters; ``workers > 1`` splits the rank space into contiguous
+    shards executed through :func:`repro.parallel.executor.parallel_map`.
+    The result is bit-identical for every combination of knobs.
+    """
+    from ..parallel.executor import contiguous_shards, parallel_map
+
+    version = Version.coerce(version)
+    _check_cap(game, max_profiles)
+    if workers < 1:
+        raise GameError(f"workers must be positive, got {workers}")
+    if symmetry and game.n > _MAX_SYMMETRY_N:
+        raise GameError(
+            f"symmetry pruning is capped at n = {_MAX_SYMMETRY_N} "
+            f"(64-bit profile keys), got n = {game.n}"
+        )
+    total = profile_space_size(game)
+    budgets = tuple(int(b) for b in game.budgets)
+    payloads = [
+        (budgets, version.value, lo, hi, symmetry, collect_equilibria, max_profiles)
+        for lo, hi in contiguous_shards(total, workers)
+    ]
+    parts = parallel_map(_census_shard, payloads, processes=workers)
+    count = sum(p["count"] for p in parts)
+    assert count == total, f"census covered {count} of {total} profiles"
+    eq_count = sum(p["eq_count"] for p in parts)
+    opts = [p["opt"] for p in parts if p["opt"] is not None]
+    opt = min(opts)
+    bests = [p["best_eq"] for p in parts if p["best_eq"] is not None]
+    worsts = [p["worst_eq"] for p in parts if p["worst_eq"] is not None]
+    report = ExactPriceReport(
+        version=version,
+        num_profiles=count,
+        num_equilibria=eq_count,
+        opt_diameter=opt,
+        best_equilibrium_diameter=min(bests) if bests else None,
+        worst_equilibrium_diameter=max(worsts) if worsts else None,
+    )
+    equilibria = None
+    if collect_equilibria:
+        merged: "list[tuple[tuple[int, ...], ...]]" = []
+        for p in parts:
+            merged.extend(p["eq_profiles"])
+        equilibria = tuple(sorted(merged))
+    return CensusResult(report=report, equilibria=equilibria)
+
+
 def enumerate_equilibria(
     game: BoundedBudgetGame,
     version: "Version | str",
     *,
     max_profiles: int = 500_000,
+    incremental: bool = True,
+    symmetry: bool = False,
+    workers: int = 1,
 ) -> list[OwnedDigraph]:
     """All pure Nash equilibria of a tiny game, by exhaustive check.
 
     Each profile is tested with the exact per-player engine (with the
-    Lemma 2.2 shortcut), so membership is provably correct.
+    Lemma 2.2 shortcut), so membership is provably correct. The default
+    incremental kernel returns the identical list (lexicographic
+    profile order) as the ``incremental=False`` rebuild-per-profile
+    reference path.
     """
     version = Version.coerce(version)
-    found = []
-    for graph in enumerate_realizations(game, max_profiles=max_profiles):
-        if is_equilibrium(graph, version, method="exact"):
-            found.append(graph)
-    return found
+    if not incremental:
+        if symmetry or workers != 1:
+            raise GameError(
+                "symmetry/workers require the incremental census kernel"
+            )
+        found = []
+        for graph in enumerate_realizations(game, max_profiles=max_profiles):
+            if is_equilibrium(graph, version, method="exact"):
+                found.append(graph)
+        return found
+    result = census_scan(
+        game,
+        version,
+        max_profiles=max_profiles,
+        symmetry=symmetry,
+        workers=workers,
+        collect_equilibria=True,
+    )
+    return result.equilibrium_graphs()
 
 
 @dataclass(frozen=True)
@@ -126,13 +538,30 @@ def exact_prices(
     version: "Version | str",
     *,
     max_profiles: int = 500_000,
+    incremental: bool = True,
+    symmetry: bool = False,
+    workers: int = 1,
 ) -> ExactPriceReport:
     """Exact PoA / PoS of a tiny game by full enumeration.
 
     One pass over the profile space computes the optimal diameter and
-    the best/worst equilibrium diameters simultaneously.
+    the best/worst equilibrium diameters simultaneously. The default
+    incremental path (Gray-order walk + engine delta repair, optionally
+    with ``symmetry`` orbit pruning and ``workers`` shards) returns a
+    report bit-identical to the ``incremental=False`` rebuild-per-
+    profile reference implementation.
     """
     version = Version.coerce(version)
+    if incremental:
+        return census_scan(
+            game,
+            version,
+            max_profiles=max_profiles,
+            symmetry=symmetry,
+            workers=workers,
+        ).report
+    if symmetry or workers != 1:
+        raise GameError("symmetry/workers require the incremental census kernel")
     _check_cap(game, max_profiles)
     opt = None
     best_eq = None

@@ -6,8 +6,17 @@ players. The census experiments use this to report equilibrium counts
 up to symmetry, which is the structurally meaningful number (the
 labeled count scales with n! for symmetric budget vectors).
 
-Brute force over permutations (with a cheap invariant pre-filter); only
-meant for the tiny-n enumeration pipeline.
+The engine is an **invariant-refinement canonical form** rather than a
+raw permutation scan: vertices are colored by relabeling-invariant
+signatures (degree data, brace incidence, the sorted distance profile),
+the coloring is sharpened by Weisfeiler–Leman-style rounds over the
+out-/in-neighbour color multisets, and the canonical form is the
+minimal relabeled adjacency bit-key over the color-class-preserving
+relabelings only. Non-isomorphic pairs almost always reject on the
+invariant alone, without touching a single permutation; the residual
+search space is the product of the class factorials, not ``n!``.
+
+Only meant for the tiny-n enumeration pipeline (capped at ``n = 9``).
 """
 
 from __future__ import annotations
@@ -15,62 +24,195 @@ from __future__ import annotations
 import itertools
 from collections import Counter
 
+import numpy as np
+
 from ..errors import GameError
 from ..graphs.digraph import OwnedDigraph
+from ..graphs.distances import distance_matrix
 
-__all__ = ["are_isomorphic", "isomorphism_invariant", "count_isomorphism_classes"]
+__all__ = [
+    "are_isomorphic",
+    "canonical_form",
+    "isomorphism_invariant",
+    "refined_vertex_colors",
+    "count_isomorphism_classes",
+]
 
 #: Permutation search is capped here; beyond it the census should use
 #: sampling, not exact isomorphism.
 _MAX_N = 9
 
+#: Relabelings are keyed in chunks this large; bounds the peak
+#: ``(chunk, n, n)`` gather of the canonical-form search.
+_PERM_CHUNK = 8192
 
-def isomorphism_invariant(graph: OwnedDigraph) -> tuple:
+
+def _check_size(graph: OwnedDigraph) -> None:
+    if graph.n > _MAX_N:
+        raise GameError(f"exact isomorphism is capped at n = {_MAX_N}")
+
+
+def refined_vertex_colors(graph: OwnedDigraph) -> list[int]:
+    """Invariant-refinement vertex coloring (ownership-aware 1-WL).
+
+    Initial colors combine ``(out-degree, in-degree, undirected degree,
+    brace incidence, sorted distance profile)``; each round re-colors a
+    vertex by its color plus the sorted multisets of its out- and
+    in-neighbour colors, until the partition stabilises. Color ids are
+    ranks of the sorted distinct signatures, so isomorphic graphs get
+    identical colorings up to the isomorphism (same class structure,
+    same ids).
+    """
+    n = graph.n
+    dist = distance_matrix(graph)
+    braces = Counter()
+    for u, v in graph.braces():
+        braces[u] += 1
+        braces[v] += 1
+    sigs: list[tuple] = [
+        (
+            graph.out_degree(v),
+            int(graph.in_neighbors(v).size),
+            graph.degree(v),
+            braces[v],
+            tuple(sorted(int(d) for d in dist[v])),
+        )
+        for v in range(n)
+    ]
+    colors = _rank(sigs)
+    while True:
+        sigs = [
+            (
+                colors[v],
+                tuple(sorted(colors[int(w)] for w in graph.out_neighbors(v))),
+                tuple(sorted(colors[int(w)] for w in graph.in_neighbors(v))),
+            )
+            for v in range(n)
+        ]
+        refined = _rank(sigs)
+        if refined == colors:  # partition (and ids) stable
+            return colors
+        colors = refined
+
+
+def _rank(signatures: "list[tuple]") -> list[int]:
+    """Map each signature to the rank of its value among the distinct ones."""
+    order = {sig: i for i, sig in enumerate(sorted(set(signatures)))}
+    return [order[sig] for sig in signatures]
+
+
+def isomorphism_invariant(
+    graph: OwnedDigraph, *, colors: "list[int] | None" = None
+) -> tuple:
     """A cheap relabeling-invariant fingerprint.
 
-    Combines the sorted multiset of ``(out-degree, in-degree)`` pairs
-    with the sorted undirected degree sequence; graphs with different
-    fingerprints are certainly non-isomorphic.
+    Combines the sorted multiset of ``(out-degree, in-degree)`` pairs,
+    the sorted undirected degree sequence, the brace count, the sorted
+    multiset of per-vertex distance profiles, and the refined color
+    class-size histogram; graphs with different fingerprints are
+    certainly non-isomorphic, and in practice almost every
+    non-isomorphic pair already differs here.
     """
     pairs = sorted(
         (graph.out_degree(v), int(graph.in_neighbors(v).size)) for v in range(graph.n)
     )
     degs = sorted(graph.degree(v) for v in range(graph.n))
-    return (graph.n, tuple(pairs), tuple(degs), len(graph.braces()))
+    dist = distance_matrix(graph)
+    profiles = tuple(sorted(tuple(sorted(int(d) for d in row)) for row in dist))
+    if colors is None:
+        colors = refined_vertex_colors(graph)
+    classes = tuple(sorted(Counter(colors).values()))
+    return (graph.n, tuple(pairs), tuple(degs), len(graph.braces()), profiles, classes)
+
+
+def canonical_form(
+    graph: OwnedDigraph, *, colors: "list[int] | None" = None
+) -> bytes:
+    """Canonical adjacency key: equal iff the realizations are isomorphic.
+
+    Vertices are blocked by refined color; the key is the minimum,
+    over all relabelings that keep each block in its position range, of
+    the relabeled ownership adjacency packed row-major into bits. Any
+    isomorphism preserves the (invariant) colors, so isomorphic graphs
+    range over the same relabeled-adjacency set and share the minimum;
+    distinct keys conversely exhibit distinct arc sets under every
+    considered relabeling, and every isomorphism is a considered
+    relabeling.
+    """
+    _check_size(graph)
+    n = graph.n
+    if colors is None:
+        colors = refined_vertex_colors(graph)
+    blocks: "dict[int, list[int]]" = {}
+    for v in range(n):
+        blocks.setdefault(colors[v], []).append(v)
+    ordered_blocks = [blocks[c] for c in sorted(blocks)]
+    adj = np.zeros((n, n), dtype=bool)
+    for u, v in graph.arcs():
+        adj[u, v] = True
+    best: "bytes | None" = None
+    perm_iter = itertools.product(
+        *(itertools.permutations(b) for b in ordered_blocks)
+    )
+    while True:
+        chunk = list(itertools.islice(perm_iter, _PERM_CHUNK))
+        if not chunk:
+            break
+        sigma = np.asarray(
+            [list(itertools.chain.from_iterable(images)) for images in chunk],
+            dtype=np.int64,
+        )
+        relabeled = adj[sigma[:, :, None], sigma[:, None, :]]
+        packed = np.packbits(relabeled.reshape(len(chunk), -1), axis=1)
+        # Lexicographic row minimum via two big-endian uint64 words
+        # (n <= 9 packs into 11 bytes; trailing zero padding preserves
+        # the ordering).
+        padded = np.zeros((len(chunk), 16), dtype=np.uint8)
+        padded[:, : packed.shape[1]] = packed
+        words = padded.view(">u8")
+        idx = int(np.lexsort((words[:, 1], words[:, 0]))[0])
+        cand = bytes(packed[idx])
+        if best is None or cand < best:
+            best = cand
+    assert best is not None
+    return best
 
 
 def are_isomorphic(a: OwnedDigraph, b: OwnedDigraph) -> bool:
-    """Ownership-aware isomorphism test by permutation search."""
+    """Ownership-aware isomorphism test via canonical forms.
+
+    The invariant prefilter rejects almost every non-isomorphic pair
+    without enumerating any permutation; survivors are decided by the
+    color-class-restricted canonical key.
+    """
     if a.n != b.n:
         return False
-    if a.n > _MAX_N:
-        raise GameError(f"exact isomorphism is capped at n = {_MAX_N}")
+    _check_size(a)
     if a.num_arcs != b.num_arcs:
         return False
-    if isomorphism_invariant(a) != isomorphism_invariant(b):
+    colors_a = refined_vertex_colors(a)
+    colors_b = refined_vertex_colors(b)
+    if isomorphism_invariant(a, colors=colors_a) != isomorphism_invariant(
+        b, colors=colors_b
+    ):
         return False
-    arcs_b = set(b.arcs())
-    arcs_a = list(a.arcs())
-    for perm in itertools.permutations(range(a.n)):
-        if all((perm[u], perm[v]) in arcs_b for u, v in arcs_a):
-            return True
-    return False
+    return canonical_form(a, colors=colors_a) == canonical_form(b, colors=colors_b)
 
 
 def count_isomorphism_classes(graphs: "list[OwnedDigraph]") -> int:
     """Number of isomorphism classes among the given realizations.
 
-    Buckets by the cheap invariant first, then resolves each bucket
-    with the exact test.
+    Buckets by the cheap invariant first, then resolves each bucket by
+    its set of canonical forms — one key computation per graph instead
+    of the quadratic pairwise permutation scans.
     """
-    buckets: dict[tuple, list[OwnedDigraph]] = {}
+    buckets: "dict[tuple, list[tuple[OwnedDigraph, list[int]]]]" = {}
     for g in graphs:
-        buckets.setdefault(isomorphism_invariant(g), []).append(g)
+        colors = refined_vertex_colors(g)
+        buckets.setdefault(isomorphism_invariant(g, colors=colors), []).append(
+            (g, colors)
+        )
     classes = 0
     for bucket in buckets.values():
-        representatives: list[OwnedDigraph] = []
-        for g in bucket:
-            if not any(are_isomorphic(g, r) for r in representatives):
-                representatives.append(g)
-        classes += len(representatives)
+        classes += len({canonical_form(g, colors=colors) for g, colors in bucket})
     return classes

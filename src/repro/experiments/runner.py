@@ -10,6 +10,7 @@ laptop.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
 from ..errors import ExperimentError
@@ -55,14 +56,25 @@ def list_experiments() -> list[tuple[str, str]]:
     return [(key, desc) for key, (desc, _) in REGISTRY.items()]
 
 
-def run_experiment(experiment_id: str) -> ExperimentReport:
-    """Run one experiment by id."""
+def run_experiment(experiment_id: str, **overrides) -> ExperimentReport:
+    """Run one experiment by id.
+
+    ``overrides`` (e.g. ``workers=4``, ``symmetry=False`` from the CLI)
+    are forwarded to the experiment callable when its signature accepts
+    them and silently dropped otherwise, so one flag can steer every
+    experiment that supports the knob; ``None`` values always mean
+    "experiment default".
+    """
     try:
         _, fn = REGISTRY[experiment_id]
     except KeyError:
         known = ", ".join(sorted(REGISTRY))
         raise ExperimentError(f"unknown experiment {experiment_id!r}; known: {known}") from None
-    return fn()
+    params = inspect.signature(fn).parameters
+    kwargs = {
+        k: v for k, v in overrides.items() if v is not None and k in params
+    }
+    return fn(**kwargs)
 
 
 def run_all() -> list[ExperimentReport]:

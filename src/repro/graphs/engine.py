@@ -39,10 +39,20 @@ three paths, returned as a status string:
     pivot ``p``.
 
 * ``"rebuild"`` — full batched all-pairs BFS into the preallocated
-  matrix, taken whenever the rows needing a fresh BFS exceed
-  ``dirty_fraction * n`` (repairing most rows costs more than starting
-  over), whenever the changed-edge count alone exceeds the analysis
-  budget (heavy churn), and always available via :meth:`rebuild`.
+  matrix, taken whenever the rows needing a fresh BFS exceed the row
+  budget (repairing most rows costs more than starting over), whenever
+  the changed-edge count alone exceeds the analysis budget (heavy
+  churn), and always available via :meth:`rebuild`.
+
+The row budget is ``dirty_fraction * n`` by default. Passing
+``dirty_fraction="adaptive"`` instead derives the budget from the
+engine's own cost counters: exponential moving averages of the
+wall-clock cost of a full rebuild and of the per-row cost of a delta
+repair (analysis included) set the break-even row count, so sparse
+tree-like substrates — where per-row repair is comparatively expensive
+because deletions dirty whole rows — fall back to rebuilds earlier,
+and dense substrates repair more aggressively. Both paths produce
+identical matrices; the knob only trades time.
 
 Every path that may change distances bumps the ``epoch`` counter;
 consumers snapshot the epoch at read time and revalidate with
@@ -61,6 +71,7 @@ consumers that aggregate rows should accumulate into ``int64``.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -80,6 +91,11 @@ DEFAULT_DIRTY_FRACTION: float = 0.5
 #: exact support criterion; larger batches use the composed tightness
 #: filter (cheaper to evaluate, far more pessimistic).
 _SEQUENTIAL_DELETION_CAP: int = 32
+
+#: Smoothing factor of the adaptive-threshold cost EMAs: new samples
+#: carry this weight, so the budget tracks a drifting workload within a
+#: handful of updates without thrashing on one noisy measurement.
+_EMA_ALPHA: float = 0.25
 
 
 def _edge_ids(csr: CSRAdjacency) -> np.ndarray:
@@ -143,24 +159,50 @@ class DistanceEngine:
     dirty_fraction:
         Fallback knob: see the module docstring. ``0.0`` disables delta
         repair entirely (every change rebuilds), ``1.0`` forces delta
-        repair whenever the analysis budget allows it.
+        repair whenever the analysis budget allows it, and the string
+        ``"adaptive"`` tunes the cutoff from the engine's own repair
+        cost vs rebuild cost EMAs.
     """
 
-    __slots__ = ("_csr", "_n", "_inf", "_dtype", "_D", "_epoch", "_dirty_fraction", "stats")
+    __slots__ = (
+        "_csr",
+        "_n",
+        "_inf",
+        "_dtype",
+        "_D",
+        "_epoch",
+        "_dirty_fraction",
+        "_adaptive",
+        "_ema_rebuild_cost",
+        "_ema_delta_row_cost",
+        "stats",
+    )
 
     def __init__(
         self,
         csr: CSRAdjacency,
         *,
         inf: int | None = None,
-        dirty_fraction: float = DEFAULT_DIRTY_FRACTION,
+        dirty_fraction: "float | str" = DEFAULT_DIRTY_FRACTION,
     ) -> None:
         if not isinstance(csr, CSRAdjacency):
             raise GraphError("DistanceEngine needs a CSRAdjacency substrate")
-        if not 0.0 <= dirty_fraction <= 1.0:
-            raise GraphError(
-                f"dirty_fraction must be in [0, 1], got {dirty_fraction}"
-            )
+        if isinstance(dirty_fraction, str):
+            if dirty_fraction != "adaptive":
+                raise GraphError(
+                    f'dirty_fraction must be a float in [0, 1] or "adaptive", '
+                    f"got {dirty_fraction!r}"
+                )
+            self._adaptive = True
+            dirty_fraction = DEFAULT_DIRTY_FRACTION
+        else:
+            self._adaptive = False
+            if not 0.0 <= dirty_fraction <= 1.0:
+                raise GraphError(
+                    f"dirty_fraction must be in [0, 1], got {dirty_fraction}"
+                )
+        self._ema_rebuild_cost: "float | None" = None
+        self._ema_delta_row_cost: "float | None" = None
         self._n = csr.n
         self._inf = cinf(csr.n) if inf is None else int(inf)
         if self._inf <= 2 * (self._n - 1):
@@ -214,6 +256,45 @@ class DistanceEngine:
     def epoch(self) -> int:
         """Counter bumped whenever the distance content may have changed."""
         return self._epoch
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether the delta-vs-rebuild cutoff is tuned from cost EMAs."""
+        return self._adaptive
+
+    def row_budget(self) -> float:
+        """Rows a delta repair may recompute before falling back to rebuild.
+
+        Fixed mode returns ``dirty_fraction * n``. Adaptive mode returns
+        the measured break-even point ``rebuild_cost / delta_row_cost``
+        (clamped to ``[1, n]``) once both EMAs are seeded, and the fixed
+        default until then.
+        """
+        if (
+            self._adaptive
+            and self._ema_rebuild_cost is not None
+            and self._ema_delta_row_cost is not None
+            and self._ema_delta_row_cost > 0.0
+        ):
+            est = self._ema_rebuild_cost / self._ema_delta_row_cost
+            return float(min(float(self._n), max(1.0, est)))
+        return self._dirty_fraction * self._n
+
+    def _observe(self, which: str, seconds: float, rows: int) -> None:
+        """Fold one timed repair/rebuild into the adaptive cost EMAs."""
+        if not self._adaptive:
+            return
+        if which == "rebuild":
+            prev = self._ema_rebuild_cost
+            self._ema_rebuild_cost = (
+                seconds if prev is None else (1 - _EMA_ALPHA) * prev + _EMA_ALPHA * seconds
+            )
+        else:
+            per_row = seconds / max(1, rows)
+            prev = self._ema_delta_row_cost
+            self._ema_delta_row_cost = (
+                per_row if prev is None else (1 - _EMA_ALPHA) * prev + _EMA_ALPHA * per_row
+            )
 
     @property
     def matrix(self) -> np.ndarray:
@@ -353,7 +434,9 @@ class DistanceEngine:
                 )
             self._csr = new_csr
         all_rows = np.arange(self._n, dtype=np.int64)
+        t0 = time.perf_counter()
         self._bfs_rows(self._csr, all_rows, self._D, all_rows)
+        self._observe("rebuild", time.perf_counter() - t0, self._n)
         self._epoch += 1
         self.stats["rebuilds"] += 1
 
@@ -399,18 +482,27 @@ class DistanceEngine:
             )
         old_ids = _edge_ids(self._csr)
         new_ids = _edge_ids(new_csr)
-        removed_ids = np.setdiff1d(old_ids, new_ids, assume_unique=True)
-        added_ids = np.setdiff1d(new_ids, old_ids, assume_unique=True)
+        if old_ids.size + new_ids.size <= 512:
+            # Tiny substrates (the census regime): python-set symmetric
+            # difference beats setdiff1d's isin/unique machinery by an
+            # order of magnitude. Same sorted outputs either way.
+            old_set = set(old_ids.tolist())
+            new_set = set(new_ids.tolist())
+            removed_ids = np.asarray(sorted(old_set - new_set), dtype=np.int64)
+            added_ids = np.asarray(sorted(new_set - old_set), dtype=np.int64)
+        else:
+            removed_ids = np.setdiff1d(old_ids, new_ids, assume_unique=True)
+            added_ids = np.setdiff1d(new_ids, old_ids, assume_unique=True)
         if removed_ids.size == 0 and added_ids.size == 0:
             self._csr = new_csr
             self.stats["noops"] += 1
             return "noop"
 
         n = self._n
-        row_budget = self._dirty_fraction * n
+        row_budget = self.row_budget()
         analysis_cap = min(row_budget, max(16.0, n / 8))
         sequential = removed_ids.size <= _SEQUENTIAL_DELETION_CAP
-        if self._dirty_fraction == 0.0 or (
+        if (not self._adaptive and self._dirty_fraction == 0.0) or (
             not sequential and removed_ids.size + added_ids.size > analysis_cap
         ):
             # Heavy churn: the per-edge analysis below would cost more
@@ -418,6 +510,7 @@ class DistanceEngine:
             self.rebuild(new_csr)
             return "rebuild"
 
+        t_delta = time.perf_counter()
         pivots = np.empty(0, dtype=np.int64)
         if added_ids.size:
             if added_ids.size > analysis_cap:
@@ -483,6 +576,7 @@ class DistanceEngine:
                     dp = self._D[p]
                     np.minimum(block, dp[rows, None] + dp[None, :], out=block)
                 self._D[rows] = block
+        self._observe("delta", time.perf_counter() - t_delta, rows_spent)
         self._epoch += 1
         self.stats["deltas"] += 1
         return "delta"

@@ -22,7 +22,30 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import ReproError
 
-__all__ = ["parallel_map", "cpu_workers"]
+__all__ = ["parallel_map", "cpu_workers", "contiguous_shards"]
+
+
+def contiguous_shards(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into at most ``parts`` contiguous ranges.
+
+    Ranges are half-open ``(lo, hi)`` pairs, cover ``[0, total)`` exactly,
+    and differ in length by at most one (remainder spread over the first
+    shards) — the scatter decomposition of the MPI guides applied to a
+    rank space. Empty shards are never emitted, so fewer than ``parts``
+    ranges come back when ``total < parts``.
+    """
+    if total < 0:
+        raise ReproError(f"shard total must be nonnegative, got {total}")
+    if parts < 1:
+        raise ReproError(f"shard count must be positive, got {parts}")
+    parts = min(parts, total) if total else 0
+    shards = []
+    lo = 0
+    for i in range(parts):
+        size = total // parts + (1 if i < total % parts else 0)
+        shards.append((lo, lo + size))
+        lo += size
+    return shards
 
 
 def cpu_workers(requested: "int | None" = None) -> int:

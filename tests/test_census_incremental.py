@@ -1,0 +1,272 @@
+"""Golden-equivalence and property tests for the incremental census.
+
+The incremental Gray-order kernel (engine delta repair, symmetry orbit
+pruning, sharded workers) must be *bit-identical* to the rebuild-per-
+profile brute force on every default instance — these tests pin that
+contract, plus the structural invariants it rests on: revolving-door
+adjacency, Gray-walk coverage, engine-repaired distances matching fresh
+BFS at every step, and the budget-symmetry orbit decomposition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BoundedBudgetGame,
+    DistanceCache,
+    census_scan,
+    enumerate_equilibria,
+    exact_prices,
+    gray_profile_walk,
+    profile_space_size,
+    revolving_door_combinations,
+    satisfies_lemma_2_2,
+    screen_best_responders,
+)
+from repro.core.enumeration import _budget_symmetry_group, _OrbitKeys
+from repro.errors import GameError
+from repro.graphs import DistanceEngine, distance_matrix
+from repro.graphs.digraph import OwnedDigraph
+from repro.parallel.executor import contiguous_shards
+
+from repro.experiments.exact_census import DEFAULT_INSTANCES
+
+
+# ----------------------------------------------------------------------
+# Gray-order machinery
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("m,t", [(m, t) for m in range(8) for t in range(m + 1)])
+def test_revolving_door_complete_and_adjacent(m, t):
+    combos = revolving_door_combinations(range(m), t)
+    assert len(combos) == math.comb(m, t)
+    assert len(set(combos)) == len(combos)
+    for a, b in zip(combos, combos[1:]):
+        sa, sb = set(a), set(b)
+        assert len(sa - sb) == 1 and len(sb - sa) == 1  # one swap apart
+
+
+def test_gray_walk_covers_profile_space_once():
+    game = BoundedBudgetGame([2, 1, 1, 0])
+    seen = set()
+    last_key = None
+    for rank, graph, swap in gray_profile_walk(game):
+        key = graph.profile_key()
+        assert key not in seen
+        seen.add(key)
+        if last_key is not None:
+            # Exactly one player changed, by exactly one arc swap.
+            changed = [i for i, (a, b) in enumerate(zip(last_key, key)) if a != b]
+            assert len(changed) == 1
+            (j,) = changed
+            assert swap is not None and swap[0] == j
+            assert len(set(last_key[j]) - set(key[j])) == 1
+        last_key = key
+    assert len(seen) == profile_space_size(game)
+
+
+def test_gray_walk_sharding_is_a_partition():
+    game = BoundedBudgetGame([1, 1, 1, 1])
+    total = profile_space_size(game)
+    full = [g.profile_key() for _, g, _ in gray_profile_walk(game)]
+    for parts in (1, 2, 3, 7):
+        shards = contiguous_shards(total, parts)
+        assert shards[0][0] == 0 and shards[-1][1] == total
+        assert all(a[1] == b[0] for a, b in zip(shards, shards[1:]))
+        stitched = []
+        for lo, hi in shards:
+            stitched.extend(
+                g.profile_key() for _, g, _ in gray_profile_walk(game, start=lo, stop=hi)
+            )
+        assert stitched == full
+
+
+def test_contiguous_shards_edge_cases():
+    assert contiguous_shards(0, 3) == []
+    assert contiguous_shards(5, 1) == [(0, 5)]
+    assert contiguous_shards(5, 8) == [(i, i + 1) for i in range(5)]
+    with pytest.raises(Exception):
+        contiguous_shards(5, 0)
+
+
+# ----------------------------------------------------------------------
+# Engine-repaired distances along the walk (hypothesis)
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    budgets=st.lists(st.integers(min_value=0, max_value=2), min_size=2, max_size=4),
+    start_frac=st.floats(min_value=0.0, max_value=0.9),
+    data=st.data(),
+)
+def test_gray_walk_engine_distances_match_fresh_bfs(budgets, start_frac, data):
+    budgets = [min(b, len(budgets) - 1) for b in budgets]
+    game = BoundedBudgetGame(budgets)
+    total = profile_space_size(game)
+    start = int(start_frac * total)
+    stop = min(total, start + data.draw(st.integers(min_value=1, max_value=40)))
+    cache = None
+    steps = 0
+    for rank, graph, swap in gray_profile_walk(game, start=start, stop=stop):
+        if cache is None:
+            cache = DistanceCache(graph, dirty_fraction="adaptive")
+        engine = cache.base()
+        assert np.array_equal(np.asarray(engine.matrix), distance_matrix(graph))
+        steps += 1
+    assert steps == stop - start
+
+
+def test_adaptive_dirty_fraction_repair_equals_recompute(rng):
+    n = 24
+    game = BoundedBudgetGame([2] * n)
+    graph = game.random_realization(seed=3)
+    engine = DistanceEngine.from_graph(graph, dirty_fraction="adaptive")
+    assert engine.adaptive
+    for step in range(30):
+        u = int(rng.integers(n))
+        targets = [v for v in range(n) if v != u]
+        graph.set_strategy(u, rng.choice(targets, size=2, replace=False))
+        engine.update(graph.undirected_csr())
+        assert np.array_equal(np.asarray(engine.matrix), distance_matrix(graph))
+    assert 1.0 <= engine.row_budget() <= n
+
+
+def test_engine_rejects_bad_dirty_fraction_string():
+    from repro.errors import GraphError
+
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    with pytest.raises(GraphError):
+        DistanceEngine.from_graph(g, dirty_fraction="auto")
+
+
+# ----------------------------------------------------------------------
+# Vectorized Lemma 2.2 screen
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_screen_agrees_with_lemma_2_2(seed):
+    game = BoundedBudgetGame([1, 2, 1, 0, 2])
+    graph = game.random_realization(seed=seed)
+    engine = DistanceEngine.from_graph(graph)
+    mask = screen_best_responders(graph, engine)
+    for u in range(graph.n):
+        assert bool(mask[u]) == satisfies_lemma_2_2(graph, u, engine=engine)
+
+
+# ----------------------------------------------------------------------
+# Symmetry orbits
+# ----------------------------------------------------------------------
+def test_budget_symmetry_group_structure():
+    perms = _budget_symmetry_group((1, 1, 2, 1, 0))
+    assert perms.shape == (6, 5)  # Sym({0,1,3}) x Sym({2}) x Sym({4})
+    assert np.array_equal(perms[0], np.arange(5))
+    for perm in perms:
+        assert sorted(perm.tolist()) == list(range(5))
+        assert all(
+            (1, 1, 2, 1, 0)[i] == (1, 1, 2, 1, 0)[perm[i]] for i in range(5)
+        )
+
+
+def test_orbit_decomposition_partitions_profile_space():
+    # Every profile lies in exactly one orbit; canonical reps' orbit
+    # sizes must therefore sum to the whole space.
+    game = BoundedBudgetGame([1, 1, 1, 1])
+    perms = _budget_symmetry_group((1, 1, 1, 1))
+    total = 0
+    reps = 0
+    for rank, graph, swap in gray_profile_walk(game):
+        orbit = _OrbitKeys(game.n, perms)
+        for a, b in graph.arcs():
+            orbit.toggle(a, b, True)
+        size = orbit.canonical_orbit_size()
+        if size is not None:
+            total += size
+            reps += 1
+    assert total == profile_space_size(game) == 81
+    assert reps < 81  # pruning actually prunes
+
+
+def test_symmetry_capped_by_key_width():
+    game = BoundedBudgetGame([1] * 9)
+    with pytest.raises(GameError):
+        census_scan(game, "sum", symmetry=True, max_profiles=10**9)
+
+
+# ----------------------------------------------------------------------
+# Golden equivalence: incremental == brute force, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("label,budgets", DEFAULT_INSTANCES)
+@pytest.mark.parametrize("version", ["sum", "max"])
+def test_exact_prices_golden_equivalence(label, budgets, version):
+    game = BoundedBudgetGame(list(budgets))
+    brute = exact_prices(game, version, incremental=False)
+    assert exact_prices(game, version) == brute
+    assert exact_prices(game, version, symmetry=True) == brute
+    assert exact_prices(game, version, workers=2) == brute
+    assert exact_prices(game, version, workers=3, symmetry=True) == brute
+
+
+@pytest.mark.parametrize("budgets", [(1, 1, 1), (2, 1, 0), (1, 1, 1, 1), (2, 1, 1, 0)])
+@pytest.mark.parametrize("version", ["sum", "max"])
+def test_enumerate_equilibria_golden_equivalence(budgets, version):
+    game = BoundedBudgetGame(list(budgets))
+    brute = enumerate_equilibria(game, version, incremental=False)
+    for kwargs in ({}, {"symmetry": True}, {"workers": 2, "symmetry": True}):
+        fast = enumerate_equilibria(game, version, **kwargs)
+        assert len(fast) == len(brute)
+        assert [g.profile_key() for g in fast] == [g.profile_key() for g in brute]
+
+
+def test_census_scan_collects_sorted_equilibria():
+    game = BoundedBudgetGame([1, 1, 1])
+    result = census_scan(game, "sum", collect_equilibria=True)
+    assert result.equilibria == tuple(sorted(result.equilibria))
+    assert result.report.num_equilibria == len(result.equilibria)
+    graphs = result.equilibrium_graphs()
+    assert all(game.is_realization(g) for g in graphs)
+
+
+def test_census_scan_without_collection_has_no_equilibria_payload():
+    game = BoundedBudgetGame([1, 1, 1])
+    result = census_scan(game, "sum")
+    assert result.equilibria is None
+    with pytest.raises(GameError):
+        result.equilibrium_graphs()
+
+
+def test_brute_force_path_rejects_kernel_knobs():
+    game = BoundedBudgetGame([1, 1, 1])
+    with pytest.raises(GameError):
+        exact_prices(game, "sum", incremental=False, symmetry=True)
+    with pytest.raises(GameError):
+        enumerate_equilibria(game, "sum", incremental=False, workers=2)
+
+
+# ----------------------------------------------------------------------
+# Experiment surface
+# ----------------------------------------------------------------------
+def test_run_experiment_forwards_supported_overrides():
+    from repro.experiments.runner import run_experiment
+
+    rep = run_experiment("EXACT-tiny", workers=2, symmetry=False)
+    baseline = run_experiment("EXACT-tiny")
+    assert rep.rows == baseline.rows  # knobs never change the numbers
+
+
+def test_extended_battery_includes_unit_n6():
+    from repro.experiments.exact_census import exact_census_experiment
+
+    rep = exact_census_experiment(
+        instances=(("unit n=6", (1,) * 6),), max_profiles=20_000
+    )
+    by_version = {r["version"]: r for r in rep.rows}
+    assert by_version["sum"]["equilibria"] == 120
+    assert by_version["max"]["equilibria"] == 480
+    assert by_version["sum"]["structure_thms"] is True
+    assert by_version["max"]["structure_thms"] is True
