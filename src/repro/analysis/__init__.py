@@ -22,6 +22,7 @@ from .structure import (
 )
 from .weighted import (
     WeightedRealization,
+    WeightedSwapEnvironment,
     check_lemma_6_4,
     fold_all_poor_leaves,
     fold_poor_leaf,
@@ -55,6 +56,7 @@ __all__ = [
     "TreeDecomposition",
     "UnitStructureReport",
     "WeightedRealization",
+    "WeightedSwapEnvironment",
     "check_lemma_6_4",
     "fold_all_poor_leaves",
     "fold_poor_leaf",

@@ -14,6 +14,25 @@ from the proof are implemented and empirically checkable here:
   equilibrium;
 * **Lemma 6.4** — any two rich leaves of a weighted weak equilibrium
   are within distance 2 of each other.
+
+Engine-backed path
+------------------
+Every distance-consuming checker in this module takes an optional
+``cache`` — a :class:`~repro.core.distance_cache.WeightedDistanceCache`
+bound to ``wr.graph`` — and then routes all distance queries through
+the incrementally repaired weighted engines instead of fresh per-call
+BFS sweeps: :func:`weighted_sum_cost` becomes one row·weights product,
+the swap check evaluates against the cached ``U(G - u)`` matrix via
+:class:`WeightedSwapEnvironment`, and :func:`fold_poor_leaf` /
+:func:`fold_all_poor_leaves` become a weight transfer plus a single-arc
+delta that the engine repairs with its pendant fast path (the folded
+leaf is, by definition, a pendant) instead of rebuilding a fresh graph
+per fold. Verdicts, fold sequences and reports are bit-identical to
+the retained loop path (``cache=None``); the cache only trades time.
+Environments snapshot both the engine epoch and the realization's
+vertex-``weights_revision``, so reads after a weight transfer raise
+:class:`~repro.errors.StaleDistanceError` instead of pricing swaps
+with outdated weights.
 """
 
 from __future__ import annotations
@@ -23,17 +42,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.best_response import BestResponseEnvironment
-from ..errors import GraphError
+from ..errors import GameError, GraphError, StaleDistanceError
 from ..graphs.digraph import OwnedDigraph
 
 __all__ = [
     "WeightedRealization",
+    "WeightedSwapEnvironment",
     "weighted_sum_cost",
     "poor_leaves",
     "rich_leaves",
     "fold_poor_leaf",
     "fold_all_poor_leaves",
     "is_weighted_weak_equilibrium",
+    "weighted_swap_sweep",
     "check_lemma_6_4",
     "degree_two_path_edges",
     "lemma_6_5_bound",
@@ -49,6 +70,11 @@ class WeightedRealization:
     Folding reduces the vertex count conceptually; here folded vertices
     simply become isolated weight-0 ghosts (mask ``active``), keeping
     the index space stable.
+
+    Weight mutations made through :meth:`transfer_weight` bump
+    :attr:`weights_revision`, which cached swap environments snapshot
+    to detect stale reads. Poking ``weights`` directly bypasses that
+    bookkeeping — use the method on any engine-backed path.
     """
 
     graph: OwnedDigraph
@@ -62,6 +88,12 @@ class WeightedRealization:
             )
         if (self.weights < 0).any():
             raise GraphError("weights must be nonnegative")
+        self._weights_revision = 0
+
+    @property
+    def weights_revision(self) -> int:
+        """Counter bumped by every :meth:`transfer_weight`."""
+        return self._weights_revision
 
     @property
     def active(self) -> np.ndarray:
@@ -77,9 +109,67 @@ class WeightedRealization:
         """``w(G)`` in the paper's notation."""
         return int(self.weights.sum())
 
+    def transfer_weight(self, src: int, dst: int) -> None:
+        """Move all of ``src``'s weight onto ``dst`` (the fold primitive).
 
-def weighted_sum_cost(wr: WeightedRealization, u: int) -> int:
-    """``c(u) = sum_v w(v) dist(u, v)`` with the ``Cinf`` convention."""
+        ``src`` becomes a weight-0 ghost; the revision counter bumps so
+        environments snapshotted before the transfer raise
+        :class:`~repro.errors.StaleDistanceError` on their next read.
+        """
+        n = self.graph.n
+        if not 0 <= src < n or not 0 <= dst < n:
+            raise GraphError(f"transfer endpoints ({src}, {dst}) out of range [0, {n})")
+        if src == dst:
+            raise GraphError(f"cannot transfer weight from {src} onto itself")
+        self.weights[dst] += self.weights[src]
+        self.weights[src] = 0
+        self._weights_revision += 1
+
+
+def _check_cache(wr: WeightedRealization, cache) -> None:
+    """Refuse caches that would break the bit-identical contract.
+
+    Three ways a cache can silently disagree with the loop reference:
+    it tracks a *different graph object*, its edge lengths are not all
+    1 (Section 6 measures hop distances), or its engines' unreachable
+    sentinel exceeds the paper's ``Cinf = n^2`` (a ``max_weight``
+    headroom hint large enough that ``(n-1) * w_max >= n^2`` raises
+    the sentinel, changing every cross-component cost term).
+    """
+    from ..graphs.distances import cinf
+
+    if cache.graph is not wr.graph:
+        raise GameError(
+            "weighted distance cache is bound to a different graph object; "
+            "call cache.rebind(wr.graph) first"
+        )
+    if cache.edge_weights is not None and not cache.edge_weights.is_unit():
+        raise GameError(
+            "Section 6 machinery measures hop distances; the cache must use "
+            "unit edge lengths (edge_weights=None)"
+        )
+    n = wr.graph.n
+    if (n - 1) * cache.max_weight >= cinf(n):
+        raise GameError(
+            f"cache max_weight={cache.max_weight} raises the unreachable "
+            f"sentinel above Cinf = {cinf(n)}; Section 6 machinery needs a "
+            f"cache built without an oversized max_weight hint"
+        )
+
+
+def weighted_sum_cost(
+    wr: WeightedRealization, u: int, *, cache=None
+) -> int:
+    """``c(u) = sum_v w(v) dist(u, v)`` with the ``Cinf`` convention.
+
+    With ``cache`` the cost is one row·weights product over the
+    maintained ``U(G)`` matrix (whose sentinel *is* ``Cinf``); without,
+    a fresh BFS — identical integers either way.
+    """
+    if cache is not None:
+        _check_cache(wr, cache)
+        row = cache.base().row(u).astype(np.int64)
+        return int(row @ wr.weights)
     from ..graphs.bfs import UNREACHABLE, bfs_distances
     from ..graphs.distances import cinf
 
@@ -93,10 +183,13 @@ def _undirected_degree(graph: OwnedDigraph, v: int) -> int:
 
 
 def poor_leaves(wr: WeightedRealization) -> list[int]:
-    """Active degree-1 vertices that own no arc (supported by others)."""
+    """Active degree-1 vertices that own no arc (supported by others).
+
+    Ascending vertex order — the fold routines rely on this to make
+    the loop path and the engine path pick identical fold sequences.
+    """
     out = []
-    active = set(wr.active.tolist())
-    for v in active:
+    for v in wr.active.tolist():
         if _undirected_degree(wr.graph, v) == 1 and wr.graph.out_degree(v) == 0:
             out.append(v)
     return out
@@ -105,94 +198,439 @@ def poor_leaves(wr: WeightedRealization) -> list[int]:
 def rich_leaves(wr: WeightedRealization) -> list[int]:
     """Active degree-1 vertices that own their single arc."""
     out = []
-    active = set(wr.active.tolist())
-    for v in active:
+    for v in wr.active.tolist():
         if _undirected_degree(wr.graph, v) == 1 and wr.graph.out_degree(v) == 1:
             out.append(v)
     return out
 
 
-def fold_poor_leaf(wr: WeightedRealization, leaf: int) -> WeightedRealization:
+def _is_poor_leaf(wr: WeightedRealization, v: int) -> bool:
+    return (
+        wr.weights[v] > 0
+        and _undirected_degree(wr.graph, v) == 1
+        and wr.graph.out_degree(v) == 0
+    )
+
+
+def _fold_in_place(wr: WeightedRealization, leaf: int) -> int:
+    """Apply one fold to ``wr`` itself; returns the absorbing neighbour.
+
+    The supporting arc is removed from the live graph (one revision
+    bump — exactly the pendant deletion the weighted engine repairs
+    with a column/row write) and the weight moves by
+    :meth:`WeightedRealization.transfer_weight`.
+    """
+    owners = wr.graph.in_neighbors(leaf)
+    assert owners.size == 1, "a poor leaf has exactly one (incoming) arc"
+    u = int(owners[0])
+    wr.graph.remove_arc(u, leaf)
+    wr.transfer_weight(leaf, u)
+    return u
+
+
+def fold_poor_leaf(
+    wr: WeightedRealization, leaf: int, *, cache=None
+) -> WeightedRealization:
     """Fold a poor leaf into its unique neighbour (the paper's G -> G0).
 
     The supporting arc ``u -> leaf`` is removed and ``w(u) += w(leaf)``;
     the leaf becomes a weight-0 ghost. If ``G`` was a weighted weak
     equilibrium, so is the folded graph (checked empirically in tests).
+
+    ``wr`` itself is never mutated. With ``cache`` (bound to
+    ``wr.graph``) the fold is a weight transfer plus an arc delta on a
+    fresh working copy that the cache is re-bound to, so the engines
+    repair one pendant deletion instead of rebuilding — subsequent
+    cached checks on the returned realization ride the same engines.
     """
-    if leaf not in poor_leaves(wr):
+    if not _is_poor_leaf(wr, leaf):
         raise GraphError(f"vertex {leaf} is not a poor leaf")
-    owners = wr.graph.in_neighbors(leaf)
-    assert owners.size == 1, "a poor leaf has exactly one (incoming) arc"
-    u = int(owners[0])
-    g = wr.graph.copy()
-    g.remove_arc(u, leaf)
-    w = wr.weights.copy()
-    w[u] += w[leaf]
-    w[leaf] = 0
-    return WeightedRealization(graph=g, weights=w)
+    if cache is not None:
+        _check_cache(wr, cache)
+    out = WeightedRealization(graph=wr.graph.copy(), weights=wr.weights.copy())
+    if cache is not None:
+        cache.rebind(out.graph)
+    _fold_in_place(out, leaf)
+    return out
 
 
-def fold_all_poor_leaves(wr: WeightedRealization, *, max_rounds: int | None = None) -> WeightedRealization:
-    """Fold until no poor leaf remains (Corollary 6.3's normalisation)."""
-    current = wr
+def fold_all_poor_leaves(
+    wr: WeightedRealization,
+    *,
+    max_rounds: "int | None" = None,
+    cache=None,
+) -> WeightedRealization:
+    """Fold until no poor leaf remains (Corollary 6.3's normalisation).
+
+    The retained loop path (``cache=None``) re-copies the graph and
+    re-scans for poor leaves every round. With ``cache`` the whole
+    cascade runs in place on one working copy: each fold is an arc
+    delta plus a weight transfer, and the poor-leaf set is maintained
+    incrementally (a fold can only change the status of the absorbing
+    neighbour). Both paths fold the same leaves in the same order and
+    return identical realizations.
+    """
+    if cache is None:
+        current = wr
+        rounds = 0
+        while True:
+            leaves = poor_leaves(current)
+            if not leaves:
+                return current
+            current = fold_poor_leaf(current, leaves[0])
+            rounds += 1
+            if max_rounds is not None and rounds >= max_rounds:
+                return current
+
+    _check_cache(wr, cache)
+    out = WeightedRealization(graph=wr.graph.copy(), weights=wr.weights.copy())
+    cache.rebind(out.graph)
+    poor = set(poor_leaves(out))
     rounds = 0
-    while True:
-        leaves = poor_leaves(current)
-        if not leaves:
-            return current
-        current = fold_poor_leaf(current, leaves[0])
+    while poor:
+        leaf = min(poor)
+        u = _fold_in_place(out, leaf)
+        poor.discard(leaf)
+        # The removed arc is incident only to `leaf` and `u`, so only
+        # the absorbing neighbour's leaf status can have changed.
+        if _is_poor_leaf(out, u):
+            poor.add(u)
+        else:
+            poor.discard(u)
         rounds += 1
         if max_rounds is not None and rounds >= max_rounds:
-            return current
+            break
+    return out
 
 
-def _weighted_swap_improves(wr: WeightedRealization, u: int) -> bool:
-    """Whether some single-arc swap strictly lowers ``u``'s weighted cost.
+def _swap_block_improves(
+    D: np.ndarray,
+    cinf_val: int,
+    cur: "tuple[int, ...]",
+    in_nbrs: np.ndarray,
+    pool: np.ndarray,
+    w: np.ndarray,
+    u: int,
+    cur_cost: int,
+) -> bool:
+    """Shared swap algebra: does any (drop, add) pair beat ``cur_cost``?
 
-    Reuses the best-response environment's ``G - u`` distance matrix,
-    batched like ``BestResponseEnvironment.evaluate_batch``: per-column
-    first/second minima over the kept rows (current strategy plus
-    in-neighbours) evaluate every "drop one arc" exclusion in O(1) per
-    column, every "add one arc" candidate is one row-min against that
-    exclusion, and the weighted costs of a whole candidate block reduce
-    to a single matrix–vector product — no per-candidate BFS, no
-    per-candidate python loop.
+    Per-column first/second minima over the kept rows (current strategy
+    plus in-neighbours of ``u``) evaluate every "drop one arc"
+    exclusion in O(1) per column; each "add one arc" candidate is one
+    row-min against that exclusion; a candidate block's weighted costs
+    reduce to one matrix–vector product. Both the loop reference path
+    (``D`` from a fresh per-call BFS) and the engine path (``D`` from a
+    maintained weighted matrix) evaluate through this one helper — the
+    paths differ only in where the distances come from.
     """
-    cur = tuple(int(v) for v in wr.graph.out_neighbors(u))
-    if not cur:
-        return False
-    env = BestResponseEnvironment(wr.graph, u, "sum")
-    n = wr.graph.n
-    w = wr.weights
-    cur_cost = int((env.distances_for(cur) * w).sum())
-    blocked = set(cur) | {u} | set(np.flatnonzero(wr.weights == 0).tolist())
-    pool = np.asarray([v for v in range(n) if v not in blocked], dtype=np.int64)
-    if pool.size == 0:
-        return False
-    rows = env.D[np.asarray(cur, dtype=np.int64)]
-    if env.in_nbrs.size:
-        rows = np.vstack([rows, env.D[env.in_nbrs]])
+    n = D.shape[1]
+    rows = D[np.asarray(cur, dtype=np.int64)]
+    if in_nbrs.size:
+        rows = np.vstack([rows, D[in_nbrs]])
     order = np.argsort(rows, axis=0, kind="stable")
     m1 = np.take_along_axis(rows, order[:1], axis=0)[0]
     arg1 = order[0]
     if rows.shape[0] > 1:
         m2 = np.take_along_axis(rows, order[1:2], axis=0)[0]
     else:
-        m2 = np.full(n, env.cinf, dtype=np.int64)
-    cand_rows = env.D[pool]
+        m2 = np.full(n, cinf_val, dtype=np.int64)
+    cand_rows = D[pool]
     for i in range(len(cur)):
         # Min over the kept rows when owned row i is excluded.
         excl = np.where(arg1 == i, m2, m1)
         mins = np.minimum(excl, cand_rows)
-        dist = np.minimum(mins + 1, env.cinf)
+        dist = np.minimum(mins + 1, cinf_val)
         dist[:, u] = 0
         if (dist @ w < cur_cost).any():
             return True
     return False
 
 
-def is_weighted_weak_equilibrium(wr: WeightedRealization) -> bool:
-    """No active vertex can improve its weighted SUM cost by one swap."""
+class WeightedSwapEnvironment:
+    """Evaluation substrate for weighted single-arc swaps of one player.
+
+    The weighted counterpart of
+    :class:`~repro.core.best_response.BestResponseEnvironment`,
+    restricted to the Section 6 move set (drop one owned arc, add one).
+    It reads the ``U(G - u)`` matrix of a shared
+    :class:`~repro.core.distance_cache.WeightedDistanceCache` engine
+    zero-copy and snapshots *three* freshness tokens: the engine epoch,
+    the graph revision, and the realization's vertex-weights revision.
+    Any read after the substrate, the in-neighbourhood, or the weights
+    move on raises :class:`~repro.errors.StaleDistanceError` — in
+    particular a :meth:`WeightedRealization.transfer_weight` (a fold)
+    stales every environment built before it.
+    """
+
+    def __init__(
+        self,
+        wr: WeightedRealization,
+        u: int,
+        *,
+        cache=None,
+        engine=None,
+        in_nbrs: "np.ndarray | None" = None,
+    ) -> None:
+        graph = wr.graph
+        if not 0 <= u < graph.n:
+            raise GraphError(f"vertex {u} out of range [0, {graph.n})")
+        if cache is not None:
+            _check_cache(wr, cache)
+            engine = cache.player(u)
+        elif engine is None:
+            from ..graphs.weighted_engine import (
+                WeightedDistanceEngine,
+                weighted_csr_from_csr,
+            )
+
+            engine = WeightedDistanceEngine(
+                weighted_csr_from_csr(graph.undirected_csr_without(u))
+            )
+        else:
+            if engine.n != graph.n:
+                raise GameError(
+                    f"engine substrate has {engine.n} vertices, graph has {graph.n}"
+                )
+            if engine.wcsr.degree(u) != 0:
+                raise GameError(
+                    f"engine substrate must isolate player {u} (U(G - u))"
+                )
+        self.u = int(u)
+        self.n = graph.n
+        self.cinf = engine.inf
+        self._wr = wr
+        self._engine = engine
+        self._epoch = engine.epoch
+        self._revision = graph.revision
+        self._weights_rev = wr.weights_revision
+        # Fourth freshness token: the cache's edge-length map. An edit
+        # there changes the metric without touching the graph revision,
+        # the engine epoch (until someone syncs), or the vertex weights.
+        self._edge_map = cache.edge_weights if cache is not None else None
+        self._edge_rev = 0 if self._edge_map is None else self._edge_map.revision
+        self.D = engine.matrix
+        self.in_nbrs = graph.in_neighbors(u) if in_nbrs is None else in_nbrs
+        if self.in_nbrs.size:
+            self._base_min = self.D[self.in_nbrs].min(axis=0)
+        else:
+            self._base_min = np.full(self.n, self.cinf, dtype=np.int64)
+
+    @property
+    def engine(self):
+        """The weighted engine whose matrix this environment reads."""
+        return self._engine
+
+    def is_fresh(self) -> bool:
+        """Whether this environment still prices the current state."""
+        try:
+            self._check_fresh()
+        except StaleDistanceError:
+            return False
+        return True
+
+    def _check_fresh(self) -> None:
+        if self._engine.epoch != self._epoch:
+            raise StaleDistanceError(
+                f"weighted environment for player {self.u} was built at engine "
+                f"epoch {self._epoch}, but the engine is now at epoch "
+                f"{self._engine.epoch}; rebuild the environment"
+            )
+        if self._wr.weights_revision != self._weights_rev:
+            raise StaleDistanceError(
+                f"vertex weights moved from revision {self._weights_rev} to "
+                f"{self._wr.weights_revision} since this environment was "
+                f"built; rebuild the environment"
+            )
+        if self._edge_map is not None and self._edge_map.revision != self._edge_rev:
+            raise StaleDistanceError(
+                f"edge lengths moved from revision {self._edge_rev} to "
+                f"{self._edge_map.revision} since this environment was "
+                f"built; rebuild the environment"
+            )
+        rev = self._wr.graph.revision
+        if rev != self._revision:
+            # Same structural re-validation as BestResponseEnvironment:
+            # the player's own moves leave U(G - u) and In(u) intact.
+            cur = self._wr.graph.undirected_csr_without(self.u)
+            sub = self._engine.wcsr
+            if not (
+                cur.indices.size == sub.indices.size
+                and np.array_equal(cur.indptr, sub.indptr)
+                and np.array_equal(cur.indices, sub.indices)
+            ):
+                raise StaleDistanceError(
+                    f"substrate U(G - {self.u}) changed since this weighted "
+                    f"environment was built; rebuild the environment"
+                )
+            if not np.array_equal(self._wr.graph.in_neighbors(self.u), self.in_nbrs):
+                raise StaleDistanceError(
+                    f"in-neighbourhood of player {self.u} changed since this "
+                    f"weighted environment was built; rebuild the environment"
+                )
+            self._revision = rev
+
+    def distances_for(self, strategy) -> np.ndarray:
+        """Distance vector from ``u`` under a hypothetical strategy."""
+        self._check_fresh()
+        s = np.asarray(sorted(strategy), dtype=np.int64)
+        if s.size:
+            mins = np.minimum(self.D[s].min(axis=0), self._base_min)
+        else:
+            mins = np.asarray(self._base_min).copy()
+        dist = np.minimum(mins + 1, self.cinf)
+        dist[self.u] = 0
+        return dist
+
+    def current_cost(self) -> int:
+        """Weighted SUM cost of ``u``'s current strategy."""
+        cur = tuple(int(v) for v in self._wr.graph.out_neighbors(self.u))
+        return int(self.distances_for(cur) @ self._wr.weights)
+
+    def swap_improves(self) -> bool:
+        """Whether some single-arc swap strictly lowers ``u``'s cost.
+
+        Per-column first/second minima over the kept rows evaluate every
+        "drop one arc" exclusion in O(1) per column; each "add one arc"
+        candidate is a row-min against that exclusion; the whole
+        candidate block's weighted costs reduce to one matrix–vector
+        product — the same algebra as the reference path, read off the
+        maintained matrix. Weight-0 vertices are folded ghosts and are
+        never swap targets (see :func:`_weighted_swap_improves`).
+        """
+        self._check_fresh()
+        wr = self._wr
+        u = self.u
+        cur = tuple(int(v) for v in wr.graph.out_neighbors(u))
+        if not cur:
+            return False
+        n = self.n
+        w = wr.weights
+        cur_cost = int(self.distances_for(cur) @ w)
+        blocked = set(cur) | {u} | set(np.flatnonzero(w == 0).tolist())
+        pool = np.asarray([v for v in range(n) if v not in blocked], dtype=np.int64)
+        if pool.size == 0:
+            return False
+        return _swap_block_improves(
+            self.D, self.cinf, cur, self.in_nbrs, pool, w, u, cur_cost
+        )
+
+
+def _weighted_swap_improves(
+    wr: WeightedRealization,
+    u: int,
+    *,
+    cache=None,
+    env: "WeightedSwapEnvironment | None" = None,
+) -> bool:
+    """Whether some single-arc swap strictly lowers ``u``'s weighted cost.
+
+    The retained reference path (no ``cache``/``env``) builds a fresh
+    :class:`BestResponseEnvironment` — one all-pairs BFS of ``U(G - u)``
+    per call. ``cache`` replaces that with the maintained weighted
+    engine (repaired, not rebuilt, across folds and swaps); ``env``
+    reuses a prebuilt :class:`WeightedSwapEnvironment` under its
+    staleness contract. All three paths return identical verdicts.
+
+    Move-set semantics: weight-0 vertices are *folded ghosts* — in the
+    paper's folded graph they no longer exist, so they are excluded
+    from the candidate pool (a swap may not target one). Instances
+    with weight-0 vertices that are meant to remain live players
+    should give them weight 1 instead.
+    """
+    if env is not None:
+        if env.u != u:
+            raise GameError(f"environment is for player {env.u}, requested {u}")
+        if env._wr is not wr:
+            raise GameError(
+                "environment was built on a different weighted realization; "
+                "build one for this realization"
+            )
+        return env.swap_improves()
+    if cache is not None:
+        _check_cache(wr, cache)
+        if wr.graph.out_degree(u) == 0:
+            # No owned arc means no swap; skip the engine sync entirely
+            # (leaf-heavy Section 6 instances hit this constantly).
+            return False
+        return WeightedSwapEnvironment(wr, u, cache=cache).swap_improves()
+
+    cur = tuple(int(v) for v in wr.graph.out_neighbors(u))
+    if not cur:
+        return False
+    env_br = BestResponseEnvironment(wr.graph, u, "sum")
+    n = wr.graph.n
+    w = wr.weights
+    cur_cost = int((env_br.distances_for(cur) * w).sum())
+    blocked = set(cur) | {u} | set(np.flatnonzero(wr.weights == 0).tolist())
+    pool = np.asarray([v for v in range(n) if v not in blocked], dtype=np.int64)
+    if pool.size == 0:
+        return False
+    return _swap_block_improves(
+        env_br.D, env_br.cinf, cur, env_br.in_nbrs, pool, w, u, cur_cost
+    )
+
+
+def weighted_swap_sweep(
+    wr: WeightedRealization, *, cache=None
+) -> "list[bool]":
+    """Per-player swap verdicts for every active vertex, in index order.
+
+    ``result[i]`` says whether ``wr.active[i]`` can strictly improve by
+    a single-arc swap — the full per-player picture behind
+    :func:`is_weighted_weak_equilibrium` (which only needs the
+    disjunction and early-exits). The loop path pays one all-pairs BFS
+    of ``U(G - u)`` per arc-owning player; the engine path reads the
+    cached matrices and batches the per-sweep graph scans (one bulk
+    in-neighbour pass instead of one owner scan per player). Verdict
+    lists are identical either way.
+    """
+    if cache is None:
+        return [_weighted_swap_improves(wr, int(u)) for u in wr.active.tolist()]
+    _check_cache(wr, cache)
+    in_lists = wr.graph.in_neighbor_lists()
+    out = []
+    for u in wr.active.tolist():
+        u = int(u)
+        if wr.graph.out_degree(u) == 0:
+            out.append(False)
+            continue
+        env = WeightedSwapEnvironment(wr, u, cache=cache, in_nbrs=in_lists[u])
+        out.append(env.swap_improves())
+    return out
+
+
+def is_weighted_weak_equilibrium(
+    wr: WeightedRealization, *, cache=None
+) -> bool:
+    """No active vertex can improve its weighted SUM cost by one swap.
+
+    ``cache`` routes every player's check through the shared weighted
+    engines (the verdict is identical either way); across a fold
+    cascade the engines repair one pendant arc per fold instead of
+    rebuilding ``n`` matrices per re-verification. Players at local
+    diameter 1 are screened off the maintained ``U(G)`` matrix: the
+    all-ones distance vector is the pointwise minimum of any strategy's,
+    so it is optimal for *every* weight vector (the weighted survivor
+    of Lemma 2.2 — the diameter-2 case does not survive weighting,
+    since a swap towards a heavy vertex can pay for one extra hop).
+    """
+    if cache is not None:
+        _check_cache(wr, cache)
+        ecc = cache.base().matrix.max(axis=1)
+        in_lists = None
+        for u in wr.active.tolist():
+            u = int(u)
+            if ecc[u] <= 1 or wr.graph.out_degree(u) == 0:
+                continue
+            if in_lists is None:
+                # One O(n + m) owner pass for every unscreened player,
+                # not one O(n) scan each (the census hot loop).
+                in_lists = wr.graph.in_neighbor_lists()
+            env = WeightedSwapEnvironment(wr, u, cache=cache, in_nbrs=in_lists[u])
+            if env.swap_improves():
+                return False
+        return True
     for u in wr.active.tolist():
         if _weighted_swap_improves(wr, int(u)):
             return False
@@ -212,16 +650,27 @@ class Lemma64Report:
         return self.max_pairwise_distance <= 2
 
 
-def check_lemma_6_4(wr: WeightedRealization) -> Lemma64Report:
+def check_lemma_6_4(wr: WeightedRealization, *, cache=None) -> Lemma64Report:
     """Measure the largest distance between rich leaves.
 
     In any weighted weak equilibrium this is at most 2 (Lemma 6.4); the
-    checker lets tests audit that on folded dynamics output.
+    checker lets tests audit that on folded dynamics output. ``cache``
+    reads the pairwise distances off the maintained ``U(G)`` matrix
+    (whose unreachable sentinel is exactly the ``n^2`` the reference
+    path substitutes) instead of one BFS per rich leaf.
     """
-    from ..graphs.bfs import UNREACHABLE, bfs_distances
-
     rich = rich_leaves(wr)
     worst = 0
+    if cache is not None:
+        _check_cache(wr, cache)
+        matrix = cache.base().matrix
+        for i, a in enumerate(rich):
+            for b in rich[i + 1 :]:
+                worst = max(worst, int(matrix[a, b]))
+        return Lemma64Report(rich=tuple(rich), max_pairwise_distance=worst)
+
+    from ..graphs.bfs import UNREACHABLE, bfs_distances
+
     csr = wr.graph.undirected_csr()
     for i, a in enumerate(rich):
         d = bfs_distances(csr, a)

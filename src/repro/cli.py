@@ -4,12 +4,13 @@ Subcommands
 -----------
 ``list``
     Show every registered experiment id with its description.
-``run <id> [<id> ...] [--workers N] [--symmetry/--no-symmetry] [--extended]``
+``run <id> [<id> ...] [--workers N] [--symmetry/--no-symmetry] [--extended] [--weighted]``
     Regenerate specific Table 1 cells / figures and print the reports.
     ``--workers`` shards supporting experiments (e.g. the exact census)
     across processes; ``--symmetry`` toggles census orbit pruning;
     ``--extended`` adds the census instances the incremental kernel
-    unlocks (unit n=6, mixed n=5).
+    unlocks (unit n=6, mixed n=5); ``--weighted`` appends the Section 6
+    weighted weak-equilibrium census battery.
     Flags are forwarded only to experiments whose signature takes them.
 ``all``
     Regenerate everything (the full paper reproduction).
@@ -92,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="census: run the extended instance battery (adds unit n=6, mixed n=5)",
     )
+    run_p.add_argument(
+        "--weighted",
+        action="store_true",
+        default=None,
+        help="census: append the Section 6 weighted weak-equilibrium battery",
+    )
     sub.add_parser("all", help="run every experiment")
     exp_p = sub.add_parser("export", help="build a construction and save it")
     exp_p.add_argument("spec", help="fig1 | spider:<k> | binary-tree:<d> | overlap:<t>,<k> | thm2.3:<b,...>")
@@ -128,6 +135,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 workers=args.workers,
                 symmetry=args.symmetry,
                 extended=args.extended,
+                weighted=args.weighted,
             )
             for i in args.ids
         )

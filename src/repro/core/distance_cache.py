@@ -33,14 +33,23 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 from ..errors import VertexError
 from ..graphs.digraph import OwnedDigraph
 from ..graphs.distances import cinf
 from ..graphs.engine import DistanceEngine
+from ..graphs.weighted_engine import (
+    EdgeWeightMap,
+    WeightedCSR,
+    WeightedDistanceEngine,
+    weighted_csr_from_csr,
+    weighted_csr_without_vertex,
+)
 from .best_response import BestResponseEnvironment
 from .costs import Version
 
-__all__ = ["DistanceCache"]
+__all__ = ["DistanceCache", "WeightedDistanceCache"]
 
 #: Default memory budget for per-player engines (bytes of distance rows).
 _DEFAULT_CACHE_BYTES: int = 256 * 1024 * 1024
@@ -226,4 +235,251 @@ class DistanceCache:
         total["player_engines"] = len(self._players)
         total["evictions"] = self.evictions
         total["env_hits"] = self.env_hits
+        return total
+
+
+class WeightedDistanceCache:
+    """Lazily repaired :class:`WeightedDistanceEngine` pool for one graph.
+
+    The weighted sibling of :class:`DistanceCache`: one engine per
+    substrate (``U(G)`` and per-player ``U(G - u)``), each holding the
+    full weighted distance matrix, repaired lazily on access. Coherence
+    is keyed by *two* revision counters — the graph's mutation counter
+    and the :class:`~repro.graphs.weighted_engine.EdgeWeightMap`
+    revision — so both topology edits and out-of-band edge-weight edits
+    are picked up on the next read; neither can serve stale distances.
+
+    With ``edge_weights=None`` every edge has length 1 and the weighted
+    engines produce matrices bit-identical to the BFS engines (same
+    ``Cinf = n^2`` sentinel, same dtype), which is the regime the
+    Section 6 machinery in :mod:`repro.analysis.weighted` runs in.
+
+    Parameters
+    ----------
+    graph:
+        The realization to track. The cache never mutates it.
+    edge_weights:
+        Optional mutable edge-length assignment; its revision counter
+        joins the coherence key.
+    max_player_engines:
+        Cap on simultaneously cached per-player engines (LRU eviction),
+        sized like :class:`DistanceCache`'s by default.
+    max_weight:
+        Headroom hint forwarded to every engine so later weight edits
+        never overflow the ``inf`` sentinel.
+    dirty_fraction:
+        Delta-vs-rebuild cutoff forwarded to every engine.
+    """
+
+    def __init__(
+        self,
+        graph: OwnedDigraph,
+        *,
+        edge_weights: "EdgeWeightMap | None" = None,
+        max_player_engines: "int | None" = None,
+        max_weight: "int | None" = None,
+        dirty_fraction: "float | None" = None,
+    ) -> None:
+        self._graph = graph
+        self._edge_weights = edge_weights
+        self._max_players_requested = max_player_engines
+        self._engine_kwargs: dict = {}
+        if dirty_fraction is not None:
+            self._engine_kwargs["dirty_fraction"] = dirty_fraction
+        if max_weight is not None:
+            self._max_weight = int(max_weight)
+        elif edge_weights is not None:
+            self._max_weight = edge_weights.max_weight()
+        else:
+            self._max_weight = 1
+        self._engine_kwargs["max_weight"] = self._max_weight
+        self._max_players = self._resolve_max_players(graph.n)
+        self._base: "WeightedDistanceEngine | None" = None
+        self._base_token = -1
+        self._players: "OrderedDict[int, WeightedDistanceEngine]" = OrderedDict()
+        self._player_tokens: "dict[int, int]" = {}
+        self._wcsr: "WeightedCSR | None" = None
+        self._seen_key: "tuple[int, int] | None" = None
+        self._token = 0
+        # When one sync step removed exactly one edge (a fold, a census
+        # Gray half-step), engines lagging exactly that step skip the
+        # substrate rebuild + diff: (prev_token, x, y).
+        self._step: "tuple[int, int, int] | None" = None
+        self.evictions = 0
+
+    def _resolve_max_players(self, n: int) -> int:
+        if self._max_players_requested is not None:
+            return max(1, int(self._max_players_requested))
+        # Engines pick int64 matrices when the weighted sentinel
+        # (inf = max(Cinf, (n-1) * w_max + 1)) outgrows int32 headroom,
+        # so the memory budget must use the same dtype rule.
+        inf = max(cinf(n), (n - 1) * self._max_weight + 1)
+        itemsize = 4 if 2 * inf < 2**31 else 8
+        per_engine = max(1, n * n * itemsize)
+        return max(1, min(n, _DEFAULT_CACHE_BYTES // per_engine))
+
+    @property
+    def graph(self) -> OwnedDigraph:
+        """The tracked realization."""
+        return self._graph
+
+    @property
+    def edge_weights(self) -> "EdgeWeightMap | None":
+        """The tracked edge-length assignment (``None`` means unit)."""
+        return self._edge_weights
+
+    @property
+    def max_weight(self) -> int:
+        """Edge-length headroom every pooled engine's sentinel covers.
+
+        Starts at the construction-time hint (or the edge map's current
+        maximum) and grows automatically when a later weight edit
+        exceeds it — the pool is then rebuilt with a larger sentinel
+        instead of erroring on the next access.
+        """
+        return self._max_weight
+
+    def _key(self) -> "tuple[int, int]":
+        rev = self._graph.revision
+        wrev = 0 if self._edge_weights is None else self._edge_weights.revision
+        return (rev, wrev)
+
+    def _single_removal_step(
+        self, old: "WeightedCSR | None", new: WeightedCSR
+    ) -> "tuple[int, int, int] | None":
+        """``(prev_token, x, y)`` when the sync step removed exactly the
+        edge ``{x, y}`` (weights untouched), else ``None``."""
+        from ..graphs.weighted_engine import _edge_ids_weights
+
+        if old is None or old.indices.size != new.indices.size + 2:
+            return None
+        old_ids, old_w = _edge_ids_weights(old)
+        new_ids, new_w = _edge_ids_weights(new)
+        removed = set(old_ids.tolist()) - set(new_ids.tolist())
+        if len(removed) != 1:
+            return None  # sizes imply at least one addition rode along
+        if (
+            old.max_weight() > 1 or new.max_weight() > 1
+        ) and not np.array_equal(
+            old_w[np.isin(old_ids, new_ids, assume_unique=True)], new_w
+        ):
+            return None
+        eid = removed.pop()
+        return (self._token, eid // old.n, eid % old.n)
+
+    def _sync(self) -> WeightedCSR:
+        """Refresh the ``U(G)`` substrate and the coherence token."""
+        key = self._key()
+        if self._wcsr is None or self._seen_key != key:
+            new_wcsr = weighted_csr_from_csr(
+                self._graph.undirected_csr(), self._edge_weights
+            )
+            if new_wcsr.max_weight() > self._max_weight:
+                # A weight edit outgrew the engines' sentinel headroom:
+                # drop the pool (rare resize event) so every engine is
+                # rebuilt with a sentinel covering the new maximum,
+                # instead of erroring on its next update.
+                self._max_weight = new_wcsr.max_weight()
+                self._engine_kwargs["max_weight"] = self._max_weight
+                self._max_players = self._resolve_max_players(self._graph.n)
+                self._base = None
+                self._base_token = -1
+                self._players.clear()
+                self._player_tokens.clear()
+            self._step = self._single_removal_step(self._wcsr, new_wcsr)
+            self._token += 1
+            self._wcsr = new_wcsr
+            self._seen_key = key
+        return self._wcsr
+
+    def rebind(self, graph: OwnedDigraph) -> None:
+        """Point the cache at another graph of the same size.
+
+        Engines (and their matrices) are kept, and so is the previous
+        substrate: the next access diffs content against the new
+        graph's — one arc apart (a fold onto a working copy) repairs as
+        a single-edge delta, unrelated graphs degrade to buffer-reusing
+        rebuilds.
+        """
+        if graph.n != self._graph.n:
+            self._base = None
+            self._players.clear()
+            self._player_tokens.clear()
+            self._wcsr = None
+            self._max_players = self._resolve_max_players(graph.n)
+        self._graph = graph
+        self._seen_key = None
+
+    # ------------------------------------------------------------------
+    def base(self) -> WeightedDistanceEngine:
+        """Engine over weighted ``U(G)``, synced to both revisions."""
+        wcsr = self._sync()
+        if self._base is None:
+            self._base = WeightedDistanceEngine(wcsr, **self._engine_kwargs)
+        elif self._base_token != self._token:
+            self._base.update(wcsr)
+        self._base_token = self._token
+        return self._base
+
+    def player(self, u: int) -> WeightedDistanceEngine:
+        """Engine over weighted ``U(G - u)``, synced to both revisions."""
+        if not 0 <= u < self._graph.n:
+            raise VertexError(u, self._graph.n)
+        wcsr = self._sync()
+        engine = self._players.get(u)
+        if engine is None:
+            engine = WeightedDistanceEngine(
+                weighted_csr_without_vertex(wcsr, u), **self._engine_kwargs
+            )
+            self._players[u] = engine
+            if len(self._players) > self._max_players:
+                evicted, _ = self._players.popitem(last=False)
+                self._player_tokens.pop(evicted, None)
+                self.evictions += 1
+        elif self._player_tokens.get(u) != self._token:
+            step = self._step
+            if (
+                step is not None
+                and self._player_tokens.get(u) == step[0]
+                and u != step[1]
+                and u != step[2]
+            ):
+                # The pool lags exactly one single-removal step and the
+                # edge survives the puncture: forward the known delta
+                # instead of rebuilding + diffing the substrate.
+                engine.remove_edge(step[1], step[2])
+            else:
+                engine.update(weighted_csr_without_vertex(wcsr, u))
+        self._players.move_to_end(u)
+        self._player_tokens[u] = self._token
+        return engine
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero every engine's counters (and the cache's own)."""
+        for engine in self._players.values():
+            for key in engine.stats:
+                engine.stats[key] = 0
+        if self._base is not None:
+            for key in self._base.stats:
+                self._base.stats[key] = 0
+        self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        """Aggregated engine counters, cumulative since construction."""
+        total = {
+            "rebuilds": 0,
+            "deltas": 0,
+            "noops": 0,
+            "rows_recomputed": 0,
+            "pendant_fixes": 0,
+        }
+        engines = list(self._players.values())
+        if self._base is not None:
+            engines.append(self._base)
+        for engine in engines:
+            for key in total:
+                total[key] += engine.stats[key]
+        total["player_engines"] = len(self._players)
+        total["evictions"] = self.evictions
         return total

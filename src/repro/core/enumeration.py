@@ -78,6 +78,8 @@ __all__ = [
     "census_scan",
     "ExactPriceReport",
     "exact_prices",
+    "WeightedCensusReport",
+    "weighted_census_scan",
 ]
 
 #: Symmetry pruning packs the ownership adjacency into one 64-bit key
@@ -531,6 +533,233 @@ class ExactPriceReport:
         if self.best_equilibrium_diameter is None:
             return None
         return Fraction(self.best_equilibrium_diameter, self.opt_diameter)
+
+
+# ----------------------------------------------------------------------
+# Weighted weak-equilibrium census (Section 6)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WeightedCensusReport:
+    """Exact weighted weak-equilibrium census of one tiny game.
+
+    Counts profiles stable under weighted single-arc swaps (Section 6's
+    weak equilibria for a fixed positive vertex-weight vector), along
+    with diameter and weighted social cost extrema. ``social cost``
+    here is ``sum_{u active} sum_v w(v) dist(u, v)`` with the paper's
+    ``Cinf`` convention for cross-component terms.
+    """
+
+    weights: "tuple[int, ...]"
+    num_profiles: int
+    num_weak_equilibria: int
+    opt_diameter: int
+    opt_social_cost: int
+    best_equilibrium_diameter: "int | None"
+    worst_equilibrium_diameter: "int | None"
+    best_equilibrium_social_cost: "int | None"
+    worst_equilibrium_social_cost: "int | None"
+
+    @property
+    def poa(self) -> "Fraction | None":
+        """Diameter price of anarchy over the weak-equilibrium set."""
+        if self.worst_equilibrium_diameter is None:
+            return None
+        return Fraction(self.worst_equilibrium_diameter, self.opt_diameter)
+
+    @property
+    def pos(self) -> "Fraction | None":
+        """Diameter price of stability over the weak-equilibrium set."""
+        if self.best_equilibrium_diameter is None:
+            return None
+        return Fraction(self.best_equilibrium_diameter, self.opt_diameter)
+
+
+def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
+    """One contiguous Gray-rank range of the weighted census.
+
+    Owns a private mutable graph and weighted engine pool; every swap
+    verdict routes through the cache, so consecutive profiles cost one
+    single-arc delta repair per touched engine instead of a fresh
+    all-pairs BFS per player.
+    """
+    # Imported lazily: analysis.weighted consumes core modules, so a
+    # top-level import here would cycle through the package __init__s.
+    from ..analysis.weighted import WeightedRealization, is_weighted_weak_equilibrium
+    from .distance_cache import WeightedDistanceCache
+
+    budgets, weights, lo, hi, collect, max_profiles = payload
+    game = BoundedBudgetGame(list(budgets))
+    w = np.asarray(weights, dtype=np.int64)
+    count = 0
+    eq_count = 0
+    opt_d: "int | None" = None
+    opt_c: "int | None" = None
+    best_d = worst_d = best_c = worst_c = None
+    eq_profiles: "list[tuple[tuple[int, ...], ...]]" = []
+    cache: "WeightedDistanceCache | None" = None
+    wr = None
+    active = None
+    for rank, graph, swap in gray_profile_walk(
+        game, start=lo, stop=hi, max_profiles=max_profiles
+    ):
+        if cache is None:
+            cache = WeightedDistanceCache(graph)
+            wr = WeightedRealization(graph=graph, weights=w)
+            active = wr.active
+        count += 1
+        D = cache.base().matrix
+        d = int(D.max())
+        cost = int((D.astype(np.int64) @ w)[active].sum())
+        if opt_d is None or d < opt_d:
+            opt_d = d
+        if opt_c is None or cost < opt_c:
+            opt_c = cost
+        if is_weighted_weak_equilibrium(wr, cache=cache):
+            eq_count += 1
+            if best_d is None or d < best_d:
+                best_d = d
+            if worst_d is None or d > worst_d:
+                worst_d = d
+            if best_c is None or cost < best_c:
+                best_c = cost
+            if worst_c is None or cost > worst_c:
+                worst_c = cost
+            if collect:
+                eq_profiles.append(graph.profile_key())
+    return {
+        "count": count,
+        "eq_count": eq_count,
+        "opt_d": opt_d,
+        "opt_c": opt_c,
+        "best_d": best_d,
+        "worst_d": worst_d,
+        "best_c": best_c,
+        "worst_c": worst_c,
+        "eq_profiles": eq_profiles if collect else None,
+    }
+
+
+def weighted_census_scan(
+    game: BoundedBudgetGame,
+    weights: "Sequence[int] | np.ndarray",
+    *,
+    max_profiles: int = 500_000,
+    workers: int = 1,
+    incremental: bool = True,
+    collect_equilibria: bool = False,
+) -> "tuple[WeightedCensusReport, tuple | None]":
+    """Full weighted weak-equilibrium census via the Gray-order kernel.
+
+    One engine-repaired pass over the profile space counts the profiles
+    that are weighted weak equilibria for the given positive vertex
+    weights and tracks diameter / weighted-social-cost extrema;
+    ``workers > 1`` shards the rank space. ``incremental=False`` runs
+    the retained rebuild-per-profile reference path (fresh graph and
+    fresh BFS sweeps per profile) — reports and collected equilibrium
+    sets are bit-identical for every knob combination. Vertex weights
+    break player symmetry, so there is no orbit pruning here.
+
+    Returns ``(report, equilibria)`` where ``equilibria`` is a sorted
+    tuple of profile keys when ``collect_equilibria=True``, else
+    ``None``.
+
+    Weight-0 vertices follow the Section 6 *folded ghost* semantics of
+    :func:`~repro.analysis.weighted.is_weighted_weak_equilibrium`: they
+    are neither checked for deviations nor legal swap targets (though
+    the profile space may still wire arcs to them — give a vertex
+    weight 1 if it should remain a live member of the folded graph).
+    """
+    from ..analysis.weighted import WeightedRealization, is_weighted_weak_equilibrium
+
+    _check_cap(game, max_profiles)
+    w = np.asarray(weights, dtype=np.int64)
+    if w.shape != (game.n,):
+        raise GameError(
+            f"weights shape {w.shape} != (n,) = ({game.n},) for this game"
+        )
+    if (w < 0).any():
+        raise GameError("census weights must be nonnegative")
+    if workers < 1:
+        raise GameError(f"workers must be positive, got {workers}")
+    weights_t = tuple(int(x) for x in w)
+    if incremental:
+        from ..parallel.executor import contiguous_shards, parallel_map
+
+        total = profile_space_size(game)
+        budgets = tuple(int(b) for b in game.budgets)
+        payloads = [
+            (budgets, weights_t, lo, hi, collect_equilibria, max_profiles)
+            for lo, hi in contiguous_shards(total, workers)
+        ]
+        parts = parallel_map(_weighted_census_shard, payloads, processes=workers)
+        count = sum(p["count"] for p in parts)
+        assert count == total, f"census covered {count} of {total} profiles"
+        eq_count = sum(p["eq_count"] for p in parts)
+
+        def _merge(key, fn):
+            vals = [p[key] for p in parts if p[key] is not None]
+            return fn(vals) if vals else None
+
+        report = WeightedCensusReport(
+            weights=weights_t,
+            num_profiles=count,
+            num_weak_equilibria=eq_count,
+            opt_diameter=_merge("opt_d", min),
+            opt_social_cost=_merge("opt_c", min),
+            best_equilibrium_diameter=_merge("best_d", min),
+            worst_equilibrium_diameter=_merge("worst_d", max),
+            best_equilibrium_social_cost=_merge("best_c", min),
+            worst_equilibrium_social_cost=_merge("worst_c", max),
+        )
+        equilibria = None
+        if collect_equilibria:
+            merged: list = []
+            for p in parts:
+                merged.extend(p["eq_profiles"])
+            equilibria = tuple(sorted(merged))
+        return report, equilibria
+
+    if workers != 1:
+        raise GameError("workers require the incremental weighted census kernel")
+    from ..graphs.distances import distance_matrix
+
+    active = np.flatnonzero(w > 0).astype(np.int64)
+    count = 0
+    eq_count = 0
+    opt_d = opt_c = None
+    best_d = worst_d = best_c = worst_c = None
+    eq_profiles: list = []
+    for graph in enumerate_realizations(game, max_profiles=max_profiles):
+        count += 1
+        D = distance_matrix(graph)
+        d = int(D.max())
+        cost = int((D @ w)[active].sum())
+        if opt_d is None or d < opt_d:
+            opt_d = d
+        if opt_c is None or cost < opt_c:
+            opt_c = cost
+        wr = WeightedRealization(graph=graph, weights=w)
+        if is_weighted_weak_equilibrium(wr):
+            eq_count += 1
+            best_d = d if best_d is None else min(best_d, d)
+            worst_d = d if worst_d is None else max(worst_d, d)
+            best_c = cost if best_c is None else min(best_c, cost)
+            worst_c = cost if worst_c is None else max(worst_c, cost)
+            if collect_equilibria:
+                eq_profiles.append(graph.profile_key())
+    report = WeightedCensusReport(
+        weights=weights_t,
+        num_profiles=count,
+        num_weak_equilibria=eq_count,
+        opt_diameter=opt_d,
+        opt_social_cost=opt_c,
+        best_equilibrium_diameter=best_d,
+        worst_equilibrium_diameter=worst_d,
+        best_equilibrium_social_cost=best_c,
+        worst_equilibrium_social_cost=worst_c,
+    )
+    equilibria = tuple(sorted(eq_profiles)) if collect_equilibria else None
+    return report, equilibria
 
 
 def exact_prices(

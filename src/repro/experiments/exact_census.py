@@ -12,6 +12,12 @@ per (instance, version) computes the prices *and* collects the
 equilibria, with symmetry orbit pruning on by default and optional
 sharded workers — the numbers are bit-identical to the rebuild-per-
 profile brute force, just fast enough to put unit ``n = 6`` in reach.
+
+``weighted=True`` (CLI: ``--weighted``) additionally runs the Section 6
+battery: for each weighted instance the same Gray walk counts the
+profiles that are *weighted weak equilibria* (stable under weighted
+single-arc swaps) via :func:`repro.core.enumeration.weighted_census_scan`,
+with every distance query riding the weighted engine's delta repairs.
 """
 
 from __future__ import annotations
@@ -19,12 +25,17 @@ from __future__ import annotations
 from repro.analysis.structure import check_unit_structure
 
 from ..errors import ExperimentError
-from ..core.enumeration import census_scan, profile_space_size
+from ..core.enumeration import census_scan, profile_space_size, weighted_census_scan
 from ..core.game import BoundedBudgetGame
 from ..core.isomorphism import count_isomorphism_classes
 from .table1 import ExperimentReport
 
-__all__ = ["exact_census_experiment", "DEFAULT_INSTANCES", "EXTENDED_INSTANCES"]
+__all__ = [
+    "exact_census_experiment",
+    "DEFAULT_INSTANCES",
+    "EXTENDED_INSTANCES",
+    "WEIGHTED_INSTANCES",
+]
 
 #: Tiny instances spanning the paper's regimes: unit budgets, a tree
 #: game, a zero-budget mix, and a disconnected game.
@@ -46,6 +57,17 @@ EXTENDED_INSTANCES: tuple[tuple[str, tuple[int, ...]], ...] = DEFAULT_INSTANCES 
     ("mixed n=5", (2, 2, 1, 1, 0)),
 )
 
+#: Section 6 battery: ``(label, budgets, vertex weights)`` triples for
+#: the weighted weak-equilibrium census. Spans a heavy hub, a weighted
+#: mixed-budget game, a weight-0 ghost, and a full unit-budget space
+#: with pairwise-distinct weights (no two profiles symmetric).
+WEIGHTED_INSTANCES: tuple[tuple[str, tuple[int, ...], tuple[int, ...]], ...] = (
+    ("w-unit n=4 hub", (1, 1, 1, 1), (5, 1, 1, 1)),
+    ("w-mixed n=4", (2, 1, 1, 0), (3, 1, 1, 1)),
+    ("w-ghost n=4", (1, 1, 1, 0), (2, 1, 1, 0)),
+    ("w-unit n=5 ramp", (1, 1, 1, 1, 1), (1, 2, 3, 4, 5)),
+)
+
 
 def exact_census_experiment(
     instances: "tuple[tuple[str, tuple[int, ...]], ...]" = DEFAULT_INSTANCES,
@@ -54,6 +76,7 @@ def exact_census_experiment(
     workers: int = 1,
     symmetry: bool = True,
     extended: bool = False,
+    weighted: bool = False,
 ) -> ExperimentReport:
     """Exhaustive equilibrium census over a battery of tiny games.
 
@@ -65,6 +88,8 @@ def exact_census_experiment(
     ``extended=True`` (CLI: ``--extended``) swaps in
     :data:`EXTENDED_INSTANCES`, the battery the incremental kernel
     unlocks (~2 s in total, vs ~a minute on the brute path).
+    ``weighted=True`` (CLI: ``--weighted``) appends the Section 6
+    weighted weak-equilibrium census over :data:`WEIGHTED_INSTANCES`.
     """
     if extended:
         if tuple(instances) != DEFAULT_INSTANCES:
@@ -116,4 +141,27 @@ def exact_census_experiment(
             )
             if census.num_equilibria == 0:
                 report.notes.append(f"{label}/{version}: NO equilibrium — violates Thm 2.3!")
+    if weighted:
+        for label, budgets, w in WEIGHTED_INSTANCES:
+            game = BoundedBudgetGame(list(budgets))
+            wc, _ = weighted_census_scan(
+                game, w, max_profiles=max_profiles, workers=workers
+            )
+            report.rows.append(
+                {
+                    "instance": f"{label} w={list(w)}",
+                    "version": "sum/weak",
+                    "profiles": wc.num_profiles,
+                    "equilibria": wc.num_weak_equilibria,
+                    "eq_classes": "-",
+                    "opt_diam": wc.opt_diameter,
+                    "PoA": str(wc.poa),
+                    "PoS": str(wc.pos),
+                    "structure_thms": "-",
+                }
+            )
+            if wc.num_weak_equilibria == 0:
+                report.notes.append(
+                    f"{label}: no weighted weak equilibrium in the profile space"
+                )
     return report

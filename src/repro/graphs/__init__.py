@@ -29,6 +29,14 @@ from .connectivity import (
 from .csr import CSRAdjacency, build_csr, csr_without_vertex
 from .digraph import OwnedDigraph
 from .engine import DistanceEngine
+from .weighted_engine import (
+    EdgeWeightMap,
+    WeightedCSR,
+    WeightedDistanceEngine,
+    build_weighted_csr,
+    weighted_csr_from_csr,
+    weighted_csr_without_vertex,
+)
 from .distances import (
     cinf,
     diameter,
@@ -69,7 +77,13 @@ __all__ = [
     "UNREACHABLE",
     "CSRAdjacency",
     "DistanceEngine",
+    "EdgeWeightMap",
     "OwnedDigraph",
+    "WeightedCSR",
+    "WeightedDistanceEngine",
+    "build_weighted_csr",
+    "weighted_csr_from_csr",
+    "weighted_csr_without_vertex",
     "adjacency_table",
     "all_pairs_distances",
     "articulation_points",

@@ -149,6 +149,19 @@ class OwnedDigraph:
         owners = [w for w in range(self._n) if u in self._out[w]]
         return np.asarray(owners, dtype=np.int64)
 
+    def in_neighbor_lists(self) -> "list[np.ndarray]":
+        """In-neighbour arrays for *all* vertices in one O(n + m) pass.
+
+        ``result[u]`` equals :meth:`in_neighbors(u) <in_neighbors>`;
+        sweep-style consumers (one environment per player per round)
+        use this to avoid the per-player O(n) owner scan.
+        """
+        owners: "list[list[int]]" = [[] for _ in range(self._n)]
+        for w in range(self._n):
+            for v in self._out[w]:
+                owners[v].append(w)
+        return [np.asarray(lst, dtype=np.int64) for lst in owners]
+
     def neighbors(self, u: int) -> np.ndarray:
         """Sorted array of undirected neighbours of ``u`` in ``U(G)``."""
         self._check_vertex(u)

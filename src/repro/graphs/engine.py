@@ -122,6 +122,54 @@ def _csr_remove_edge(csr: CSRAdjacency, x: int, y: int) -> CSRAdjacency:
     return CSRAdjacency(n=csr.n, indptr=indptr, indices=csr.indices[keep])
 
 
+def _bfs_flat_frontier(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    inf: int,
+    flat: np.ndarray,
+    slots: np.ndarray,
+    verts: np.ndarray,
+) -> None:
+    """Level-synchronous flat-frontier BFS over ``(slot, vertex)`` labels.
+
+    Writes levels into ``flat`` (the flattened ``(k, n)`` output buffer,
+    pre-filled with ``inf``) starting from ``flat[slots * n + verts] =
+    0``. Shared by the unit engine's kernel and the weighted engine's
+    unit-weight fast path — one implementation, two callers. The
+    ``slots``/``verts`` arrays are never written to (the loop rebinds
+    fresh arrays), so callers may pass views.
+    """
+    flat[slots * n + verts] = 0
+    level = 0
+    while verts.size:
+        level += 1
+        starts = indptr[verts]
+        counts = indptr[verts + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        cum = np.cumsum(counts)
+        offsets = np.repeat(starts - (cum - counts), counts) + np.arange(
+            total, dtype=np.int64
+        )
+        nbrs = indices[offsets]
+        idx = np.repeat(slots, counts) * n + nbrs
+        idx = idx[flat[idx] == inf]
+        if idx.size == 0:
+            break
+        # Dedupe via sort + run mask (same result as np.unique, much
+        # cheaper than its hash path on these small int ranges).
+        idx.sort(kind="stable")
+        keep = np.empty(idx.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(idx[1:], idx[:-1], out=keep[1:])
+        idx = idx[keep]
+        flat[idx] = level
+        slots = idx // n
+        verts = idx - slots * n
+
+
 def _pivot_cover(edges: np.ndarray) -> np.ndarray:
     """Small vertex set covering every edge (greedy max-degree, deterministic).
 
@@ -365,36 +413,15 @@ class DistanceEngine:
         inf = self._inf
         out[out_rows] = inf
         flat = out.reshape(-1)
-        slots = out_rows.astype(np.int64, copy=True)
-        verts = sources.astype(np.int64, copy=True)
-        flat[slots * n + verts] = 0
-        level = 0
-        while verts.size:
-            level += 1
-            starts = csr.indptr[verts]
-            counts = csr.indptr[verts + 1] - starts
-            total = int(counts.sum())
-            if total == 0:
-                break
-            cum = np.cumsum(counts)
-            offsets = np.repeat(starts - (cum - counts), counts) + np.arange(
-                total, dtype=np.int64
-            )
-            nbrs = csr.indices[offsets]
-            idx = np.repeat(slots, counts) * n + nbrs
-            idx = idx[flat[idx] == inf]
-            if idx.size == 0:
-                break
-            # Dedupe via sort + run mask (same result as np.unique, much
-            # cheaper than its hash path on these small int ranges).
-            idx.sort(kind="stable")
-            keep = np.empty(idx.size, dtype=bool)
-            keep[0] = True
-            np.not_equal(idx[1:], idx[:-1], out=keep[1:])
-            idx = idx[keep]
-            flat[idx] = level
-            slots = idx // n
-            verts = idx - slots * n
+        _bfs_flat_frontier(
+            csr.indptr,
+            csr.indices,
+            n,
+            inf,
+            flat,
+            np.asarray(out_rows, dtype=np.int64),
+            np.asarray(sources, dtype=np.int64),
+        )
         self.stats["rows_recomputed"] += k
 
     def distances_from(
