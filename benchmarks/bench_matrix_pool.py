@@ -1,0 +1,231 @@
+"""Shared-memory matrix pool: attach-vs-rebuild and warm-vs-cold shards.
+
+Three claims, each asserted (not just timed):
+
+* **Attach beats rebuild.** Adopting a published ``U(G)`` matrix
+  (shared-memory attach + copy-on-write snapshot engine) replaces the
+  initial all-pairs BFS. Even at the census scale (n = 6) the attach
+  path wins the shard-startup race; at sweep scale (n = 300) it is
+  orders of magnitude faster. Matrices are bit-identical either way.
+* **Warm-started census shards are bit-identical to cold shards** on
+  the unit n = 6 battery for every worker count, with every shard
+  actually attaching its parent-published snapshot.
+* **Pooled sweeps attach.** A sweep whose prototype graphs were
+  published by the parent spends zero initial rebuilds in its workers,
+  returning the same records as the unpooled run.
+
+Timings land in ``BENCH_pool.json`` at the repo root so the perf
+trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import BoundedBudgetGame, MatrixPool, census_scan
+from repro.core.enumeration import LAST_CENSUS_POOL_STATS
+from repro.graphs import DistanceEngine, OwnedDigraph
+from repro.parallel import (
+    SweepSpec,
+    clear_distance_caches,
+    install_pool_handles,
+    run_sweep,
+    shared_distance_cache,
+)
+
+#: Wall-clock comparisons are meaningful on a quiet machine; on shared
+#: CI runners a noisy neighbour can invert margins with no code defect,
+#: so the timing asserts are advisory there (correctness always runs).
+_STRICT_TIMING = not os.environ.get("CI")
+
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_pool.json"
+
+
+def _record(key: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into BENCH_pool.json."""
+    data = {}
+    if _BENCH_JSON.exists():
+        try:
+            data = json.loads(_BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[key] = payload
+    _BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _random_graph(n: int, p: float, seed: int = 2) -> OwnedDigraph:
+    rng = np.random.default_rng(seed)
+    g = OwnedDigraph(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_arc(u, v)
+    return g
+
+
+def _time_attach_vs_rebuild(n: int, p: float, reps: int) -> dict:
+    """Per-call cost of a cold engine build vs a pooled attach."""
+    g = _random_graph(n, p)
+    csr = g.undirected_csr()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        engine = DistanceEngine(csr)
+    rebuild_s = (time.perf_counter() - t0) / reps
+    with MatrixPool() as pool:
+        handle = pool.publish(
+            ("bench", n),
+            {"D": engine.matrix, "inf": np.asarray([engine.inf], dtype=np.int64)},
+        )
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            views = handle.attach()
+            adopted = DistanceEngine.from_snapshot(
+                csr, views["D"], inf=int(views["inf"][0])
+            )
+        attach_s = (time.perf_counter() - t0) / reps
+        assert np.array_equal(adopted.distances(), engine.distances())
+        assert adopted.stats["rebuilds"] == 0
+    return {
+        "n": n,
+        "rebuild_ms": round(rebuild_s * 1e3, 4),
+        "attach_ms": round(attach_s * 1e3, 4),
+        "speedup": round(rebuild_s / attach_s, 1),
+    }
+
+
+@pytest.mark.paper_artifact("matrix pool / attach vs rebuild")
+def test_attach_beats_rebuild(benchmark):
+    """Zero-copy attach must beat the from-scratch all-pairs BFS at the
+    census shard scale (n=6) and crush it at sweep scale (n=300)."""
+    shard_scale = _time_attach_vs_rebuild(6, 0.4, reps=300)
+    sweep_scale = _time_attach_vs_rebuild(300, 0.05, reps=5)
+
+    g = _random_graph(120, 0.08)
+    engine = DistanceEngine(g.undirected_csr())
+    with MatrixPool() as pool:
+        handle = pool.publish(
+            ("bench-fixture",),
+            {"D": engine.matrix, "inf": np.asarray([engine.inf], dtype=np.int64)},
+        )
+
+        def attach_once():
+            views = handle.attach()
+            return DistanceEngine.from_snapshot(
+                g.undirected_csr(), views["D"], inf=int(views["inf"][0])
+            )
+
+        benchmark.pedantic(attach_once, rounds=3, iterations=10, warmup_rounds=1)
+
+    _record("attach_vs_rebuild_n6", shard_scale)
+    _record("attach_vs_rebuild_n300", sweep_scale)
+    assert not _STRICT_TIMING or shard_scale["speedup"] >= 2.0, shard_scale
+    assert not _STRICT_TIMING or sweep_scale["speedup"] >= 50.0, sweep_scale
+
+
+@pytest.mark.paper_artifact("matrix pool / warm-started census shards")
+def test_warm_vs_cold_unit_n6_census(benchmark):
+    """Unit n=6 census, 4 shards: warm-started shards attach their
+    parent-published start-rank snapshots and report bit-identically to
+    the cold path; both wall-clocks are recorded."""
+    game = BoundedBudgetGame([1] * 6)
+
+    def run(pool):
+        return {
+            v: census_scan(
+                game, v, symmetry=True, workers=4, pool=pool, max_profiles=20_000
+            )
+            for v in ("sum", "max")
+        }
+
+    t0 = time.perf_counter()
+    warm = run(True)
+    warm_s = time.perf_counter() - t0
+    warm_attached = LAST_CENSUS_POOL_STATS["warm_attached"]
+    shards = LAST_CENSUS_POOL_STATS["shards"]
+    t0 = time.perf_counter()
+    cold = run(False)
+    cold_s = time.perf_counter() - t0
+    benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+
+    for v in ("sum", "max"):
+        assert warm[v].report == cold[v].report
+    assert shards == 4
+    assert warm_attached == 4  # every shard attached instead of rebuilding
+    # The per-shard startup this replaces, measured head to head.
+    startup = _time_attach_vs_rebuild(6, 0.4, reps=300)
+    _record(
+        "unit_n6_census_workers4",
+        {
+            "profiles": 5**6,
+            "shards": shards,
+            "warm_attached": warm_attached,
+            "warm_s": round(warm_s, 4),
+            "cold_s": round(cold_s, 4),
+            "shard_startup_rebuild_ms": startup["rebuild_ms"],
+            "shard_startup_attach_ms": startup["attach_ms"],
+            "shard_startup_speedup": startup["speedup"],
+        },
+    )
+    assert not _STRICT_TIMING or startup["speedup"] >= 2.0, startup
+
+
+def _pool_sweep_worker(task):
+    """Read a prototype graph's distances through the shared cache."""
+    game = BoundedBudgetGame([2] * task.params["n"])
+    graph = game.random_realization(seed=task.params["proto"])
+    cache = shared_distance_cache(graph)
+    engine = cache.base()
+    return {
+        "checksum": int(np.asarray(engine.matrix, dtype=np.int64).sum()),
+        "initial_rebuilds": int(engine.stats["rebuilds"]),
+    }
+
+
+@pytest.mark.paper_artifact("matrix pool / pooled sweep warm start")
+def test_pooled_sweep_attaches_and_matches(benchmark):
+    """An n=200 sweep whose prototypes were published by the parent
+    attaches in every worker (zero initial rebuilds) and returns records
+    bit-identical to the unpooled run."""
+    n = 200
+    protos = [0, 1]
+    spec = SweepSpec(axes={"n": [n], "proto": protos}, replications=1, base_seed=5)
+    game = BoundedBudgetGame([2] * n)
+    prototypes = [game.random_realization(seed=p) for p in protos]
+
+    def pooled():
+        clear_distance_caches()
+        return run_sweep(_pool_sweep_worker, spec, warm_graphs=prototypes)
+
+    def unpooled():
+        clear_distance_caches()
+        return run_sweep(_pool_sweep_worker, spec)
+
+    try:
+        t0 = time.perf_counter()
+        warm = pooled()
+        warm_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        cold = unpooled()
+        cold_s = time.perf_counter() - t0
+        benchmark.pedantic(pooled, rounds=1, iterations=1)
+    finally:
+        clear_distance_caches()
+        install_pool_handles({})
+
+    assert [r["checksum"] for r in warm] == [r["checksum"] for r in cold]
+    assert all(r["initial_rebuilds"] == 0 for r in warm)
+    assert all(r["initial_rebuilds"] == 1 for r in cold)
+    _record(
+        "pooled_sweep_n200",
+        {
+            "tasks": len(spec.tasks()),
+            "pooled_s": round(warm_s, 4),
+            "unpooled_s": round(cold_s, 4),
+        },
+    )

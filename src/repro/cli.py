@@ -4,13 +4,15 @@ Subcommands
 -----------
 ``list``
     Show every registered experiment id with its description.
-``run <id> [<id> ...] [--workers N] [--symmetry/--no-symmetry] [--extended] [--weighted]``
+``run <id> [<id> ...] [--workers N] [--symmetry/--no-symmetry] [--extended] [--weighted] [--pool/--no-pool]``
     Regenerate specific Table 1 cells / figures and print the reports.
     ``--workers`` shards supporting experiments (e.g. the exact census)
     across processes; ``--symmetry`` toggles census orbit pruning;
     ``--extended`` adds the census instances the incremental kernel
     unlocks (unit n=6, mixed n=5); ``--weighted`` appends the Section 6
-    weighted weak-equilibrium census battery.
+    weighted weak-equilibrium census battery; ``--pool/--no-pool``
+    forces shared-memory shard warm starts on or off (default: pooled
+    exactly when sharded; bit-identical either way).
     Flags are forwarded only to experiments whose signature takes them.
 ``all``
     Regenerate everything (the full paper reproduction).
@@ -99,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="census: append the Section 6 weighted weak-equilibrium battery",
     )
+    run_p.add_argument(
+        "--pool",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="shared-memory warm starts for census shards (default: on "
+        "exactly when sharded; bit-identical results either way)",
+    )
     sub.add_parser("all", help="run every experiment")
     exp_p = sub.add_parser("export", help="build a construction and save it")
     exp_p.add_argument("spec", help="fig1 | spider:<k> | binary-tree:<d> | overlap:<t>,<k> | thm2.3:<b,...>")
@@ -136,6 +145,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 symmetry=args.symmetry,
                 extended=args.extended,
                 weighted=args.weighted,
+                pool=args.pool,
             )
             for i in args.ids
         )

@@ -42,6 +42,7 @@ from .isomorphism import (
     isomorphism_invariant,
     refined_vertex_colors,
 )
+from .matrix_pool import MatrixPool, SegmentHandle, pool_key
 from .potential import (
     FIPReport,
     ImprovementGraph,
@@ -61,8 +62,11 @@ __all__ = [
     "DynamicsResult",
     "EquilibriumCertificate",
     "ExactPriceReport",
+    "MatrixPool",
+    "SegmentHandle",
     "WeightedCensusReport",
     "WeightedDistanceCache",
+    "pool_key",
     "weighted_census_scan",
     "FIPReport",
     "ImprovementGraph",

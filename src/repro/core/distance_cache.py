@@ -35,7 +35,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-from ..errors import VertexError
+from ..errors import GraphError, VertexError
 from ..graphs.digraph import OwnedDigraph
 from ..graphs.distances import cinf
 from ..graphs.engine import DistanceEngine
@@ -69,6 +69,12 @@ class DistanceCache:
         Forwarded to every engine; a float fixes the delta-vs-rebuild
         cutoff, ``"adaptive"`` lets each engine tune it from its own
         cost EMAs — see :mod:`repro.graphs.engine` for the policy.
+    base_engine:
+        Optional pre-warmed ``U(G)`` engine adopted instead of building
+        one on first access — e.g. a copy-on-write engine attached from
+        a :class:`~repro.core.matrix_pool.MatrixPool` segment. The
+        caller asserts it describes ``graph``'s *current* CSR; the
+        golden suites pin that contract.
     """
 
     def __init__(
@@ -77,6 +83,7 @@ class DistanceCache:
         *,
         max_player_engines: int | None = None,
         dirty_fraction: "float | str | None" = None,
+        base_engine: "DistanceEngine | None" = None,
     ) -> None:
         self._graph = graph
         self._max_players_requested = max_player_engines
@@ -86,6 +93,14 @@ class DistanceCache:
         )
         self._base: DistanceEngine | None = None
         self._base_revision = -1
+        if base_engine is not None:
+            if base_engine.n != graph.n:
+                raise GraphError(
+                    f"base engine is over {base_engine.n} vertices, "
+                    f"graph has {graph.n}"
+                )
+            self._base = base_engine
+            self._base_revision = graph.revision
         self._players: "OrderedDict[int, DistanceEngine]" = OrderedDict()
         self._player_revisions: dict[int, int] = {}
         self._envs: dict[tuple[int, Version], tuple[BestResponseEnvironment, int]] = {}
@@ -126,6 +141,18 @@ class DistanceCache:
         self._graph = graph
         self._base_revision = -1
         self._player_revisions = {u: -1 for u in self._players}
+        self._envs.clear()
+
+    def trim(self) -> None:
+        """Drop the per-player engines (and environments), keep the base.
+
+        The per-player family dominates a cache's footprint (up to
+        ``max_player_engines`` full matrices); a cache parked for later
+        recycling — e.g. retired from the sweep pool — only needs its
+        base buffer to stay cheap to revive.
+        """
+        self._players.clear()
+        self._player_revisions.clear()
         self._envs.clear()
 
     # ------------------------------------------------------------------
@@ -269,6 +296,11 @@ class WeightedDistanceCache:
         never overflow the ``inf`` sentinel.
     dirty_fraction:
         Delta-vs-rebuild cutoff forwarded to every engine.
+    base_engine:
+        Optional pre-warmed weighted ``U(G)`` engine adopted instead of
+        building one on first access (a pool-attached copy-on-write
+        engine). Must describe ``graph``'s current substrate under the
+        current weights.
     """
 
     def __init__(
@@ -279,6 +311,7 @@ class WeightedDistanceCache:
         max_player_engines: "int | None" = None,
         max_weight: "int | None" = None,
         dirty_fraction: "float | None" = None,
+        base_engine: "WeightedDistanceEngine | None" = None,
     ) -> None:
         self._graph = graph
         self._edge_weights = edge_weights
@@ -301,11 +334,29 @@ class WeightedDistanceCache:
         self._wcsr: "WeightedCSR | None" = None
         self._seen_key: "tuple[int, int] | None" = None
         self._token = 0
-        # When one sync step removed exactly one edge (a fold, a census
-        # Gray half-step), engines lagging exactly that step skip the
-        # substrate rebuild + diff: (prev_token, x, y).
-        self._step: "tuple[int, int, int] | None" = None
+        # The _step forwarder: when one sync step changed at most two
+        # edges (a fold's single removal; a census Gray step's
+        # remove-one-add-one arc swap) with weights untouched, the ops
+        # are recorded as ``from_token -> (to_token, ops)`` and replayed
+        # into lagging player engines via the diff-free
+        # ``remove_edge``/``add_edge`` entry points, skipping the
+        # per-player substrate rebuild + edge-set diff entirely. The
+        # history keeps the last few steps so engines that skipped a
+        # profile (screened players) still catch up by replay.
+        self._step_history: "OrderedDict[int, tuple[int, tuple]]" = OrderedDict()
         self.evictions = 0
+        self.step_forwards = 0
+        if base_engine is not None:
+            if base_engine.n != graph.n:
+                raise GraphError(
+                    f"base engine is over {base_engine.n} vertices, "
+                    f"graph has {graph.n}"
+                )
+            self._base = base_engine
+            self._wcsr = base_engine.wcsr
+            self._seen_key = self._key()
+            self._token = 1
+            self._base_token = 1
 
     def _resolve_max_players(self, n: int) -> int:
         if self._max_players_requested is not None:
@@ -344,28 +395,46 @@ class WeightedDistanceCache:
         wrev = 0 if self._edge_weights is None else self._edge_weights.revision
         return (rev, wrev)
 
-    def _single_removal_step(
+    #: Steps kept replayable; engines lagging further fall back to the
+    #: full substrate rebuild + diff of :meth:`player`.
+    _MAX_STEP_HISTORY: int = 8
+
+    #: The op detector is for the tiny-substrate census/fold regime;
+    #: above this many edge ids the per-sync dict diff is not worth it.
+    _MAX_STEP_EDGES: int = 512
+
+    def _detect_step_ops(
         self, old: "WeightedCSR | None", new: WeightedCSR
-    ) -> "tuple[int, int, int] | None":
-        """``(prev_token, x, y)`` when the sync step removed exactly the
-        edge ``{x, y}`` (weights untouched), else ``None``."""
+    ) -> "tuple[tuple[str, int, int, int], ...] | None":
+        """Ops of one sync step when it is small enough to forward.
+
+        Returns ``(("rm"|"add", x, y, w), ...)`` (removals first) when
+        the step changed at most two edges and touched no surviving
+        edge's weight — exactly a fold's single removal or a Gray
+        step's arc swap — else ``None``. Forwardable ops are what the
+        ``_step`` forwarder replays into lagging player engines.
+        """
         from ..graphs.weighted_engine import _edge_ids_weights
 
-        if old is None or old.indices.size != new.indices.size + 2:
+        if old is None or old.indices.size + new.indices.size > 2 * self._MAX_STEP_EDGES:
             return None
+        if abs(old.indices.size - new.indices.size) > 4:
+            return None  # more than two edges apart: never forwardable
         old_ids, old_w = _edge_ids_weights(old)
         new_ids, new_w = _edge_ids_weights(new)
-        removed = set(old_ids.tolist()) - set(new_ids.tolist())
-        if len(removed) != 1:
-            return None  # sizes imply at least one addition rode along
-        if (
-            old.max_weight() > 1 or new.max_weight() > 1
-        ) and not np.array_equal(
-            old_w[np.isin(old_ids, new_ids, assume_unique=True)], new_w
-        ):
+        old_map = dict(zip(old_ids.tolist(), old_w.tolist()))
+        new_map = dict(zip(new_ids.tolist(), new_w.tolist()))
+        removed = sorted(old_map.keys() - new_map.keys())
+        added = sorted(new_map.keys() - old_map.keys())
+        if not 1 <= len(removed) + len(added) <= 2:
             return None
-        eid = removed.pop()
-        return (self._token, eid // old.n, eid % old.n)
+        if any(old_map[k] != new_map[k] for k in old_map.keys() & new_map.keys()):
+            return None  # a surviving edge changed weight: not a pure swap
+        n = old.n
+        ops = tuple(
+            ("rm", eid // n, eid % n, old_map[eid]) for eid in removed
+        ) + tuple(("add", eid // n, eid % n, new_map[eid]) for eid in added)
+        return ops
 
     def _sync(self) -> WeightedCSR:
         """Refresh the ``U(G)`` substrate and the coherence token."""
@@ -386,11 +455,39 @@ class WeightedDistanceCache:
                 self._base_token = -1
                 self._players.clear()
                 self._player_tokens.clear()
-            self._step = self._single_removal_step(self._wcsr, new_wcsr)
+                self._step_history.clear()
+            ops = self._detect_step_ops(self._wcsr, new_wcsr)
+            if ops is None:
+                # An unforwardable step breaks every replay chain that
+                # would have to cross it.
+                self._step_history.clear()
+            else:
+                self._step_history[self._token] = (self._token + 1, ops)
+                while len(self._step_history) > self._MAX_STEP_HISTORY:
+                    self._step_history.popitem(last=False)
             self._token += 1
             self._wcsr = new_wcsr
             self._seen_key = key
         return self._wcsr
+
+    def _step_chain(self, from_token: "int | None") -> "list[tuple] | None":
+        """Replayable op lists covering ``from_token -> current token``.
+
+        ``None`` when any intermediate step is unknown (history evicted,
+        or a step too large to forward) — the caller then falls back to
+        the full substrate rebuild + diff.
+        """
+        if from_token is None:
+            return None
+        chain: "list[tuple]" = []
+        t = from_token
+        while t != self._token:
+            nxt = self._step_history.get(t)
+            if nxt is None:
+                return None
+            chain.append(nxt[1])
+            t = nxt[0]
+        return chain
 
     def rebind(self, graph: OwnedDigraph) -> None:
         """Point the cache at another graph of the same size.
@@ -405,6 +502,7 @@ class WeightedDistanceCache:
             self._base = None
             self._players.clear()
             self._player_tokens.clear()
+            self._step_history.clear()
             self._wcsr = None
             self._max_players = self._resolve_max_players(graph.n)
         self._graph = graph
@@ -437,17 +535,22 @@ class WeightedDistanceCache:
                 self._player_tokens.pop(evicted, None)
                 self.evictions += 1
         elif self._player_tokens.get(u) != self._token:
-            step = self._step
-            if (
-                step is not None
-                and self._player_tokens.get(u) == step[0]
-                and u != step[1]
-                and u != step[2]
-            ):
-                # The pool lags exactly one single-removal step and the
-                # edge survives the puncture: forward the known delta
-                # instead of rebuilding + diffing the substrate.
-                engine.remove_edge(step[1], step[2])
+            chain = self._step_chain(self._player_tokens.get(u))
+            if chain is not None:
+                # Every step between the engine's token and now is a
+                # known small delta: replay them through the diff-free
+                # entry points. Ops incident to ``u`` are skipped — the
+                # puncture removes those edges from ``U(G - u)`` on both
+                # sides of the step, so they change nothing.
+                for ops in chain:
+                    for kind, x, y, w in ops:
+                        if x == u or y == u:
+                            continue
+                        if kind == "rm":
+                            engine.remove_edge(x, y)
+                        else:
+                            engine.add_edge(x, y, w)
+                self.step_forwards += 1
             else:
                 engine.update(weighted_csr_without_vertex(wcsr, u))
         self._players.move_to_end(u)
@@ -464,6 +567,7 @@ class WeightedDistanceCache:
             for key in self._base.stats:
                 self._base.stats[key] = 0
         self.evictions = 0
+        self.step_forwards = 0
 
     def stats(self) -> dict[str, int]:
         """Aggregated engine counters, cumulative since construction."""
@@ -482,4 +586,5 @@ class WeightedDistanceCache:
                 total[key] += engine.stats[key]
         total["player_engines"] = len(self._players)
         total["evictions"] = self.evictions
+        total["step_forwards"] = self.step_forwards
         return total

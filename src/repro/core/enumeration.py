@@ -318,13 +318,41 @@ def _expand_orbit(
 # ----------------------------------------------------------------------
 # Incremental census kernel
 # ----------------------------------------------------------------------
+def _attach_unit_snapshot(handle, graph: OwnedDigraph) -> "object | None":
+    """Pool-attached ``U(G)`` engine for a shard's start graph, or ``None``.
+
+    The parent published the all-pairs matrix of exactly this start
+    profile; attaching adopts it zero-copy (copy-on-write), replacing
+    the shard's initial all-pairs rebuild. Any failure — segment
+    evicted, owner gone — degrades silently to the cold path.
+    """
+    if handle is None:
+        return None
+    from ..errors import GraphError, PoolError
+    from ..graphs.engine import DistanceEngine as _Engine
+
+    try:
+        views = handle.attach()
+        return _Engine.from_snapshot(
+            graph.undirected_csr(),
+            views["D"],
+            inf=int(views["inf"][0]),
+            dirty_fraction="adaptive",
+        )
+    except (PoolError, KeyError, GraphError):
+        return None
+
+
 def _census_shard(payload: tuple) -> "dict[str, object]":
     """One contiguous Gray-rank range of the census (worker function).
 
     Owns a private mutable graph, engine pool and orbit keys; returns
-    order-independently mergeable partial aggregates.
+    order-independently mergeable partial aggregates. When the payload
+    carries a warm-start :class:`~repro.core.matrix_pool.SegmentHandle`,
+    the shard attaches the parent's snapshot of its start rank instead
+    of rebuilding the base matrix from scratch.
     """
-    budgets, version_value, lo, hi, symmetry, collect, max_profiles = payload
+    budgets, version_value, lo, hi, symmetry, collect, max_profiles, handle = payload
     game = BoundedBudgetGame(list(budgets))
     version = Version.coerce(version_value)
     n = game.n
@@ -332,6 +360,7 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
     orbit = _OrbitKeys(n, perms) if perms is not None else None
     count = 0
     eq_count = 0
+    warm = 0
     opt: "int | None" = None
     best_eq: "int | None" = None
     worst_eq: "int | None" = None
@@ -341,7 +370,11 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
         game, start=lo, stop=hi, max_profiles=max_profiles
     ):
         if cache is None:
-            cache = DistanceCache(graph, dirty_fraction="adaptive")
+            base_engine = _attach_unit_snapshot(handle, graph)
+            warm = int(base_engine is not None)
+            cache = DistanceCache(
+                graph, dirty_fraction="adaptive", base_engine=base_engine
+            )
             if orbit is not None:
                 for a, b in graph.arcs():
                     orbit.toggle(a, b, True)
@@ -378,6 +411,7 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
         "best_eq": best_eq,
         "worst_eq": worst_eq,
         "eq_profiles": eq_profiles if collect else None,
+        "warm": warm,
     }
 
 
@@ -404,6 +438,56 @@ class CensusResult:
         ]
 
 
+#: Observability side-channel of the last pooled census run:
+#: ``{"shards": int, "warm_attached": int}``. Kept out of the reports so
+#: pooled and unpooled results stay bit-identical.
+LAST_CENSUS_POOL_STATS: "dict[str, int]" = {"shards": 0, "warm_attached": 0}
+
+
+def _warm_start_shards(
+    game: BoundedBudgetGame, shards: "list[tuple[int, int]]", *, weighted: bool
+):
+    """Publish each shard's start-rank engine state into a fresh pool.
+
+    The parent walks the Gray code to every shard's start rank (one
+    O(n) unranking each), computes the all-pairs matrix of that start
+    profile once, and publishes it as a shared-memory segment; shards
+    attach zero-copy instead of rebuilding. Returns ``(pool, handles)``
+    — the caller owns the pool and must close it after the shards
+    finish (segments stay readable for attached workers even after the
+    unlink, per POSIX semantics).
+    """
+    from ..graphs.engine import DistanceEngine
+    from ..graphs.weighted_engine import WeightedDistanceEngine, weighted_csr_from_csr
+    from .matrix_pool import MatrixPool
+
+    n = game.n
+    combos, radices, rests = _profile_tables(game)
+    pool = MatrixPool(max_segments=max(1, len(shards)))
+    handles = []
+    for lo, hi in shards:
+        digits = _gray_digits(lo, radices, rests)
+        graph = OwnedDigraph.from_strategies(
+            [combos[u][digits[u]] for u in range(n)], n
+        )
+        if weighted:
+            engine = WeightedDistanceEngine(
+                weighted_csr_from_csr(graph.undirected_csr())
+            )
+        else:
+            engine = DistanceEngine(graph.undirected_csr())
+        handles.append(
+            pool.publish(
+                ("census-shard", lo, hi, weighted),
+                {
+                    "D": engine.matrix,
+                    "inf": np.asarray([engine.inf], dtype=np.int64),
+                },
+            )
+        )
+    return pool, handles
+
+
 def census_scan(
     game: BoundedBudgetGame,
     version: "Version | str",
@@ -412,6 +496,7 @@ def census_scan(
     symmetry: bool = False,
     workers: int = 1,
     collect_equilibria: bool = False,
+    pool: "bool | None" = None,
 ) -> CensusResult:
     """Full equilibrium census via the incremental Gray-order kernel.
 
@@ -420,6 +505,10 @@ def census_scan(
     diameter, the equilibrium count, and the best/worst equilibrium
     diameters; ``workers > 1`` splits the rank space into contiguous
     shards executed through :func:`repro.parallel.executor.parallel_map`.
+    ``pool`` controls shard **warm starts** through a shared-memory
+    :class:`~repro.core.matrix_pool.MatrixPool` (the parent snapshots
+    each shard's start-rank matrix once; shards attach instead of
+    rebuilding): ``None`` enables it exactly when the scan is sharded.
     The result is bit-identical for every combination of knobs.
     """
     from ..parallel.executor import contiguous_shards, parallel_map
@@ -435,11 +524,32 @@ def census_scan(
         )
     total = profile_space_size(game)
     budgets = tuple(int(b) for b in game.budgets)
-    payloads = [
-        (budgets, version.value, lo, hi, symmetry, collect_equilibria, max_profiles)
-        for lo, hi in contiguous_shards(total, workers)
-    ]
-    parts = parallel_map(_census_shard, payloads, processes=workers)
+    shards = contiguous_shards(total, workers)
+    use_pool = pool if pool is not None else len(shards) > 1
+    matrix_pool = None
+    handles: "list" = [None] * len(shards)
+    if use_pool and shards:
+        matrix_pool, handles = _warm_start_shards(game, shards, weighted=False)
+    try:
+        payloads = [
+            (
+                budgets,
+                version.value,
+                lo,
+                hi,
+                symmetry,
+                collect_equilibria,
+                max_profiles,
+                handle,
+            )
+            for (lo, hi), handle in zip(shards, handles)
+        ]
+        parts = parallel_map(_census_shard, payloads, processes=workers)
+    finally:
+        if matrix_pool is not None:
+            matrix_pool.close()
+    LAST_CENSUS_POOL_STATS["shards"] = len(shards)
+    LAST_CENSUS_POOL_STATS["warm_attached"] = sum(p.pop("warm", 0) for p in parts)
     count = sum(p["count"] for p in parts)
     assert count == total, f"census covered {count} of {total} profiles"
     eq_count = sum(p["eq_count"] for p in parts)
@@ -472,6 +582,7 @@ def enumerate_equilibria(
     incremental: bool = True,
     symmetry: bool = False,
     workers: int = 1,
+    pool: "bool | None" = None,
 ) -> list[OwnedDigraph]:
     """All pure Nash equilibria of a tiny game, by exhaustive check.
 
@@ -499,6 +610,7 @@ def enumerate_equilibria(
         symmetry=symmetry,
         workers=workers,
         collect_equilibria=True,
+        pool=pool,
     )
     return result.equilibrium_graphs()
 
@@ -574,6 +686,27 @@ class WeightedCensusReport:
         return Fraction(self.best_equilibrium_diameter, self.opt_diameter)
 
 
+def _attach_weighted_snapshot(handle, graph: OwnedDigraph) -> "object | None":
+    """Pool-attached weighted ``U(G)`` engine for a shard start, or ``None``."""
+    if handle is None:
+        return None
+    from ..errors import GraphError, PoolError
+    from ..graphs.weighted_engine import (
+        WeightedDistanceEngine,
+        weighted_csr_from_csr,
+    )
+
+    try:
+        views = handle.attach()
+        return WeightedDistanceEngine.from_snapshot(
+            weighted_csr_from_csr(graph.undirected_csr()),
+            views["D"],
+            inf=int(views["inf"][0]),
+        )
+    except (PoolError, KeyError, GraphError):
+        return None
+
+
 def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
     """One contiguous Gray-rank range of the weighted census.
 
@@ -587,11 +720,12 @@ def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
     from ..analysis.weighted import WeightedRealization, is_weighted_weak_equilibrium
     from .distance_cache import WeightedDistanceCache
 
-    budgets, weights, lo, hi, collect, max_profiles = payload
+    budgets, weights, lo, hi, collect, max_profiles, handle = payload
     game = BoundedBudgetGame(list(budgets))
     w = np.asarray(weights, dtype=np.int64)
     count = 0
     eq_count = 0
+    warm = 0
     opt_d: "int | None" = None
     opt_c: "int | None" = None
     best_d = worst_d = best_c = worst_c = None
@@ -603,7 +737,9 @@ def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
         game, start=lo, stop=hi, max_profiles=max_profiles
     ):
         if cache is None:
-            cache = WeightedDistanceCache(graph)
+            base_engine = _attach_weighted_snapshot(handle, graph)
+            warm = int(base_engine is not None)
+            cache = WeightedDistanceCache(graph, base_engine=base_engine)
             wr = WeightedRealization(graph=graph, weights=w)
             active = wr.active
         count += 1
@@ -636,6 +772,7 @@ def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
         "best_c": best_c,
         "worst_c": worst_c,
         "eq_profiles": eq_profiles if collect else None,
+        "warm": warm,
     }
 
 
@@ -647,6 +784,7 @@ def weighted_census_scan(
     workers: int = 1,
     incremental: bool = True,
     collect_equilibria: bool = False,
+    pool: "bool | None" = None,
 ) -> "tuple[WeightedCensusReport, tuple | None]":
     """Full weighted weak-equilibrium census via the Gray-order kernel.
 
@@ -687,11 +825,27 @@ def weighted_census_scan(
 
         total = profile_space_size(game)
         budgets = tuple(int(b) for b in game.budgets)
-        payloads = [
-            (budgets, weights_t, lo, hi, collect_equilibria, max_profiles)
-            for lo, hi in contiguous_shards(total, workers)
-        ]
-        parts = parallel_map(_weighted_census_shard, payloads, processes=workers)
+        shards = contiguous_shards(total, workers)
+        use_pool = pool if pool is not None else len(shards) > 1
+        matrix_pool = None
+        handles: "list" = [None] * len(shards)
+        if use_pool and shards:
+            matrix_pool, handles = _warm_start_shards(game, shards, weighted=True)
+        try:
+            payloads = [
+                (budgets, weights_t, lo, hi, collect_equilibria, max_profiles, handle)
+                for (lo, hi), handle in zip(shards, handles)
+            ]
+            parts = parallel_map(
+                _weighted_census_shard, payloads, processes=workers
+            )
+        finally:
+            if matrix_pool is not None:
+                matrix_pool.close()
+        LAST_CENSUS_POOL_STATS["shards"] = len(shards)
+        LAST_CENSUS_POOL_STATS["warm_attached"] = sum(
+            p.pop("warm", 0) for p in parts
+        )
         count = sum(p["count"] for p in parts)
         assert count == total, f"census covered {count} of {total} profiles"
         eq_count = sum(p["eq_count"] for p in parts)
@@ -770,15 +924,17 @@ def exact_prices(
     incremental: bool = True,
     symmetry: bool = False,
     workers: int = 1,
+    pool: "bool | None" = None,
 ) -> ExactPriceReport:
     """Exact PoA / PoS of a tiny game by full enumeration.
 
     One pass over the profile space computes the optimal diameter and
     the best/worst equilibrium diameters simultaneously. The default
     incremental path (Gray-order walk + engine delta repair, optionally
-    with ``symmetry`` orbit pruning and ``workers`` shards) returns a
-    report bit-identical to the ``incremental=False`` rebuild-per-
-    profile reference implementation.
+    with ``symmetry`` orbit pruning and ``workers`` shards, warm-started
+    from a shared-memory pool per ``pool``) returns a report
+    bit-identical to the ``incremental=False`` rebuild-per-profile
+    reference implementation.
     """
     version = Version.coerce(version)
     if incremental:
@@ -788,6 +944,7 @@ def exact_prices(
             max_profiles=max_profiles,
             symmetry=symmetry,
             workers=workers,
+            pool=pool,
         ).report
     if symmetry or workers != 1:
         raise GameError("symmetry/workers require the incremental census kernel")

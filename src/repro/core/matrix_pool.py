@@ -1,0 +1,342 @@
+"""Shared-memory pool of hot distance matrices.
+
+Sweep workers and census shards repeatedly need the same all-pairs
+substrates — ``U(G)`` of a task's start realization, the engine state at
+a shard's Gray-walk start rank — and, before this module, every process
+rebuilt them from scratch with a full batched BFS/SSSP.
+:class:`MatrixPool` removes that redundancy: the owner computes each
+matrix once, publishes it into a :mod:`multiprocessing.shared_memory`
+segment, and every worker *attaches* a zero-copy read-only
+``np.ndarray`` view instead of rebuilding. Engines adopt attached views
+through :meth:`DistanceEngine.from_snapshot
+<repro.graphs.engine.DistanceEngine.from_snapshot>` under a
+**copy-on-write epoch guard**: the adopted buffer is never written — the
+first delta repair copies into private memory — so a reader in one
+process can never observe another worker's mid-repair matrix.
+
+Segment lifecycle and ownership contract
+----------------------------------------
+* **Write-once.** A segment's content is immutable from the moment
+  :meth:`MatrixPool.publish` returns. Republishing an existing key is
+  idempotent (the existing handle comes back); a *changed* graph state
+  is a *different* key — keys embed ``(instance id, graph revision,
+  weights revision)`` via :func:`pool_key` — so stale content can never
+  be served for a mutated graph.
+* **One owner.** The process that created the pool owns every segment
+  and is the only one that ever unlinks. Workers (forked or spawned)
+  only attach and read; they never unlink, and they do not need to
+  close — their mappings die with the process.
+* **Bounded.** The registry is an LRU bounded by ``max_segments``.
+  Eviction unlinks the segment *name*; POSIX keeps the underlying
+  memory alive until the last attached mapping is closed, so workers
+  holding views of an evicted segment keep reading valid data — only
+  new attaches miss and fall back to a rebuild.
+* **Cleanup.** :meth:`MatrixPool.close` (also registered ``atexit``)
+  closes and unlinks every live segment. If local read-only views are
+  still alive, the ``close`` of the owner's mapping is skipped (numpy
+  holds the buffer) but the name is still unlinked, so nothing outlives
+  the process either way.
+* **Crash safety / ``resource_tracker``.** Segment *creation* registers
+  the name with the owning process's ``resource_tracker``; if the owner
+  dies without unlinking, the tracker unlinks leftover segments at
+  shutdown (with the standard "leaked shared_memory objects" warning —
+  the crash-cleanup backstop working as designed). Attaching in Python
+  < 3.13 *also* registers the name in the attaching process, which
+  would make a worker's tracker try to clean — and warn about —
+  segments it does not own; :meth:`SegmentHandle.attach` therefore
+  immediately unregisters non-owner attachments, restoring the
+  one-owner contract. A clean run produces no tracker warnings.
+
+Key discipline
+--------------
+Keys are opaque picklable tuples chosen by the caller. Two conventions
+are used in this repo:
+
+* :func:`pool_key` — ``(instance id, graph revision, weights
+  revision)`` for graph-state-addressed entries (the cross-sweep cache
+  fix: instance ids are process-unique and never reused, so two
+  same-size instances can never alias);
+* content keys — e.g. ``(n, profile_key)`` — when independently built
+  graphs in different processes must find the same entry (sweep
+  warm-start prototypes).
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import PoolError
+
+__all__ = [
+    "MatrixPool",
+    "SegmentHandle",
+    "pool_key",
+    "attach_views",
+    "detach_all",
+]
+
+#: Default cap on simultaneously live segments per pool.
+DEFAULT_MAX_SEGMENTS: int = 32
+
+#: Field offsets inside a segment are aligned to this many bytes.
+_ALIGN: int = 64
+
+#: Process-local cache of attached segments, ``name -> SharedMemory``.
+#: Forked workers inherit the owner's entries (and their mappings), so
+#: an attach in a fork costs zero syscalls; spawned workers populate it
+#: on first attach. Entries are kept alive for the process lifetime —
+#: views handed out alias these buffers.
+_ATTACHED: "dict[str, shared_memory.SharedMemory]" = {}
+
+
+def pool_key(graph, *, weights_revision: int = 0) -> tuple:
+    """Canonical pool key of one graph *state*.
+
+    ``(instance id, graph revision, weights revision)`` — the triple the
+    tentpole caches are keyed by. The instance id is process-unique and
+    never reused (see :attr:`OwnedDigraph.instance_id
+    <repro.graphs.digraph.OwnedDigraph.instance_id>`), so a key can
+    never alias another instance; the revisions pin the exact mutation
+    state the published matrices describe.
+    """
+    return ("graph", graph.instance_id, graph.revision, int(weights_revision))
+
+
+def _unregister_nonowner(shm: shared_memory.SharedMemory) -> None:
+    """Drop a non-owner attachment from this process's resource tracker.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the segment
+    with the attaching process's ``resource_tracker`` as if it were the
+    owner; left in place, a spawned worker's tracker would try to unlink
+    (and warn about) segments the parent still owns. Harmless if the
+    interpreter version no longer registers attachments.
+    """
+    try:  # pragma: no cover - depends on interpreter version
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def attach_views(
+    name: str, fields: "Iterable[tuple[str, str, tuple[int, ...], int]]"
+) -> "dict[str, np.ndarray]":
+    """Read-only views of every field of the named segment.
+
+    The segment object is cached process-locally so repeated attaches
+    are free and the buffer outlives the call. Raises
+    :class:`~repro.errors.PoolError` when the name no longer exists
+    (evicted or owner exited) — callers treat that as a miss.
+    """
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError as exc:
+            raise PoolError(f"shared segment {name!r} no longer exists") from exc
+        _unregister_nonowner(shm)
+        _ATTACHED[name] = shm
+    views: "dict[str, np.ndarray]" = {}
+    for fname, dtype, shape, offset in fields:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        views[fname] = view
+    return views
+
+
+def detach_all() -> None:
+    """Close every process-local attachment (test/shutdown helper).
+
+    Attachments whose views are still referenced cannot release their
+    buffer (numpy pins it); those are left mapped and simply dropped
+    from the cache.
+    """
+    for name in list(_ATTACHED):
+        shm = _ATTACHED.pop(name)
+        try:
+            shm.close()
+        except BufferError:  # a view still aliases the buffer
+            pass
+
+
+@dataclass(frozen=True)
+class SegmentHandle:
+    """Picklable description of one published segment.
+
+    Carries everything a worker needs to attach: the shared-memory
+    name, the field layout (name, dtype string, shape, byte offset),
+    and the pool epoch at publish time. Handles travel inside worker
+    payloads; the arrays themselves never do.
+    """
+
+    name: str
+    key: tuple
+    epoch: int
+    nbytes: int
+    fields: "tuple[tuple[str, str, tuple[int, ...], int], ...]" = field(default=())
+
+    def attach(self) -> "dict[str, np.ndarray]":
+        """Zero-copy read-only views of the segment's arrays."""
+        return attach_views(self.name, self.fields)
+
+
+class MatrixPool:
+    """LRU-bounded registry of write-once shared-memory array bundles.
+
+    Parameters
+    ----------
+    max_segments:
+        Live-segment cap; publishing beyond it unlinks the least
+        recently used segment (attached readers keep their mappings).
+
+    Notes
+    -----
+    The pool is an *owner-side* object: workers never hold a
+    ``MatrixPool``, only :class:`SegmentHandle`\\ s. See the module
+    docstring for the full lifecycle/ownership contract.
+    """
+
+    def __init__(self, *, max_segments: int = DEFAULT_MAX_SEGMENTS) -> None:
+        if max_segments < 1:
+            raise PoolError(f"max_segments must be positive, got {max_segments}")
+        self._max_segments = int(max_segments)
+        self._segments: "OrderedDict[tuple, tuple[SegmentHandle, shared_memory.SharedMemory]]" = (
+            OrderedDict()
+        )
+        self._epoch = 0
+        self._closed = False
+        self.stats = {"published": 0, "hits": 0, "misses": 0, "evictions": 0}
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Counter bumped on every publish (segment generation stamp)."""
+        return self._epoch
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._segments
+
+    def keys(self) -> "list[tuple]":
+        """Live keys, least recently used first."""
+        return list(self._segments)
+
+    # ------------------------------------------------------------------
+    def publish(
+        self, key: tuple, arrays: "Mapping[str, np.ndarray]"
+    ) -> SegmentHandle:
+        """Copy ``arrays`` into a fresh segment registered under ``key``.
+
+        Idempotent: an existing key returns its existing handle without
+        touching the segment (write-once — there is no way to mutate
+        published content through the pool). The copy is the only time
+        the data is ever written; every later consumer reads the same
+        physical pages.
+        """
+        if self._closed:
+            raise PoolError("pool is closed")
+        if not arrays:
+            raise PoolError("cannot publish an empty array bundle")
+        existing = self._segments.get(key)
+        if existing is not None:
+            self._segments.move_to_end(key)
+            return existing[0]
+        layout = []
+        offset = 0
+        prepared = []
+        for fname, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up
+            layout.append((str(fname), arr.dtype.str, tuple(arr.shape), offset))
+            prepared.append((arr, offset))
+            offset += arr.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        for arr, off in prepared:
+            dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+            dst[...] = arr
+            del dst  # drop the exported buffer so close() stays legal
+        self._epoch += 1
+        handle = SegmentHandle(
+            name=shm.name,
+            key=key,
+            epoch=self._epoch,
+            nbytes=offset,
+            fields=tuple(layout),
+        )
+        # Seed the attach cache with the owner's own mapping: parent-side
+        # attaches reuse it (no double-open, and the owner's tracker
+        # registration stays intact), and forked workers inherit it.
+        _ATTACHED[shm.name] = shm
+        self._segments[key] = (handle, shm)
+        self.stats["published"] += 1
+        while len(self._segments) > self._max_segments:
+            _, (old_handle, old_shm) = self._segments.popitem(last=False)
+            self._release(old_handle, old_shm)
+            self.stats["evictions"] += 1
+        return handle
+
+    def lookup(self, key: tuple) -> "SegmentHandle | None":
+        """Handle for ``key`` (refreshing its LRU slot), else ``None``."""
+        entry = self._segments.get(key)
+        if entry is None:
+            self.stats["misses"] += 1
+            return None
+        self._segments.move_to_end(key)
+        self.stats["hits"] += 1
+        return entry[0]
+
+    def attach(self, key: tuple) -> "dict[str, np.ndarray] | None":
+        """Owner-side convenience: :meth:`lookup` + attach in one call."""
+        handle = self.lookup(key)
+        return None if handle is None else handle.attach()
+
+    def evict(self, key: tuple) -> bool:
+        """Unlink one segment by key; ``True`` if it was live."""
+        entry = self._segments.pop(key, None)
+        if entry is None:
+            return False
+        self._release(*entry)
+        self.stats["evictions"] += 1
+        return True
+
+    def close(self) -> None:
+        """Unlink every live segment (idempotent; runs atexit too)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        while self._segments:
+            _, entry = self._segments.popitem(last=False)
+            self._release(*entry)
+
+    def __enter__(self) -> "MatrixPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _release(handle: SegmentHandle, shm: shared_memory.SharedMemory) -> None:
+        """Close + unlink one segment, tolerating live local views."""
+        _ATTACHED.pop(handle.name, None)
+        try:
+            shm.close()
+        except BufferError:
+            # A local read-only view still aliases the buffer; the
+            # mapping stays until the view dies, but the name must go.
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass

@@ -20,6 +20,7 @@ __all__ = [
     "DynamicsError",
     "OptimizationError",
     "ExperimentError",
+    "PoolError",
 ]
 
 
@@ -89,3 +90,7 @@ class OptimizationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment is misconfigured or its id is unknown."""
+
+
+class PoolError(ReproError):
+    """Raised for invalid shared-memory matrix-pool operations."""

@@ -69,9 +69,10 @@ def stabilize(
     equilibrium that greedy cannot refute).
     """
     version = Version.coerce(version)
-    # One distance cache per worker process (keyed by instance size):
+    # Process-local distance cache keyed by this graph's instance id:
     # engines and their matrices survive across the alternating passes
-    # below and across sweep tasks of the same n.
+    # below, and retired caches' buffers are recycled (or pool-published
+    # matrices attached) across sweep tasks of the same size.
     from ..parallel.sweep import shared_distance_cache
 
     cache = shared_distance_cache(graph)

@@ -77,6 +77,7 @@ def exact_census_experiment(
     symmetry: bool = True,
     extended: bool = False,
     weighted: bool = False,
+    pool: "bool | None" = None,
 ) -> ExperimentReport:
     """Exhaustive equilibrium census over a battery of tiny games.
 
@@ -90,6 +91,9 @@ def exact_census_experiment(
     unlocks (~2 s in total, vs ~a minute on the brute path).
     ``weighted=True`` (CLI: ``--weighted``) appends the Section 6
     weighted weak-equilibrium census over :data:`WEIGHTED_INSTANCES`.
+    ``pool`` (CLI: ``--pool/--no-pool``) forces shared-memory shard
+    warm starts on or off; the default (``None``) pools exactly when
+    the scan is sharded, and no setting changes a reported number.
     """
     if extended:
         if tuple(instances) != DEFAULT_INSTANCES:
@@ -115,6 +119,7 @@ def exact_census_experiment(
                 workers=workers,
                 symmetry=symmetry,
                 collect_equilibria=True,
+                pool=pool,
             )
             census = result.report
             eqs = result.equilibrium_graphs()
@@ -145,7 +150,7 @@ def exact_census_experiment(
         for label, budgets, w in WEIGHTED_INSTANCES:
             game = BoundedBudgetGame(list(budgets))
             wc, _ = weighted_census_scan(
-                game, w, max_profiles=max_profiles, workers=workers
+                game, w, max_profiles=max_profiles, workers=workers, pool=pool
             )
             report.rows.append(
                 {

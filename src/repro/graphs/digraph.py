@@ -15,6 +15,7 @@ kernels. Mutations invalidate the cache.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -40,7 +41,19 @@ class OwnedDigraph:
       reverse arc ``v -> u`` may coexist, forming a *brace*.
     """
 
-    __slots__ = ("_n", "_out", "_csr_cache", "_csr_without_cache", "_revision")
+    __slots__ = (
+        "_n",
+        "_out",
+        "_csr_cache",
+        "_csr_without_cache",
+        "_revision",
+        "_instance_id",
+    )
+
+    #: Process-wide monotonic source of :attr:`instance_id` values. Ids
+    #: are never reused (unlike ``id()``, which the allocator recycles),
+    #: so an id observed once always denotes the same graph object.
+    _INSTANCE_COUNTER = itertools.count()
 
     def __init__(self, n: int) -> None:
         if n <= 0:
@@ -50,6 +63,7 @@ class OwnedDigraph:
         self._csr_cache: CSRAdjacency | None = None
         self._csr_without_cache: dict[int, CSRAdjacency] = {}
         self._revision = 0
+        self._instance_id = next(OwnedDigraph._INSTANCE_COUNTER)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -100,6 +114,18 @@ class OwnedDigraph:
         synced, so the (cheap but not free) CSR diff can be skipped.
         """
         return self._revision
+
+    @property
+    def instance_id(self) -> int:
+        """Process-unique identity of this graph object, never reused.
+
+        ``(instance_id, revision)`` identifies one graph *state*:
+        distance pools and per-process caches key on it so two distinct
+        same-size instances can never alias each other's engines, while
+        a graph mutated and rolled back still reads as the same state.
+        A :meth:`copy` is a new instance and gets a fresh id.
+        """
+        return self._instance_id
 
     @property
     def num_arcs(self) -> int:

@@ -218,6 +218,7 @@ class DistanceEngine:
         "_inf",
         "_dtype",
         "_D",
+        "_cow",
         "_epoch",
         "_dirty_fraction",
         "_adaptive",
@@ -233,6 +234,23 @@ class DistanceEngine:
         inf: int | None = None,
         dirty_fraction: "float | str" = DEFAULT_DIRTY_FRACTION,
     ) -> None:
+        self._configure(csr, inf, dirty_fraction)
+        self._D = np.empty((self._n, self._n), dtype=self._dtype)
+        self._cow = False
+        self._epoch = 0
+        self.stats = {
+            "rebuilds": 0,
+            "deltas": 0,
+            "noops": 0,
+            "rows_recomputed": 0,
+            "cow_copies": 0,
+        }
+        self.rebuild()
+
+    def _configure(
+        self, csr: CSRAdjacency, inf: "int | None", dirty_fraction: "float | str"
+    ) -> None:
+        """Shared constructor core (substrate checks, sentinel, dtype)."""
         if not isinstance(csr, CSRAdjacency):
             raise GraphError("DistanceEngine needs a CSRAdjacency substrate")
         if isinstance(dirty_fraction, str):
@@ -263,10 +281,70 @@ class DistanceEngine:
         self._dtype = np.int32 if 2 * self._inf < 2**31 else np.int64
         self._dirty_fraction = float(dirty_fraction)
         self._csr = csr
-        self._D = np.empty((self._n, self._n), dtype=self._dtype)
-        self._epoch = 0
-        self.stats = {"rebuilds": 0, "deltas": 0, "noops": 0, "rows_recomputed": 0}
-        self.rebuild()
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        csr: CSRAdjacency,
+        matrix: np.ndarray,
+        *,
+        inf: int | None = None,
+        dirty_fraction: "float | str" = DEFAULT_DIRTY_FRACTION,
+        copy: bool = False,
+    ) -> "DistanceEngine":
+        """Engine adopting a precomputed distance matrix — no initial BFS.
+
+        ``matrix`` must be the exact all-pairs matrix of ``csr`` under
+        the engine's ``inf``/dtype conventions (e.g. a view attached
+        from a :class:`~repro.core.matrix_pool.MatrixPool` segment, or
+        another engine's matrix). With ``copy=False`` the engine aliases
+        the buffer **copy-on-write**: reads are zero-copy, and the first
+        mutation (any delta repair or rebuild) copies into a private
+        buffer first, so the adopted segment is never written — the
+        guard that lets many workers attach one shared segment safely.
+        """
+        engine = cls.__new__(cls)
+        engine._configure(csr, inf, dirty_fraction)
+        matrix = np.asarray(matrix)
+        if matrix.shape != (engine._n, engine._n):
+            raise GraphError(
+                f"snapshot matrix shape {matrix.shape} != "
+                f"{(engine._n, engine._n)}"
+            )
+        if matrix.dtype != engine._dtype:
+            raise GraphError(
+                f"snapshot matrix dtype {matrix.dtype} != expected "
+                f"{np.dtype(engine._dtype).name} (inf={engine._inf})"
+            )
+        if not matrix.flags.c_contiguous:
+            raise GraphError("snapshot matrix must be C-contiguous")
+        engine._D = matrix.copy() if copy else matrix
+        engine._cow = not copy
+        engine._epoch = 0
+        engine.stats = {
+            "rebuilds": 0,
+            "deltas": 0,
+            "noops": 0,
+            "rows_recomputed": 0,
+            "cow_copies": 0,
+        }
+        return engine
+
+    @property
+    def copy_on_write(self) -> bool:
+        """Whether the matrix still aliases an adopted (shared) buffer."""
+        return self._cow
+
+    def _prepare_write(self, preserve: bool = True) -> None:
+        """Detach from an adopted buffer before the first in-place write.
+
+        ``preserve=False`` skips copying the content for full overwrites
+        (a rebuild); either way the adopted segment is left untouched.
+        """
+        if self._cow:
+            self._D = np.array(self._D) if preserve else np.empty_like(self._D)
+            self._cow = False
+            self.stats["cow_copies"] += 1
 
     @classmethod
     def from_graph(
@@ -460,6 +538,7 @@ class DistanceEngine:
                     f"build a fresh engine instead"
                 )
             self._csr = new_csr
+        self._prepare_write(preserve=False)
         all_rows = np.arange(self._n, dtype=np.int64)
         t0 = time.perf_counter()
         self._bfs_rows(self._csr, all_rows, self._D, all_rows)
@@ -537,6 +616,7 @@ class DistanceEngine:
             self.rebuild(new_csr)
             return "rebuild"
 
+        self._prepare_write()  # delta repairs write in place: detach first
         t_delta = time.perf_counter()
         pivots = np.empty(0, dtype=np.int64)
         if added_ids.size:

@@ -339,6 +339,7 @@ class WeightedDistanceEngine:
         "_max_weight",
         "_dtype",
         "_D",
+        "_cow",
         "_epoch",
         "_dirty_fraction",
         "stats",
@@ -352,6 +353,32 @@ class WeightedDistanceEngine:
         max_weight: "int | None" = None,
         dirty_fraction: float = DEFAULT_DIRTY_FRACTION,
     ) -> None:
+        self._configure(wcsr, inf, max_weight, dirty_fraction)
+        self._D = np.empty((self._n, self._n), dtype=self._dtype)
+        self._cow = False
+        self._epoch = 0
+        self.stats = self._fresh_stats()
+        self.rebuild()
+
+    @staticmethod
+    def _fresh_stats() -> "dict[str, int]":
+        return {
+            "rebuilds": 0,
+            "deltas": 0,
+            "noops": 0,
+            "rows_recomputed": 0,
+            "pendant_fixes": 0,
+            "cow_copies": 0,
+        }
+
+    def _configure(
+        self,
+        wcsr: WeightedCSR,
+        inf: "int | None",
+        max_weight: "int | None",
+        dirty_fraction: float,
+    ) -> None:
+        """Shared constructor core (substrate checks, sentinel, dtype)."""
         if not isinstance(wcsr, WeightedCSR):
             raise GraphError("WeightedDistanceEngine needs a WeightedCSR substrate")
         if not 0.0 <= dirty_fraction <= 1.0:
@@ -376,10 +403,59 @@ class WeightedDistanceEngine:
         self._dtype = np.int32 if 2 * self._inf < 2**31 else np.int64
         self._dirty_fraction = float(dirty_fraction)
         self._wcsr = wcsr
-        self._D = np.empty((self._n, self._n), dtype=self._dtype)
-        self._epoch = 0
-        self.stats = {"rebuilds": 0, "deltas": 0, "noops": 0, "rows_recomputed": 0, "pendant_fixes": 0}
-        self.rebuild()
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        wcsr: WeightedCSR,
+        matrix: np.ndarray,
+        *,
+        inf: "int | None" = None,
+        max_weight: "int | None" = None,
+        dirty_fraction: float = DEFAULT_DIRTY_FRACTION,
+        copy: bool = False,
+    ) -> "WeightedDistanceEngine":
+        """Engine adopting a precomputed distance matrix — no initial SSSP.
+
+        The weighted sibling of
+        :meth:`DistanceEngine.from_snapshot
+        <repro.graphs.engine.DistanceEngine.from_snapshot>`: with
+        ``copy=False`` the matrix buffer is aliased copy-on-write, so an
+        adopted shared-memory segment is never written — the first
+        mutating repair copies into a private buffer.
+        """
+        engine = cls.__new__(cls)
+        engine._configure(wcsr, inf, max_weight, dirty_fraction)
+        matrix = np.asarray(matrix)
+        if matrix.shape != (engine._n, engine._n):
+            raise GraphError(
+                f"snapshot matrix shape {matrix.shape} != "
+                f"{(engine._n, engine._n)}"
+            )
+        if matrix.dtype != engine._dtype:
+            raise GraphError(
+                f"snapshot matrix dtype {matrix.dtype} != expected "
+                f"{np.dtype(engine._dtype).name} (inf={engine._inf})"
+            )
+        if not matrix.flags.c_contiguous:
+            raise GraphError("snapshot matrix must be C-contiguous")
+        engine._D = matrix.copy() if copy else matrix
+        engine._cow = not copy
+        engine._epoch = 0
+        engine.stats = cls._fresh_stats()
+        return engine
+
+    @property
+    def copy_on_write(self) -> bool:
+        """Whether the matrix still aliases an adopted (shared) buffer."""
+        return self._cow
+
+    def _prepare_write(self, preserve: bool = True) -> None:
+        """Detach from an adopted buffer before the first in-place write."""
+        if self._cow:
+            self._D = np.array(self._D) if preserve else np.empty_like(self._D)
+            self._cow = False
+            self.stats["cow_copies"] += 1
 
     # ------------------------------------------------------------------
     # Read API (mirrors DistanceEngine)
@@ -606,6 +682,7 @@ class WeightedDistanceEngine:
                 )
             self._check_weights(new_wcsr)
             self._wcsr = new_wcsr
+        self._prepare_write(preserve=False)
         all_rows = np.arange(self._n, dtype=np.int64)
         self._sssp_rows(self._wcsr, all_rows, self._D, all_rows)
         self._epoch += 1
@@ -619,6 +696,7 @@ class WeightedDistanceEngine:
         so deleting its last edge changes only its own row and column:
         both become unreachable, except the zero diagonal.
         """
+        self._prepare_write()
         for y in endpoints:
             self._D[:, y] = self._inf
             self._D[y, :] = self._inf
@@ -696,11 +774,86 @@ class WeightedDistanceEngine:
                 return "delta"
             dirty_rows = self._deletion_dirty_rows(x, y, w_edge, new_wcsr)
             if dirty_rows.size <= self._dirty_fraction * self._n:
+                self._prepare_write()
                 self._sssp_rows(new_wcsr, dirty_rows, self._D, dirty_rows)
                 self._wcsr = new_wcsr
                 self._epoch += 1
                 self.stats["deltas"] += 1
                 return "delta"
+        self.rebuild(new_wcsr)
+        return "rebuild"
+
+    def _insert_edge(self, wcsr: WeightedCSR, x: int, y: int, w: int) -> WeightedCSR:
+        """Copy of ``wcsr`` with the undirected edge ``{x, y}`` (length
+        ``w``) spliced in; raises if the edge is already present."""
+        entries = []
+        for a, b in ((x, y), (y, x)):
+            lo, hi = int(wcsr.indptr[a]), int(wcsr.indptr[a + 1])
+            pos = lo + int(np.searchsorted(wcsr.indices[lo:hi], b))
+            if pos < hi and wcsr.indices[pos] == b:
+                raise GraphError(f"edge {{{x}, {y}}} already present in substrate")
+            entries.append((pos, a, b))
+        # Ties in position (adjacent empty rows) must keep row order so
+        # each value lands in its owner's CSR segment.
+        entries.sort()
+        positions = [p for p, _, _ in entries]
+        values = [b for _, _, b in entries]
+        counts = np.diff(wcsr.indptr).copy()
+        counts[x] += 1
+        counts[y] += 1
+        indptr = np.zeros(wcsr.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return WeightedCSR(
+            n=wcsr.n,
+            indptr=indptr,
+            indices=np.insert(wcsr.indices, positions, values),
+            weights=np.insert(wcsr.weights, positions, w),
+        )
+
+    def add_edge(self, x: int, y: int, w: int = 1) -> str:
+        """Sync the matrix to the substrate plus edge ``{x, y}``.
+
+        The diff-free single-insertion entry point, mirroring
+        :meth:`remove_edge`: callers that already know the delta (a
+        cache forwarding one Gray-walk arc swap to a whole engine pool)
+        skip the edge-set diff of :meth:`update` entirely. Insertions
+        only shorten distances, so the repair is one pivot-row SSSP
+        plus the vectorised decrease-only min-plus pass — the same
+        machinery :meth:`update` uses for its insertion batches.
+        """
+        if not 0 <= x < self._n or not 0 <= y < self._n:
+            raise GraphError(
+                f"edge endpoint out of range [0, {self._n}): {{{x}, {y}}}"
+            )
+        if x == y:
+            raise GraphError(f"self-loop {{{x}, {y}}} cannot be inserted")
+        w = int(w)
+        if w < 1:
+            raise GraphError(f"edge weights must be positive integers, got {w}")
+        if (self._n - 1) * w >= self._inf:
+            raise GraphError(
+                f"edge weight {w} overflows the inf sentinel {self._inf}; "
+                f"build the engine with max_weight >= {w}"
+            )
+        new_wcsr = self._insert_edge(self._wcsr, x, y, w)
+        n = self._n
+        if self._dirty_fraction > 0.0 and self._dirty_fraction * n >= 1.0:
+            pivot = min(x, y)
+            self._prepare_write()
+            self._wcsr = new_wcsr
+            rows = np.asarray([pivot], dtype=np.int64)
+            self._sssp_rows(new_wcsr, rows, self._D, rows)
+            survivors = np.ones(n, dtype=bool)
+            survivors[pivot] = False
+            others = np.flatnonzero(survivors)
+            if others.size:
+                block = self._D[others]
+                dp = self._D[pivot]
+                np.minimum(block, dp[others, None] + dp[None, :], out=block)
+                self._D[others] = block
+            self._epoch += 1
+            self.stats["deltas"] += 1
+            return "delta"
         self.rebuild(new_wcsr)
         return "rebuild"
 
@@ -797,6 +950,7 @@ class WeightedDistanceEngine:
                 x, y, int(removed_w[0]), new_wcsr
             )
             if dirty_rows.size <= row_budget:
+                self._prepare_write()
                 self._sssp_rows(new_wcsr, dirty_rows, self._D, dirty_rows)
                 self._wcsr = new_wcsr
                 self._epoch += 1
@@ -835,6 +989,7 @@ class WeightedDistanceEngine:
             # One edge at a time with the exact support filter; matrix
             # and working substrate advance together so every step's
             # filter runs against exact distances.
+            self._prepare_write()
             work = self._wcsr
             for eid, w_edge in zip(removed_ids, removed_w):
                 x = int(eid // n)
@@ -868,6 +1023,7 @@ class WeightedDistanceEngine:
             if rows_spent > row_budget:
                 self.rebuild(new_wcsr)
                 return "rebuild"
+            self._prepare_write()
             self._sssp_rows(new_wcsr, recompute, self._D, recompute)
             exempt = recompute
         else:
@@ -875,6 +1031,7 @@ class WeightedDistanceEngine:
 
         self._wcsr = new_wcsr
         if pivots.size:
+            self._prepare_write()
             if exempt is pivots:
                 self._sssp_rows(new_wcsr, pivots, self._D, pivots)
             survivors = np.ones(n, dtype=bool)

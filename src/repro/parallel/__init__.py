@@ -1,14 +1,17 @@
 """Process-parallel sweep harness with deterministic seeding."""
 
-from .executor import cpu_workers, parallel_map
+from .executor import cpu_workers, fork_available, parallel_map
 from .sweep import (
     SweepSpec,
     SweepTask,
     aggregate_max,
     aggregate_mean,
     clear_distance_caches,
+    install_pool_handles,
     run_sweep,
     shared_distance_cache,
+    sweep_pool_key,
+    warm_distance_pool,
 )
 
 __all__ = [
@@ -18,7 +21,11 @@ __all__ = [
     "aggregate_mean",
     "clear_distance_caches",
     "cpu_workers",
+    "fork_available",
+    "install_pool_handles",
     "parallel_map",
     "run_sweep",
     "shared_distance_cache",
+    "sweep_pool_key",
+    "warm_distance_pool",
 ]

@@ -22,7 +22,17 @@ from typing import Any, Callable, Iterable, Sequence
 
 from ..errors import ReproError
 
-__all__ = ["parallel_map", "cpu_workers", "contiguous_shards"]
+__all__ = ["parallel_map", "cpu_workers", "contiguous_shards", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether worker processes are forked (inheriting parent memory).
+
+    Forked workers inherit the parent's shared-memory attachments and
+    module globals (pool handle registries) for free; spawned workers
+    need them re-installed via ``parallel_map``'s ``initializer``.
+    """
+    return hasattr(os, "fork")
 
 
 def contiguous_shards(total: int, parts: int) -> list[tuple[int, int]]:
@@ -64,6 +74,8 @@ def parallel_map(
     *,
     processes: "int | None" = 1,
     chunksize: "int | None" = None,
+    initializer: "Callable[..., None] | None" = None,
+    initargs: "tuple" = (),
 ) -> list[Any]:
     """Apply ``fn`` to every task, optionally across processes.
 
@@ -80,6 +92,11 @@ def parallel_map(
     chunksize:
         Tasks per work unit handed to each worker; defaults to an even
         split into ~4 waves per worker.
+    initializer / initargs:
+        Per-worker setup hook (e.g. installing shared-memory pool
+        handles in spawned workers). Run once in-process before the
+        serial path too, so serial and parallel execution stay
+        indistinguishable.
 
     Notes
     -----
@@ -92,9 +109,13 @@ def parallel_map(
         return []
     nproc = cpu_workers(processes) if processes != 1 else 1
     if nproc == 1 or len(tasks) == 1:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(t) for t in tasks]
     if chunksize is None:
         chunksize = max(1, len(tasks) // (nproc * 4))
-    ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
-    with ctx.Pool(processes=nproc) as pool:
+    ctx = mp.get_context("fork" if fork_available() else "spawn")
+    with ctx.Pool(
+        processes=nproc, initializer=initializer, initargs=initargs
+    ) as pool:
         return pool.map(fn, tasks, chunksize=chunksize)

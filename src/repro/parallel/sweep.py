@@ -8,10 +8,21 @@ shares.
 
 Workers that run best-response dynamics should fetch their distance
 substrate via :func:`shared_distance_cache` instead of letting each
-task build its own: the cache (and its preallocated all-pairs distance
-matrices) lives for the whole worker process, so consecutive tasks of
-the same instance size reuse buffers, and same-graph queries within a
-task are answered by incremental repair rather than fresh BFS.
+task build its own. Three reuse layers compose, cheapest first:
+
+* **Live entries** — one :class:`DistanceCache` per graph *instance*
+  (keyed by the process-unique
+  :attr:`~repro.graphs.digraph.OwnedDigraph.instance_id`, so two
+  same-size instances can never alias each other's engines — the
+  keyed-by-size aliasing bug this replaces);
+* **Shared-memory attach** — when the sweep parent published the
+  graph's ``U(G)`` matrix into a
+  :class:`~repro.core.matrix_pool.MatrixPool`
+  (``run_sweep(warm_graphs=...)``), the worker attaches a zero-copy
+  copy-on-write view instead of running the initial all-pairs BFS;
+* **Retired buffers** — engines of evicted entries are recycled by
+  rebinding, so matrices are reused across tasks of the same size even
+  without a pool hit.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from ..core.distance_cache import DistanceCache
-from ..errors import ReproError
+from ..errors import PoolError, ReproError
 from ..graphs.digraph import OwnedDigraph
 from ..rng import derive_seed
 from .executor import parallel_map
@@ -35,49 +46,151 @@ __all__ = [
     "aggregate_mean",
     "shared_distance_cache",
     "clear_distance_caches",
+    "sweep_pool_key",
+    "warm_distance_pool",
+    "install_pool_handles",
 ]
 
-#: Process-local pool of distance caches, keyed by instance size. Worker
-#: processes are forked per sweep, so entries never leak across runs with
-#: different configurations; serial runs reuse them across tasks, which
-#: is the point. The pool itself is LRU-bounded so a long-lived process
-#: sweeping many distinct sizes does not retain one multi-hundred-MB
-#: cache per size forever.
+#: Process-local pool of live distance caches, keyed by
+#: ``graph.instance_id``. Worker processes are forked per sweep, so
+#: entries never leak across runs with different configurations; serial
+#: runs reuse them across tasks, which is the point. LRU-bounded; the
+#: evicted caches' buffers survive in ``_RETIRED`` for recycling.
 _PROCESS_CACHES: "OrderedDict[int, tuple[DistanceCache, tuple]]" = OrderedDict()
 
-#: Distinct instance sizes kept alive simultaneously per process.
-_MAX_POOLED_SIZES: int = 4
+#: Evicted caches by ``(n, engine-kwargs key)``, ready to rebind to the
+#: next same-shaped instance (buffer reuse without aliasing live
+#: entries). Trimmed to their base engine on retirement, one per
+#: bucket, LRU-bounded.
+_RETIRED: "OrderedDict[tuple, DistanceCache]" = OrderedDict()
+
+#: Live cache entries kept per process. Deliberately small: a live
+#: entry stays bound to its instance (the no-aliasing contract), so
+#: only the instances a worker genuinely interleaves need live slots —
+#: everything older retires into ``_RETIRED`` for recycling.
+_MAX_LIVE_CACHES: int = 2
+
+#: Retired recycling buckets kept per process.
+_MAX_RETIRED: int = 4
+
+#: Shared-memory warm-start handles published by the sweep parent,
+#: keyed by :func:`sweep_pool_key`. Forked workers inherit this dict;
+#: spawned workers get it re-installed via the pool initializer.
+_POOL_HANDLES: "dict[tuple, Any]" = {}
+
+
+def sweep_pool_key(graph: OwnedDigraph) -> tuple:
+    """Content key of a sweep prototype graph: ``(n, profile key)``.
+
+    Content-addressed (not instance-addressed) because sweep workers
+    rebuild their task graphs from seeds — two processes must find the
+    same segment for independently built but identical realizations.
+    """
+    return ("sweep", graph.n, graph.profile_key())
+
+
+def install_pool_handles(handles: "dict[tuple, Any]") -> None:
+    """Replace this process's warm-start handle registry.
+
+    Module-level so it can serve as a ``parallel_map`` initializer for
+    spawned workers; forked workers inherit the registry for free.
+    """
+    _POOL_HANDLES.clear()
+    _POOL_HANDLES.update(handles)
+
+
+def warm_distance_pool(graphs: "Sequence[OwnedDigraph]", **engine_kwargs):
+    """Publish ``U(G)`` matrices of prototype graphs for worker attach.
+
+    The parent computes each all-pairs matrix once, publishes it into a
+    fresh :class:`~repro.core.matrix_pool.MatrixPool`, and installs the
+    handles process-locally (forked workers inherit them). Returns the
+    pool — the caller owns it and must :meth:`~repro.core.matrix_pool.
+    MatrixPool.close` it when the sweep is done.
+    """
+    import numpy as np
+
+    from ..core.matrix_pool import MatrixPool
+    from ..graphs.engine import DistanceEngine
+
+    pool = MatrixPool(max_segments=max(1, len(graphs)))
+    handles: "dict[tuple, Any]" = {}
+    for graph in graphs:
+        engine = DistanceEngine(graph.undirected_csr(), **engine_kwargs)
+        key = sweep_pool_key(graph)
+        handles[key] = pool.publish(
+            key,
+            {"D": engine.matrix, "inf": np.asarray([engine.inf], dtype=np.int64)},
+        )
+    install_pool_handles(handles)
+    return pool
+
+
+def _attach_pooled_base(graph: OwnedDigraph, kwargs: "dict[str, Any]"):
+    """Copy-on-write ``U(G)`` engine from a published segment, or ``None``."""
+    handle = _POOL_HANDLES.get(sweep_pool_key(graph))
+    if handle is None:
+        return None
+    from ..graphs.engine import DistanceEngine
+
+    engine_kwargs = {}
+    if kwargs.get("dirty_fraction") is not None:
+        engine_kwargs["dirty_fraction"] = kwargs["dirty_fraction"]
+    try:
+        views = handle.attach()
+        return DistanceEngine.from_snapshot(
+            graph.undirected_csr(),
+            views["D"],
+            inf=int(views["inf"][0]),
+            **engine_kwargs,
+        )
+    except (PoolError, KeyError, ReproError):
+        return None  # segment evicted / owner gone: cold-start instead
 
 
 def shared_distance_cache(graph: OwnedDigraph, **kwargs) -> DistanceCache:
-    """Process-local :class:`DistanceCache` rebound to ``graph``.
+    """Process-local :class:`DistanceCache` for exactly this ``graph``.
 
-    One cache is kept per instance size ``n`` (least-recently-used
-    sizes beyond ``_MAX_POOLED_SIZES`` are dropped). Rebinding to the
-    task's graph reuses the previous task's engines and their
-    preallocated matrices: the next access diffs CSRs and degrades to a
-    buffer-reusing rebuild when the graphs are unrelated, so this is
-    never slower than building from scratch. Requesting different
-    engine settings (``kwargs``) than the cached entry was built with
-    replaces the entry rather than silently ignoring the request.
+    Entries are keyed by ``(instance id, engine kwargs)`` — instance
+    ids are process-unique and never reused, so the returned cache is
+    bound to this graph object until evicted and can never silently
+    alias another same-size instance (revision sync remains the cache's
+    own job, which is why the revision is not part of the key). Misses
+    try, in order: a shared-memory warm-start segment published by the
+    sweep parent (zero-copy attach), a retired same-shape cache
+    (buffer-reusing rebind), a fresh build. Least-recently-used entries
+    retire beyond ``_MAX_LIVE_CACHES``, trimmed to their base engine so
+    parked buffers stay cheap.
     """
     key = tuple(sorted(kwargs.items()))
-    entry = _PROCESS_CACHES.get(graph.n)
+    iid = graph.instance_id
+    entry = _PROCESS_CACHES.get(iid)
     if entry is not None and entry[1] == key:
         cache = entry[0]
-        cache.rebind(graph)
     else:
-        cache = DistanceCache(graph, **kwargs)
-        _PROCESS_CACHES[graph.n] = (cache, key)
-    _PROCESS_CACHES.move_to_end(graph.n)
-    while len(_PROCESS_CACHES) > _MAX_POOLED_SIZES:
-        _PROCESS_CACHES.popitem(last=False)
+        retired = _RETIRED.pop((graph.n, key), None)
+        if retired is not None:
+            cache = retired
+            cache.rebind(graph)
+        else:
+            base = _attach_pooled_base(graph, kwargs)
+            cache = DistanceCache(graph, base_engine=base, **kwargs)
+        _PROCESS_CACHES[iid] = (cache, key)
+    _PROCESS_CACHES.move_to_end(iid)
+    while len(_PROCESS_CACHES) > _MAX_LIVE_CACHES:
+        _, (old_cache, old_key) = _PROCESS_CACHES.popitem(last=False)
+        old_cache.trim()  # drop player engines: park the base buffer only
+        _RETIRED[(old_cache.graph.n, old_key)] = old_cache
+        _RETIRED.move_to_end((old_cache.graph.n, old_key))
+        while len(_RETIRED) > _MAX_RETIRED:
+            _RETIRED.popitem(last=False)
     return cache
 
 
 def clear_distance_caches() -> None:
     """Drop all process-local distance caches (frees their matrices)."""
     _PROCESS_CACHES.clear()
+    _RETIRED.clear()
 
 
 @dataclass(frozen=True)
@@ -139,15 +252,42 @@ def run_sweep(
     spec: SweepSpec,
     *,
     processes: "int | None" = 1,
+    warm_graphs: "Sequence[OwnedDigraph] | None" = None,
 ) -> list[dict[str, Any]]:
     """Execute a sweep and return one record per grid point.
 
     ``worker`` must be a module-level function mapping a
     :class:`SweepTask` to a dict; the task's parameters are merged into
     the record so downstream aggregation has full context.
+
+    ``warm_graphs`` are prototype realizations whose ``U(G)`` matrices
+    the parent publishes into a shared-memory pool before fan-out; any
+    worker whose task graph matches one (same ``n``, same profile)
+    attaches the precomputed matrix through
+    :func:`shared_distance_cache` instead of rebuilding it. Results are
+    bit-identical with or without warming — the pool only replaces the
+    initial BFS, never the answers.
     """
     tasks = spec.tasks()
-    results = parallel_map(worker, tasks, processes=processes)
+    pool = None
+    initializer = None
+    initargs: tuple = ()
+    if warm_graphs:
+        pool = warm_distance_pool(warm_graphs)
+        initializer = install_pool_handles
+        initargs = (dict(_POOL_HANDLES),)
+    try:
+        results = parallel_map(
+            worker,
+            tasks,
+            processes=processes,
+            initializer=initializer,
+            initargs=initargs,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+            install_pool_handles({})
     records = []
     for task, result in zip(tasks, results):
         record = dict(task.params)

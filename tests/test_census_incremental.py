@@ -249,6 +249,54 @@ def test_brute_force_path_rejects_kernel_knobs():
 
 
 # ----------------------------------------------------------------------
+# Golden equivalence: warm-started shards == cold shards, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("label,budgets", DEFAULT_INSTANCES)
+@pytest.mark.parametrize("version", ["sum", "max"])
+def test_warm_started_shards_bit_identical(label, budgets, version):
+    """Shared-memory warm starts (parent snapshots each shard's start
+    rank; shards attach instead of rebuilding) must not change a single
+    bit of the census for any worker count."""
+    game = BoundedBudgetGame(list(budgets))
+    for workers in (1, 2, 4):
+        cold = census_scan(
+            game, version, workers=workers, pool=False, collect_equilibria=True
+        )
+        warm = census_scan(
+            game, version, workers=workers, pool=True, collect_equilibria=True
+        )
+        assert warm.report == cold.report, f"{label}/{version}/workers={workers}"
+        assert warm.equilibria == cold.equilibria
+
+
+def test_warm_started_shards_actually_attach():
+    from repro.core.enumeration import LAST_CENSUS_POOL_STATS
+
+    game = BoundedBudgetGame([1] * 5)
+    census_scan(game, "sum", workers=4, pool=True)
+    assert LAST_CENSUS_POOL_STATS["shards"] == 4
+    assert LAST_CENSUS_POOL_STATS["warm_attached"] == 4
+    census_scan(game, "sum", workers=4, pool=False)
+    assert LAST_CENSUS_POOL_STATS["warm_attached"] == 0
+
+
+def test_weighted_warm_started_shards_bit_identical():
+    from repro.core import weighted_census_scan
+    from repro.experiments.exact_census import WEIGHTED_INSTANCES
+
+    for label, budgets, w in WEIGHTED_INSTANCES:
+        game = BoundedBudgetGame(list(budgets))
+        for workers in (1, 3):
+            cold = weighted_census_scan(
+                game, w, workers=workers, pool=False, collect_equilibria=True
+            )
+            warm = weighted_census_scan(
+                game, w, workers=workers, pool=True, collect_equilibria=True
+            )
+            assert warm == cold, f"{label}/workers={workers}"
+
+
+# ----------------------------------------------------------------------
 # Experiment surface
 # ----------------------------------------------------------------------
 def test_run_experiment_forwards_supported_overrides():

@@ -1,113 +1,38 @@
-"""Differential tests for the incremental distance engine.
+"""Unit-engine-specific tests.
 
-``scipy.sparse.csgraph`` and ``networkx`` serve as independent oracles
-for both the batched-BFS and the delta-update paths, on seeded random
-owned digraphs including disconnected ones.
+The behavior shared with the weighted engine — oracle-exact builds,
+repair-equals-recompute, rollback/noop, epoch staleness, read-only
+views, snapshot copy-on-write — lives in the parametrized conformance
+suite (``test_engine_conformance.py``). This file keeps only what is
+unique to :class:`~repro.graphs.engine.DistanceEngine`: the
+``from_graph`` construction surface and the adaptive delta-vs-rebuild
+budget (the weighted engine only takes fixed fractions).
 """
 
 from __future__ import annotations
 
 import numpy as np
-import pytest
-import scipy.sparse as sp
-from scipy.sparse.csgraph import shortest_path
 
-from repro.errors import GraphError, StaleDistanceError, VertexError
 from repro.graphs import (
-    UNREACHABLE,
     DistanceEngine,
     OwnedDigraph,
     all_pairs_distances,
-    cinf,
     csr_without_vertex,
 )
 
-from conftest import random_owned_digraph, to_networkx_undirected
+from conftest import random_owned_digraph, random_strategy_swap, scipy_distance_oracle
 
 
-def scipy_oracle(g: OwnedDigraph) -> np.ndarray:
-    """All-pairs distances of ``U(G)`` via scipy, UNREACHABLE for inf."""
-    n = g.n
-    mat = sp.lil_matrix((n, n), dtype=np.int64)
-    for u, v in g.underlying_edges():
-        mat[u, v] = 1
-        mat[v, u] = 1
-    dist = shortest_path(mat.tocsr(), method="D", unweighted=True, directed=False)
-    out = np.full((n, n), UNREACHABLE, dtype=np.int64)
-    finite = np.isfinite(dist)
-    out[finite] = dist[finite].astype(np.int64)
-    return out
+def test_from_graph_builds_engine_over_underlying_graph(rng):
+    g = random_owned_digraph(rng, 11, p=0.3)
+    engine = DistanceEngine.from_graph(g)
+    assert np.array_equal(
+        engine.distances(), all_pairs_distances(g.undirected_csr())
+    )
 
 
-def networkx_oracle(g: OwnedDigraph) -> np.ndarray:
-    """All-pairs distances of ``U(G)`` via networkx."""
-    import networkx as nx
-
-    G = to_networkx_undirected(g)
-    out = np.full((g.n, g.n), UNREACHABLE, dtype=np.int64)
-    for s, lengths in nx.all_pairs_shortest_path_length(G):
-        for v, d in lengths.items():
-            out[s, v] = d
-    return out
-
-
-def random_swap(rng: np.random.Generator, g: OwnedDigraph) -> None:
-    """Replace one player's strategy with a random same-size one."""
-    u = int(rng.integers(g.n))
-    b = g.out_degree(u)
-    others = [v for v in range(g.n) if v != u]
-    k = min(b if b else int(rng.integers(0, g.n)), len(others))
-    new = rng.choice(others, size=k, replace=False) if k else []
-    g.set_strategy(u, [int(v) for v in np.atleast_1d(new)])
-
-
-# ----------------------------------------------------------------------
-# Batched BFS vs oracles
-# ----------------------------------------------------------------------
-def test_initial_build_matches_scipy_and_networkx(rng):
-    for _ in range(12):
-        n = int(rng.integers(2, 16))
-        g = random_owned_digraph(rng, n, p=float(rng.uniform(0.05, 0.45)))
-        engine = DistanceEngine.from_graph(g)
-        got = engine.distances()
-        assert np.array_equal(got, scipy_oracle(g))
-        assert np.array_equal(got, networkx_oracle(g))
-
-
-def test_disconnected_graph_uses_unreachable_sentinel(two_components):
-    engine = DistanceEngine.from_graph(two_components)
-    d = engine.distances()
-    assert d[0, 1] == 1
-    assert d[0, 2] == UNREACHABLE
-    assert d[4, 0] == UNREACHABLE
-    assert d[4, 4] == 0
-    # Internally unreachable pairs carry the finite Cinf sentinel.
-    assert engine.inf == cinf(5)
-    assert engine.matrix[0, 2] == cinf(5)
-    assert engine.distance(0, 2) == UNREACHABLE
-    assert engine.distance(2, 3) == 1
-
-
-def test_distances_from_batched_rows_match_oracle(rng):
-    for _ in range(8):
-        n = int(rng.integers(3, 18))
-        g = random_owned_digraph(rng, n, p=0.2)
-        engine = DistanceEngine.from_graph(g)
-        oracle = scipy_oracle(g)
-        oracle[oracle == UNREACHABLE] = engine.inf
-        k = int(rng.integers(1, n + 1))
-        sources = rng.choice(n, size=k, replace=False)
-        rows = engine.distances_from(sources)
-        assert np.array_equal(rows, oracle[sources])
-        # Preallocated buffer path returns identical content.
-        buf = np.empty((k, n), dtype=rows.dtype)
-        out = engine.distances_from(sources, out=buf)
-        assert out is buf
-        assert np.array_equal(buf, rows)
-
-
-def test_isolated_substrate_matches_bfs_reference(rng):
-    for _ in range(8):
+def test_from_graph_isolate_builds_punctured_substrate(rng):
+    for _ in range(6):
         n = int(rng.integers(2, 14))
         g = random_owned_digraph(rng, n, p=0.3)
         u = int(rng.integers(n))
@@ -117,114 +42,12 @@ def test_isolated_substrate_matches_bfs_reference(rng):
         assert engine.csr.degree(u) == 0
 
 
-# ----------------------------------------------------------------------
-# Delta updates vs oracles
-# ----------------------------------------------------------------------
-@pytest.mark.parametrize("dirty_fraction", [None, 1.0, 0.0])
-def test_update_tracks_random_swaps(rng, dirty_fraction):
-    kwargs = {} if dirty_fraction is None else {"dirty_fraction": dirty_fraction}
-    for _ in range(6):
-        n = int(rng.integers(3, 16))
-        g = random_owned_digraph(rng, n, p=0.25)
-        engine = DistanceEngine(g.undirected_csr(), **kwargs)
-        for _ in range(8):
-            random_swap(rng, g)
-            status = engine.update(g.undirected_csr())
-            assert status in ("noop", "delta", "rebuild")
-            if dirty_fraction == 0.0:
-                assert status in ("noop", "rebuild")
-            assert np.array_equal(engine.distances(), scipy_oracle(g))
-
-
-def test_update_handles_disconnection_and_reconnection(rng):
-    g = OwnedDigraph(6)
-    for i in range(5):
-        g.add_arc(i, i + 1)
-    engine = DistanceEngine.from_graph(g, dirty_fraction=1.0)
-    # Cut the path in the middle: everything across the cut unreachable.
-    g.remove_arc(2, 3)
-    engine.update(g.undirected_csr())
-    assert np.array_equal(engine.distances(), scipy_oracle(g))
-    assert engine.distance(0, 5) == UNREACHABLE
-    # Reconnect differently.
-    g.add_arc(0, 5)
-    engine.update(g.undirected_csr())
-    assert np.array_equal(engine.distances(), scipy_oracle(g))
-    assert engine.distance(2, 3) == 5  # rerouted 2-1-0-5-4-3
-
-
-def test_update_noop_on_identical_edge_set():
-    g = OwnedDigraph(4)
-    g.add_arc(0, 1)
-    g.add_arc(1, 2)
-    engine = DistanceEngine.from_graph(g)
-    epoch = engine.epoch
-    # A brace collapses onto the existing undirected edge: no edge-set
-    # change, so distances and the epoch stay put.
-    g.add_arc(1, 0)
-    assert engine.update(g.undirected_csr()) == "noop"
-    assert engine.epoch == epoch
-    g.remove_arc(1, 0)
-    assert engine.update(g.undirected_csr()) == "noop"
-    assert engine.epoch == epoch
-
-
-def test_update_rejects_size_change():
-    g = OwnedDigraph(4)
-    g.add_arc(0, 1)
-    engine = DistanceEngine.from_graph(g)
-    other = OwnedDigraph(5)
-    other.add_arc(0, 1)
-    with pytest.raises(GraphError):
-        engine.update(other.undirected_csr())
-
-
-# ----------------------------------------------------------------------
-# Epoch / staleness contract
-# ----------------------------------------------------------------------
-def test_epoch_bumps_and_ensure_epoch_raises(rng):
-    g = random_owned_digraph(rng, 8, p=0.3)
-    engine = DistanceEngine.from_graph(g)
-    seen = engine.epoch
-    engine.ensure_epoch(seen)
-    random_swap(rng, g)
-    status = engine.update(g.undirected_csr())
-    if status == "noop":
-        engine.ensure_epoch(seen)
-    else:
-        assert engine.epoch != seen
-        with pytest.raises(StaleDistanceError):
-            engine.ensure_epoch(seen)
-
-
-def test_matrix_view_is_read_only():
-    g = OwnedDigraph(3)
-    g.add_arc(0, 1)
-    engine = DistanceEngine.from_graph(g)
-    with pytest.raises(ValueError):
-        engine.matrix[0, 1] = 7
-    with pytest.raises(ValueError):
-        engine.row(0)[1] = 7
-
-
-def test_vertex_and_input_validation():
-    g = OwnedDigraph(3)
-    g.add_arc(0, 1)
-    engine = DistanceEngine.from_graph(g)
-    with pytest.raises(VertexError):
-        engine.row(3)
-    with pytest.raises(VertexError):
-        engine.distance(0, -1)
-    with pytest.raises(VertexError):
-        engine.distances_from([0, 5])
-    with pytest.raises(GraphError):
-        DistanceEngine(g.undirected_csr(), dirty_fraction=1.5)
-    with pytest.raises(GraphError):
-        DistanceEngine(g.undirected_csr(), inf=2)
-
-
-def test_single_vertex_graph():
-    g = OwnedDigraph(1)
-    engine = DistanceEngine.from_graph(g)
-    assert engine.distances().shape == (1, 1)
-    assert engine.distance(0, 0) == 0
+def test_adaptive_budget_tracks_costs_and_repairs_exactly(rng):
+    g = random_owned_digraph(rng, 16, p=0.25)
+    engine = DistanceEngine.from_graph(g, dirty_fraction="adaptive")
+    assert engine.adaptive
+    for _ in range(12):
+        random_strategy_swap(rng, g)
+        engine.update(g.undirected_csr())
+        assert np.array_equal(engine.distances(), scipy_distance_oracle(g))
+    assert 1.0 <= engine.row_budget() <= g.n

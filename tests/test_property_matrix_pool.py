@@ -1,0 +1,239 @@
+"""Property suite for the shared-memory matrix pool.
+
+Three families of properties:
+
+* **Registry semantics** — random publish/lookup/evict/attach
+  interleavings on a small LRU pool behave exactly like an in-memory
+  model dict: hits return the published bytes, misses are misses,
+  eviction follows LRU order, and every view handed out is read-only.
+* **Epoch guard** — an engine adopting a published matrix repairs
+  copy-on-write: arbitrary mutation sequences keep the engine exact
+  (repair equals recompute) while the published segment's bytes never
+  change, so a concurrent reader can never observe a mid-repair state.
+* **Bit-identity** — pooled (warm-started) and unpooled sweeps and
+  censuses return identical results for randomly drawn games, worker
+  counts and knob combinations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BoundedBudgetGame,
+    MatrixPool,
+    census_scan,
+    pool_key,
+    weighted_census_scan,
+)
+from repro.graphs import DistanceEngine, OwnedDigraph, all_pairs_distances
+from repro.parallel import (
+    SweepSpec,
+    clear_distance_caches,
+    install_pool_handles,
+    run_sweep,
+    shared_distance_cache,
+    warm_distance_pool,
+)
+
+from conftest import random_owned_digraph, random_strategy_swap
+
+
+# ----------------------------------------------------------------------
+# Registry semantics under random interleavings
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["publish", "lookup", "attach", "evict"]),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=40,
+    ),
+    max_segments=st.integers(min_value=1, max_value=4),
+)
+def test_pool_interleavings_match_lru_model(ops, max_segments):
+    payloads = {i: np.arange(16, dtype=np.int64) * (i + 1) for i in range(6)}
+    model: "OrderedDict[tuple, int]" = OrderedDict()
+    with MatrixPool(max_segments=max_segments) as pool:
+        for op, i in ops:
+            key = ("k", i)
+            if op == "publish":
+                handle = pool.publish(key, {"a": payloads[i]})
+                assert handle.key == key
+                if key in model:
+                    model.move_to_end(key)
+                else:
+                    model[key] = i
+                    while len(model) > max_segments:
+                        model.popitem(last=False)
+            elif op in ("lookup", "attach"):
+                handle = pool.lookup(key)
+                if key in model:
+                    assert handle is not None
+                    model.move_to_end(key)
+                    if op == "attach":
+                        views = handle.attach()
+                        assert np.array_equal(views["a"], payloads[i])
+                        assert not views["a"].flags.writeable
+                        with pytest.raises(ValueError):
+                            views["a"][0] = 99
+                else:
+                    assert handle is None
+            else:  # evict
+                assert pool.evict(key) == (key in model)
+                model.pop(key, None)
+            assert pool.keys() == list(model)
+
+
+def test_publish_is_write_once_idempotent():
+    with MatrixPool() as pool:
+        first = pool.publish(("k",), {"a": np.arange(4)})
+        second = pool.publish(("k",), {"a": np.zeros(4, dtype=np.int64)})
+        # Same key: the existing segment is returned, never overwritten.
+        assert second is first
+        assert np.array_equal(pool.attach(("k",))["a"], np.arange(4))
+
+
+def test_pool_key_embeds_instance_and_revision():
+    g1 = OwnedDigraph(4)
+    g2 = OwnedDigraph(4)
+    assert pool_key(g1) != pool_key(g2)  # distinct same-size instances
+    k0 = pool_key(g1)
+    g1.add_arc(0, 1)
+    assert pool_key(g1) != k0  # a mutation is a different state
+    assert pool_key(g1, weights_revision=1) != pool_key(g1)
+
+
+# ----------------------------------------------------------------------
+# Epoch guard: repairs never touch the published segment
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+    steps=st.integers(min_value=1, max_value=8),
+)
+def test_adopted_engine_repairs_equal_recompute_without_writing_segment(
+    n, seed, steps
+):
+    rng = np.random.default_rng(seed)
+    g = random_owned_digraph(rng, n, p=0.3)
+    source = DistanceEngine.from_graph(g)
+    with MatrixPool() as pool:
+        handle = pool.publish(
+            pool_key(g),
+            {
+                "D": source.matrix,
+                "inf": np.asarray([source.inf], dtype=np.int64),
+            },
+        )
+        views = handle.attach()
+        published = views["D"].copy()
+        adopted = DistanceEngine.from_snapshot(
+            g.undirected_csr(), views["D"], inf=int(views["inf"][0])
+        )
+        assert adopted.copy_on_write
+        for _ in range(steps):
+            random_strategy_swap(rng, g)
+            adopted.update(g.undirected_csr())
+            # Repair equals recompute...
+            assert np.array_equal(
+                adopted.distances(), all_pairs_distances(g.undirected_csr())
+            )
+            # ...and the shared segment still shows the original epoch's
+            # matrix: no reader can ever see a mid-repair state.
+            assert np.array_equal(views["D"], published)
+
+
+# ----------------------------------------------------------------------
+# Pooled == unpooled, bit for bit
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(
+    budgets=st.sampled_from(
+        [(1, 1, 1), (2, 1, 0), (1, 1, 1, 1), (2, 1, 1, 0), (0, 0, 1, 0)]
+    ),
+    version=st.sampled_from(["sum", "max"]),
+    workers=st.integers(min_value=1, max_value=4),
+    symmetry=st.booleans(),
+)
+def test_pooled_census_bit_identical(budgets, version, workers, symmetry):
+    game = BoundedBudgetGame(list(budgets))
+    cold = census_scan(
+        game,
+        version,
+        workers=workers,
+        symmetry=symmetry,
+        pool=False,
+        collect_equilibria=True,
+    )
+    warm = census_scan(
+        game,
+        version,
+        workers=workers,
+        symmetry=symmetry,
+        pool=True,
+        collect_equilibria=True,
+    )
+    assert warm.report == cold.report
+    assert warm.equilibria == cold.equilibria
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    weights=st.sampled_from([(1, 1, 1, 1), (3, 1, 1, 1), (2, 1, 1, 0)]),
+    workers=st.integers(min_value=1, max_value=3),
+)
+def test_pooled_weighted_census_bit_identical(weights, workers):
+    game = BoundedBudgetGame([1, 1, 1, 0])
+    cold = weighted_census_scan(
+        game, weights, workers=workers, pool=False, collect_equilibria=True
+    )
+    warm = weighted_census_scan(
+        game, weights, workers=workers, pool=True, collect_equilibria=True
+    )
+    assert warm == cold
+
+
+def _sweep_worker(task):
+    """Build the task's graph and read distances through the shared cache."""
+    game = BoundedBudgetGame([1] * task.params["n"])
+    graph = game.random_realization(seed=task.params["proto"])
+    cache = shared_distance_cache(graph)
+    engine = cache.base()
+    return {
+        "checksum": int(np.asarray(engine.matrix, dtype=np.int64).sum()),
+        "initial_rebuilds": int(engine.stats["rebuilds"]),
+    }
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    protos=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=3, unique=True
+    ),
+)
+def test_pooled_sweep_bit_identical_and_attaches(n, protos):
+    spec = SweepSpec(axes={"n": [n], "proto": protos}, replications=1, base_seed=1)
+    game = BoundedBudgetGame([1] * n)
+    prototypes = [game.random_realization(seed=p) for p in protos]
+    try:
+        clear_distance_caches()
+        warm = run_sweep(_sweep_worker, spec, warm_graphs=prototypes)
+        clear_distance_caches()
+        cold = run_sweep(_sweep_worker, spec)
+    finally:
+        clear_distance_caches()
+        install_pool_handles({})
+    assert [r["checksum"] for r in warm] == [r["checksum"] for r in cold]
+    # Warmed workers attached instead of rebuilding; cold ones rebuilt.
+    assert all(r["initial_rebuilds"] == 0 for r in warm)
+    assert all(r["initial_rebuilds"] == 1 for r in cold)

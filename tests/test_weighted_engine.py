@@ -1,12 +1,15 @@
-"""Differential tests for the weighted (Dial-kernel) distance engine.
+"""Weighted-engine-specific differential tests.
 
 ``scipy.sparse.csgraph.dijkstra`` and ``networkx`` serve as independent
 oracles for the heap-free batched SSSP kernel and for every delta-repair
 path (deletions, insertions, weight changes, the pendant fast path) on
-seeded random weighted digraphs, including disconnected ones. A
+seeded random *weighted* digraphs, including disconnected ones. A
 dedicated section pins the weight-1 degeneration: unit-weight engines
 must reproduce the BFS engine's matrices bit-for-bit (same values, same
-dtype, same sentinel).
+dtype, same sentinel). Behavior shared with the unit engine on
+unit-weight substrates — oracle builds, repair-equals-recompute,
+rollback/noop, staleness, read-only views, snapshot copy-on-write — is
+covered once for both engines in ``test_engine_conformance.py``.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import pytest
 import scipy.sparse as sp
 from scipy.sparse.csgraph import dijkstra
 
-from repro.errors import GraphError, StaleDistanceError, VertexError
+from repro.errors import GraphError
 from repro.graphs import (
     UNREACHABLE,
     DistanceEngine,
@@ -273,73 +276,70 @@ def test_isolated_pair_removal():
     assert engine.distance(0, 1) == 1
 
 
-def test_update_noop_on_identical_substrate():
-    heads, tails, w = np.array([0, 1]), np.array([1, 2]), np.array([3, 4])
-    engine = WeightedDistanceEngine(build_weighted_csr(4, heads, tails, w))
-    epoch = engine.epoch
-    assert engine.update(build_weighted_csr(4, heads, tails, w)) == "noop"
-    assert engine.epoch == epoch
-
-
-def test_update_rejects_size_change_and_weight_overflow():
+def test_update_rejects_weight_overflow():
     engine = WeightedDistanceEngine(
         build_weighted_csr(4, np.array([0]), np.array([1]), np.array([2]))
     )
-    with pytest.raises(GraphError):
-        engine.update(build_weighted_csr(5, np.array([0]), np.array([1]), np.array([2])))
     huge = build_weighted_csr(4, np.array([0]), np.array([1]), np.array([10**6]))
     with pytest.raises(GraphError):
         engine.update(huge)
 
 
 # ----------------------------------------------------------------------
-# Epoch / staleness / validation
+# Diff-free single-edge entry points (the cache forwarder's API)
 # ----------------------------------------------------------------------
-def test_epoch_bumps_and_ensure_epoch_raises():
-    heads, tails, w = np.array([0, 1]), np.array([1, 2]), np.array([2, 5])
-    engine = WeightedDistanceEngine(build_weighted_csr(3, heads, tails, w), max_weight=6)
-    seen = engine.epoch
-    engine.ensure_epoch(seen)
-    engine.update(build_weighted_csr(3, heads, tails, np.array([2, 1])))
-    assert engine.epoch != seen
-    with pytest.raises(StaleDistanceError):
-        engine.ensure_epoch(seen)
+def test_add_edge_matches_fresh_engine(rng):
+    for _ in range(10):
+        n = int(rng.integers(2, 12))
+        heads, tails, w = random_weighted_edges(rng, n, 0.3)
+        engine = WeightedDistanceEngine(
+            build_weighted_csr(n, heads, tails, w), max_weight=8
+        )
+        present = set(zip(heads.tolist(), tails.tolist()))
+        cands = [
+            (x, y)
+            for x in range(n)
+            for y in range(x + 1, n)
+            if (x, y) not in present
+        ]
+        if not cands:
+            continue
+        x, y = cands[int(rng.integers(len(cands)))]
+        nw = int(rng.integers(1, 9))
+        status = engine.add_edge(x, y, nw)
+        assert status in ("delta", "rebuild")
+        ref = scipy_weighted_oracle(
+            n, np.append(heads, x), np.append(tails, y), np.append(w, nw)
+        )
+        assert np.array_equal(engine.distances(), ref)
 
 
-def test_matrix_view_is_read_only():
+def test_add_edge_validates_inputs():
     engine = WeightedDistanceEngine(
-        build_weighted_csr(3, np.array([0]), np.array([1]), np.array([1]))
+        build_weighted_csr(4, np.array([0]), np.array([1]), np.array([2])),
+        max_weight=4,
     )
-    with pytest.raises(ValueError):
-        engine.matrix[0, 1] = 7
-    with pytest.raises(ValueError):
-        engine.row(0)[1] = 7
+    with pytest.raises(GraphError):
+        engine.add_edge(0, 1, 1)  # already present
+    with pytest.raises(GraphError):
+        engine.add_edge(2, 2, 1)  # self-loop
+    with pytest.raises(GraphError):
+        engine.add_edge(0, 4, 1)  # out of range
+    with pytest.raises(GraphError):
+        engine.add_edge(2, 3, 0)  # non-positive weight
+    with pytest.raises(GraphError):
+        engine.add_edge(2, 3, 10**6)  # sentinel overflow
 
 
-def test_input_validation():
-    wcsr = build_weighted_csr(3, np.array([0]), np.array([1]), np.array([2]))
-    engine = WeightedDistanceEngine(wcsr)
-    with pytest.raises(VertexError):
-        engine.row(3)
-    with pytest.raises(VertexError):
-        engine.distance(0, -1)
-    with pytest.raises(VertexError):
-        engine.distances_from([0, 5])
-    with pytest.raises(GraphError):
-        WeightedDistanceEngine(wcsr, dirty_fraction=1.5)
-    with pytest.raises(GraphError):
-        WeightedDistanceEngine(wcsr, inf=2)  # (n-1) * w_max = 4 >= 2
-    with pytest.raises(GraphError):
-        build_weighted_csr(3, np.array([0]), np.array([1]), np.array([0]))
-    with pytest.raises(GraphError):
-        build_weighted_csr(3, np.array([0]), np.array([0]), np.array([1]))
-
-
-def test_single_vertex_graph():
-    wcsr = build_weighted_csr(1, np.empty(0), np.empty(0), np.empty(0))
-    engine = WeightedDistanceEngine(wcsr)
-    assert engine.distances().shape == (1, 1)
-    assert engine.distance(0, 0) == 0
+def test_remove_then_add_edge_roundtrip(rng):
+    heads = np.array([0, 1, 2, 3])
+    tails = np.array([1, 2, 3, 4])
+    w = np.array([2, 1, 3, 1])
+    engine = WeightedDistanceEngine(build_weighted_csr(5, heads, tails, w), max_weight=4)
+    before = engine.distances()
+    engine.remove_edge(1, 2)
+    engine.add_edge(1, 2, 1)
+    assert np.array_equal(engine.distances(), before)
 
 
 def test_sentinel_scales_with_max_weight():
