@@ -1,6 +1,6 @@
 """Incremental exact census vs rebuild-per-profile brute force.
 
-Three claims, each asserted (not just timed):
+Five claims, each asserted (not just timed):
 
 * the Gray-order incremental kernel with symmetry pruning beats the
   brute-force census on the unit n=5 instance by >= 5x, with a
@@ -8,7 +8,15 @@ Three claims, each asserted (not just timed):
 * sharded execution (``workers > 1``) returns the same report;
 * unit n=6 — 15625 profiles, far beyond what rebuild-per-profile
   affords in a smoke lane — completes in seconds under the cap, with
-  its exact equilibrium counts pinned as regression anchors.
+  its exact equilibrium counts pinned as regression anchors;
+* unit n=7 — 279936 profiles, group order 5040 — completes in
+  single-digit seconds on the canonical-rep-only walk (probe keys +
+  vectorised block advance), with its exact counts pinned (they were
+  cross-validated once against the unpruned sharded walk, which takes
+  ~10 minutes);
+* a tree-like fold/dynamics workload repairs the unit engine with
+  **zero full rebuilds and zero whole-row recomputes** — every
+  deletion resolves in the pendant or affected-region tier.
 
 Timings land in ``BENCH_census.json`` at the repo root so the perf
 trajectory is tracked across PRs.
@@ -22,9 +30,11 @@ import time
 from fractions import Fraction
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.core import BoundedBudgetGame, census_scan, exact_prices
+from repro.graphs import DistanceEngine, OwnedDigraph
 
 #: Wall-clock comparisons are meaningful on a quiet machine; on shared
 #: CI runners a noisy neighbour can invert margins with no code defect,
@@ -114,6 +124,13 @@ def test_unit_n6_census_under_cap(benchmark):
     assert reports["sum"].poa == Fraction(1)
     assert reports["max"].num_equilibria == 480
     assert reports["max"].poa == Fraction(3, 2)
+    # Knob bridge beyond the brute-force budget: the unpruned walk
+    # (every profile evaluated) must agree with the pruned kernel bit
+    # for bit. ~15 s/version, which is why it lives in this lane and
+    # not in tier-1.
+    for v in ("sum", "max"):
+        unpruned = census_scan(game, v, symmetry=False, max_profiles=20_000).report
+        assert unpruned == reports[v]
     _record(
         "unit_n6",
         {
@@ -121,6 +138,107 @@ def test_unit_n6_census_under_cap(benchmark):
             "equilibria": {"sum": 120, "max": 480},
             "incremental_symmetry_s": round(elapsed, 4),
             "bruteforce_s": None,  # not run: ~2 ms/profile puts it at ~30 s
+        },
+    )
+
+
+@pytest.mark.paper_artifact("exact census / unit n=7 unlocked")
+def test_unit_n7_census_single_digit_seconds(benchmark):
+    """Unit n=7: 279936 profiles under the S7 budget symmetry group
+    (order 5040) — infeasible per-profile (the unpruned sharded walk
+    measures ~10 minutes), single-digit seconds on the canonical-rep-
+    only walk. Counts pinned; they match the unpruned walk exactly."""
+    game = BoundedBudgetGame([1] * 7)
+
+    def run():
+        return {
+            v: census_scan(game, v, symmetry=True, max_profiles=300_000).report
+            for v in ("sum", "max")
+        }
+
+    t0 = time.perf_counter()
+    reports = run()
+    elapsed = time.perf_counter() - t0
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert reports["sum"].num_profiles == reports["max"].num_profiles == 6**7
+    assert reports["sum"].num_equilibria == 210
+    assert reports["sum"].poa == Fraction(1)
+    assert reports["max"].num_equilibria == 10212
+    assert reports["max"].poa == Fraction(3, 2)
+    assert reports["sum"].pos == reports["max"].pos == Fraction(1)
+    _record(
+        "unit_n7",
+        {
+            "profiles": 6**7,
+            "group_order": 5040,
+            "equilibria": {"sum": 210, "max": 10212},
+            "incremental_symmetry_s": round(elapsed, 4),
+            "bruteforce_s": None,  # cross-validated once: ~625 s unpruned
+        },
+    )
+    assert not _STRICT_TIMING or elapsed < 10.0, (
+        f"unit n=7 sum+max census took {elapsed:.1f} s; the canonical-rep "
+        f"walk should land it in single-digit seconds"
+    )
+
+
+@pytest.mark.paper_artifact("distance engine / tree-like fold repairs")
+def test_treelike_fold_dynamics_zero_rebuilds(benchmark):
+    """Tree-like fold/dynamics workload: every warm deletion repair in
+    the unit engine must resolve below row granularity — 0 full
+    rebuilds, 0 whole-row recomputes; only pendant column fixes and
+    affected-region relaxations — and stay bit-identical to a fresh
+    build. This is the ROADMAP 'deletions dirty whole rows on sparse
+    instances' item, closed."""
+    n = 128
+    rng = np.random.default_rng(42)
+
+    def build_tree():
+        g = OwnedDigraph(n)
+        for v in range(1, n):
+            g.add_arc(int(rng.integers(v)), v)
+        return g
+
+    def run():
+        graph = build_tree()
+        engine = DistanceEngine(graph.undirected_csr(), dirty_fraction="adaptive")
+        for key in engine.stats:
+            engine.stats[key] = 0
+        csr = graph.undirected_csr()
+        edges = [
+            (u, int(v)) for u in range(n) for v in csr.neighbors(u) if u < int(v)
+        ]
+        order = rng.permutation(len(edges))
+        for idx in order[:64]:
+            x, y = edges[int(idx)]
+            status = engine.remove_edge(x, y)
+            assert status == "delta"
+        return engine
+
+    t0 = time.perf_counter()
+    engine = run()
+    elapsed = time.perf_counter() - t0
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    stats = engine.stats
+    assert stats["rebuilds"] == 0, stats
+    assert stats["rows_recomputed"] == 0, stats
+    assert stats["pendant_fixes"] > 0, stats
+    assert stats["region_repairs"] > 0, stats
+    fresh = DistanceEngine(engine.csr)
+    assert np.array_equal(np.asarray(engine.matrix), np.asarray(fresh.matrix))
+    _record(
+        "treelike_fold",
+        {
+            "n": n,
+            "deletions": 64,
+            "elapsed_s": round(elapsed, 4),
+            "rebuilds": stats["rebuilds"],
+            "rows_recomputed": stats["rows_recomputed"],
+            "pendant_fixes": stats["pendant_fixes"],
+            "region_repairs": stats["region_repairs"],
+            "region_vertices": stats["region_vertices"],
         },
     )
 

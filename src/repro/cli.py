@@ -8,8 +8,9 @@ Subcommands
     Regenerate specific Table 1 cells / figures and print the reports.
     ``--workers`` shards supporting experiments (e.g. the exact census)
     across processes; ``--symmetry`` toggles census orbit pruning;
-    ``--extended`` adds the census instances the incremental kernel
-    unlocks (unit n=6, mixed n=5); ``--weighted`` appends the Section 6
+    ``--extended`` is a no-op alias (the formerly extended census
+    instances — unit n=6, mixed n=5 — are part of the default battery
+    now); ``--weighted`` appends the Section 6
     weighted weak-equilibrium census battery; ``--pool/--no-pool``
     forces shared-memory shard warm starts on or off (default: pooled
     exactly when sharded; bit-identical either way).
@@ -93,7 +94,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--extended",
         action="store_true",
         default=None,
-        help="census: run the extended instance battery (adds unit n=6, mixed n=5)",
+        help="census: no-op alias kept for compatibility (unit n=6 and "
+        "mixed n=5 are part of the default battery now)",
     )
     run_p.add_argument(
         "--weighted",

@@ -55,6 +55,59 @@ __all__ = ["DistanceCache", "WeightedDistanceCache"]
 _DEFAULT_CACHE_BYTES: int = 256 * 1024 * 1024
 
 
+class _StepHistory:
+    """Bounded replay log of small sync steps (shared cache machinery).
+
+    Both caches forward tiny deltas into lagging player engines by
+    replaying recorded ops instead of rebuilding punctured substrates;
+    the token/history/chain bookkeeping is substrate-agnostic and lives
+    here once. ``token`` identifies the current sync generation; each
+    :meth:`advance` either records the ops of the step just crossed or
+    — for an unforwardable step — breaks every chain that would have to
+    cross it.
+    """
+
+    __slots__ = ("token", "_history", "_max_steps")
+
+    def __init__(self, max_steps: int) -> None:
+        self.token = 0
+        self._history: "OrderedDict[int, tuple[int, tuple]]" = OrderedDict()
+        self._max_steps = max_steps
+
+    def advance(self, ops: "tuple | None") -> None:
+        """Bump the token, recording ``ops`` (``None`` breaks chains)."""
+        if ops is None:
+            self._history.clear()
+        else:
+            self._history[self.token] = (self.token + 1, ops)
+            while len(self._history) > self._max_steps:
+                self._history.popitem(last=False)
+        self.token += 1
+
+    def chain(self, from_token: "int | None") -> "list[tuple] | None":
+        """Replayable op lists covering ``from_token -> token``.
+
+        ``None`` when any intermediate step is unknown (history
+        evicted, or a step too large to forward) — the caller then
+        falls back to the full substrate rebuild + diff.
+        """
+        if from_token is None:
+            return None
+        out: "list[tuple]" = []
+        t = from_token
+        while t != self.token:
+            nxt = self._history.get(t)
+            if nxt is None:
+                return None
+            out.append(nxt[1])
+            t = nxt[0]
+        return out
+
+    def clear(self) -> None:
+        """Forget every recorded step (token keeps counting)."""
+        self._history.clear()
+
+
 class DistanceCache:
     """Lazily repaired :class:`DistanceEngine` pool for one graph.
 
@@ -75,6 +128,28 @@ class DistanceCache:
         a :class:`~repro.core.matrix_pool.MatrixPool` segment. The
         caller asserts it describes ``graph``'s *current* CSR; the
         golden suites pin that contract.
+    player_engines:
+        Optional pre-warmed per-player ``U(G - u)`` engines (mapping
+        ``u -> engine``), adopted under the same contract as
+        ``base_engine`` — e.g. copy-on-write engines attached from a
+        pool's per-player snapshot bundle. Adopted engines replace the
+        initial all-pairs BFS of their player's first access.
+
+    Step forwarding
+    ---------------
+    When one revision bump changed at most two undirected edges — a
+    fold's single removal, or a census Gray step's remove-one-add-one
+    arc swap — the ops are recorded in a bounded step *history* and
+    replayed into lagging player engines through the diff-free
+    :meth:`~repro.graphs.engine.DistanceEngine.remove_edge` /
+    :meth:`~repro.graphs.engine.DistanceEngine.add_edge` entry points,
+    skipping the per-player punctured-substrate rebuild plus edge-set
+    diff entirely (ops incident to ``u`` are dropped — the puncture
+    removes those edges from ``U(G - u)`` on both sides of the step).
+    The history keeps the last few steps so engines that skipped a
+    revision (screened players) still catch up by replay; any engine
+    lagging across an unknown or oversized step falls back to the full
+    substrate diff of :meth:`player`.
     """
 
     def __init__(
@@ -84,6 +159,7 @@ class DistanceCache:
         max_player_engines: int | None = None,
         dirty_fraction: "float | str | None" = None,
         base_engine: "DistanceEngine | None" = None,
+        player_engines: "dict[int, DistanceEngine] | None" = None,
     ) -> None:
         self._graph = graph
         self._max_players_requested = max_player_engines
@@ -92,7 +168,22 @@ class DistanceCache:
             {} if dirty_fraction is None else {"dirty_fraction": dirty_fraction}
         )
         self._base: DistanceEngine | None = None
-        self._base_revision = -1
+        self._players: "OrderedDict[int, DistanceEngine]" = OrderedDict()
+        self._player_tokens: dict[int, int] = {}
+        self._envs: dict[tuple[int, Version], tuple[BestResponseEnvironment, int]] = {}
+        self._csr = None
+        self._seen_revision: "int | None" = None
+        self._steps = _StepHistory(self._MAX_STEP_HISTORY)
+        self._base_token = -1
+        self.evictions = 0
+        self.env_hits = 0
+        self.step_forwards = 0
+        if base_engine is not None or player_engines:
+            # Adopted engines describe the graph's *current* substrate:
+            # seed the sync state so their first access replays nothing.
+            self._csr = graph.undirected_csr()
+            self._seen_revision = graph.revision
+            self._steps.advance(None)
         if base_engine is not None:
             if base_engine.n != graph.n:
                 raise GraphError(
@@ -100,12 +191,22 @@ class DistanceCache:
                     f"graph has {graph.n}"
                 )
             self._base = base_engine
-            self._base_revision = graph.revision
-        self._players: "OrderedDict[int, DistanceEngine]" = OrderedDict()
-        self._player_revisions: dict[int, int] = {}
-        self._envs: dict[tuple[int, Version], tuple[BestResponseEnvironment, int]] = {}
-        self.evictions = 0
-        self.env_hits = 0
+            self._base_token = self._steps.token
+        if player_engines:
+            for u, engine in player_engines.items():
+                if not 0 <= int(u) < graph.n:
+                    raise VertexError(int(u), graph.n)
+                if engine.n != graph.n:
+                    raise GraphError(
+                        f"player engine for {u} is over {engine.n} vertices, "
+                        f"graph has {graph.n}"
+                    )
+                self._players[int(u)] = engine
+                self._player_tokens[int(u)] = self._steps.token
+            while len(self._players) > self._max_players:
+                evicted, _ = self._players.popitem(last=False)
+                self._player_tokens.pop(evicted, None)
+                self.evictions += 1
 
     def _resolve_max_players(self, n: int) -> int:
         """Engine-count cap for instance size ``n`` (at least one).
@@ -128,19 +229,23 @@ class DistanceCache:
     def rebind(self, graph: OwnedDigraph) -> None:
         """Point the cache at another graph of the same size.
 
-        Engines (and their preallocated matrices) are kept; each next
-        access diffs against the new graph's CSR, which degrades to a
-        buffer-reusing rebuild when the graphs are unrelated. Sweep
-        workers use this to recycle buffers across tasks.
+        Engines (and their preallocated matrices) are kept, and so is
+        the previous substrate: the next access diffs content against
+        the new graph's — one arc apart (a fold onto a working copy)
+        even forwards as a single-op step, unrelated graphs degrade to
+        buffer-reusing rebuilds. Sweep workers use this to recycle
+        buffers across tasks.
         """
         if graph.n != self._graph.n:
             self._base = None
             self._players.clear()
-            self._player_revisions.clear()
+            self._player_tokens.clear()
+            self._steps.clear()
+            self._csr = None
+            self._base_token = -1
             self._max_players = self._resolve_max_players(graph.n)
         self._graph = graph
-        self._base_revision = -1
-        self._player_revisions = {u: -1 for u in self._players}
+        self._seen_revision = None
         self._envs.clear()
 
     def trim(self) -> None:
@@ -152,20 +257,63 @@ class DistanceCache:
         base buffer to stay cheap to revive.
         """
         self._players.clear()
-        self._player_revisions.clear()
+        self._player_tokens.clear()
         self._envs.clear()
+
+    #: Steps kept replayable; engines lagging further fall back to the
+    #: full substrate rebuild + diff of :meth:`player`.
+    _MAX_STEP_HISTORY: int = 8
+
+    #: The op detector is for the tiny-substrate census/dynamics regime;
+    #: above this many edges the per-sync set diff is not worth it.
+    _MAX_STEP_EDGES: int = 512
+
+    def _detect_step_ops(self, old, new) -> "tuple[tuple, ...] | None":
+        """Ops of one sync step when it is small enough to forward.
+
+        Returns ``(("rm"|"add", x, y), ...)`` (removals first) when the
+        step changed at most two undirected edges — exactly a fold's
+        single removal or a Gray step's arc swap — else ``None``.
+        """
+        from ..graphs.engine import _edge_ids
+
+        # indices holds two directed entries per undirected edge.
+        if old is None or max(old.indices.size, new.indices.size) > (
+            2 * self._MAX_STEP_EDGES
+        ):
+            return None
+        if abs(int(old.indices.size) - int(new.indices.size)) > 4:
+            return None  # more than two edges apart: never forwardable
+        old_set = set(_edge_ids(old).tolist())
+        new_set = set(_edge_ids(new).tolist())
+        removed = sorted(old_set - new_set)
+        added = sorted(new_set - old_set)
+        if not 1 <= len(removed) + len(added) <= 2:
+            return None
+        n = old.n
+        return tuple(("rm", eid // n, eid % n) for eid in removed) + tuple(
+            ("add", eid // n, eid % n) for eid in added
+        )
+
+    def _sync(self):
+        """Refresh the ``U(G)`` substrate, the token and the step history."""
+        rev = self._graph.revision
+        if self._csr is None or self._seen_revision != rev:
+            new_csr = self._graph.undirected_csr()
+            self._steps.advance(self._detect_step_ops(self._csr, new_csr))
+            self._csr = new_csr
+            self._seen_revision = rev
+        return self._csr
 
     # ------------------------------------------------------------------
     def base(self) -> DistanceEngine:
         """Engine over ``U(G)``, synced to the graph's current revision."""
-        rev = self._graph.revision
+        csr = self._sync()
         if self._base is None:
-            self._base = DistanceEngine(
-                self._graph.undirected_csr(), **self._engine_kwargs
-            )
-        elif self._base_revision != rev:
-            self._base.update(self._graph.undirected_csr())
-        self._base_revision = rev
+            self._base = DistanceEngine(csr, **self._engine_kwargs)
+        elif self._base_token != self._steps.token:
+            self._base.update(csr)
+        self._base_token = self._steps.token
         return self._base
 
     def base_if_fresh(self) -> DistanceEngine | None:
@@ -178,15 +326,25 @@ class DistanceCache:
         after the round-boundary :meth:`base` sync — and fall back to
         the direct computation otherwise, instead of forcing a sync.
         """
-        if self._base is not None and self._base_revision == self._graph.revision:
+        if (
+            self._base is not None
+            and self._seen_revision == self._graph.revision
+            and self._base_token == self._steps.token
+        ):
             return self._base
         return None
 
     def player(self, u: int) -> DistanceEngine:
-        """Engine over ``U(G - u)``, synced to the current revision."""
+        """Engine over ``U(G - u)``, synced to the current revision.
+
+        Lagging engines catch up by replaying the recorded step ops
+        (see the class docstring) when every intervening step is known
+        and small; otherwise by diffing the freshly built punctured
+        substrate.
+        """
         if not 0 <= u < self._graph.n:
             raise VertexError(u, self._graph.n)
-        rev = self._graph.revision
+        self._sync()
         engine = self._players.get(u)
         if engine is None:
             engine = DistanceEngine(
@@ -195,14 +353,31 @@ class DistanceCache:
             self._players[u] = engine
             if len(self._players) > self._max_players:
                 evicted, _ = self._players.popitem(last=False)
-                self._player_revisions.pop(evicted, None)
+                self._player_tokens.pop(evicted, None)
                 for version in Version:
                     self._envs.pop((evicted, version), None)
                 self.evictions += 1
-        elif self._player_revisions.get(u) != rev:
-            engine.update(self._graph.undirected_csr_without(u))
+        elif self._player_tokens.get(u) != self._steps.token:
+            chain = self._steps.chain(self._player_tokens.get(u))
+            if chain is not None:
+                # Every step between the engine's token and now is a
+                # known small delta: replay them through the diff-free
+                # entry points. Ops incident to ``u`` are skipped — the
+                # puncture removes those edges from ``U(G - u)`` on both
+                # sides of the step, so they change nothing.
+                for ops in chain:
+                    for kind, x, y in ops:
+                        if x == u or y == u:
+                            continue
+                        if kind == "rm":
+                            engine.remove_edge(x, y)
+                        else:
+                            engine.add_edge(x, y)
+                self.step_forwards += 1
+            else:
+                engine.update(self._graph.undirected_csr_without(u))
         self._players.move_to_end(u)
-        self._player_revisions[u] = rev
+        self._player_tokens[u] = self._steps.token
         return engine
 
     def environment(self, u: int, version: Version | str) -> BestResponseEnvironment:
@@ -244,6 +419,7 @@ class DistanceCache:
                 self._base.stats[key] = 0
         self.evictions = 0
         self.env_hits = 0
+        self.step_forwards = 0
 
     def stats(self) -> dict[str, int]:
         """Aggregated engine counters (rebuilds/deltas/noops/rows/evictions).
@@ -252,7 +428,15 @@ class DistanceCache:
         a cache shared across several dynamics runs reports the total,
         not the last run's share.
         """
-        total = {"rebuilds": 0, "deltas": 0, "noops": 0, "rows_recomputed": 0}
+        total = {
+            "rebuilds": 0,
+            "deltas": 0,
+            "noops": 0,
+            "rows_recomputed": 0,
+            "pendant_fixes": 0,
+            "region_repairs": 0,
+            "region_vertices": 0,
+        }
         engines = list(self._players.values())
         if self._base is not None:
             engines.append(self._base)
@@ -262,6 +446,7 @@ class DistanceCache:
         total["player_engines"] = len(self._players)
         total["evictions"] = self.evictions
         total["env_hits"] = self.env_hits
+        total["step_forwards"] = self.step_forwards
         return total
 
 
@@ -333,17 +518,16 @@ class WeightedDistanceCache:
         self._player_tokens: "dict[int, int]" = {}
         self._wcsr: "WeightedCSR | None" = None
         self._seen_key: "tuple[int, int] | None" = None
-        self._token = 0
         # The _step forwarder: when one sync step changed at most two
         # edges (a fold's single removal; a census Gray step's
         # remove-one-add-one arc swap) with weights untouched, the ops
-        # are recorded as ``from_token -> (to_token, ops)`` and replayed
+        # are recorded in the shared :class:`_StepHistory` and replayed
         # into lagging player engines via the diff-free
         # ``remove_edge``/``add_edge`` entry points, skipping the
         # per-player substrate rebuild + edge-set diff entirely. The
         # history keeps the last few steps so engines that skipped a
         # profile (screened players) still catch up by replay.
-        self._step_history: "OrderedDict[int, tuple[int, tuple]]" = OrderedDict()
+        self._steps = _StepHistory(self._MAX_STEP_HISTORY)
         self.evictions = 0
         self.step_forwards = 0
         if base_engine is not None:
@@ -355,8 +539,8 @@ class WeightedDistanceCache:
             self._base = base_engine
             self._wcsr = base_engine.wcsr
             self._seen_key = self._key()
-            self._token = 1
-            self._base_token = 1
+            self._steps.advance(None)
+            self._base_token = self._steps.token
 
     def _resolve_max_players(self, n: int) -> int:
         if self._max_players_requested is not None:
@@ -416,7 +600,10 @@ class WeightedDistanceCache:
         """
         from ..graphs.weighted_engine import _edge_ids_weights
 
-        if old is None or old.indices.size + new.indices.size > 2 * self._MAX_STEP_EDGES:
+        # indices holds two directed entries per undirected edge.
+        if old is None or max(old.indices.size, new.indices.size) > (
+            2 * self._MAX_STEP_EDGES
+        ):
             return None
         if abs(old.indices.size - new.indices.size) > 4:
             return None  # more than two edges apart: never forwardable
@@ -455,39 +642,11 @@ class WeightedDistanceCache:
                 self._base_token = -1
                 self._players.clear()
                 self._player_tokens.clear()
-                self._step_history.clear()
-            ops = self._detect_step_ops(self._wcsr, new_wcsr)
-            if ops is None:
-                # An unforwardable step breaks every replay chain that
-                # would have to cross it.
-                self._step_history.clear()
-            else:
-                self._step_history[self._token] = (self._token + 1, ops)
-                while len(self._step_history) > self._MAX_STEP_HISTORY:
-                    self._step_history.popitem(last=False)
-            self._token += 1
+                self._steps.clear()
+            self._steps.advance(self._detect_step_ops(self._wcsr, new_wcsr))
             self._wcsr = new_wcsr
             self._seen_key = key
         return self._wcsr
-
-    def _step_chain(self, from_token: "int | None") -> "list[tuple] | None":
-        """Replayable op lists covering ``from_token -> current token``.
-
-        ``None`` when any intermediate step is unknown (history evicted,
-        or a step too large to forward) — the caller then falls back to
-        the full substrate rebuild + diff.
-        """
-        if from_token is None:
-            return None
-        chain: "list[tuple]" = []
-        t = from_token
-        while t != self._token:
-            nxt = self._step_history.get(t)
-            if nxt is None:
-                return None
-            chain.append(nxt[1])
-            t = nxt[0]
-        return chain
 
     def rebind(self, graph: OwnedDigraph) -> None:
         """Point the cache at another graph of the same size.
@@ -502,7 +661,7 @@ class WeightedDistanceCache:
             self._base = None
             self._players.clear()
             self._player_tokens.clear()
-            self._step_history.clear()
+            self._steps.clear()
             self._wcsr = None
             self._max_players = self._resolve_max_players(graph.n)
         self._graph = graph
@@ -514,9 +673,9 @@ class WeightedDistanceCache:
         wcsr = self._sync()
         if self._base is None:
             self._base = WeightedDistanceEngine(wcsr, **self._engine_kwargs)
-        elif self._base_token != self._token:
+        elif self._base_token != self._steps.token:
             self._base.update(wcsr)
-        self._base_token = self._token
+        self._base_token = self._steps.token
         return self._base
 
     def player(self, u: int) -> WeightedDistanceEngine:
@@ -534,8 +693,8 @@ class WeightedDistanceCache:
                 evicted, _ = self._players.popitem(last=False)
                 self._player_tokens.pop(evicted, None)
                 self.evictions += 1
-        elif self._player_tokens.get(u) != self._token:
-            chain = self._step_chain(self._player_tokens.get(u))
+        elif self._player_tokens.get(u) != self._steps.token:
+            chain = self._steps.chain(self._player_tokens.get(u))
             if chain is not None:
                 # Every step between the engine's token and now is a
                 # known small delta: replay them through the diff-free
@@ -554,7 +713,7 @@ class WeightedDistanceCache:
             else:
                 engine.update(weighted_csr_without_vertex(wcsr, u))
         self._players.move_to_end(u)
-        self._player_tokens[u] = self._token
+        self._player_tokens[u] = self._steps.token
         return engine
 
     # ------------------------------------------------------------------
@@ -577,6 +736,8 @@ class WeightedDistanceCache:
             "noops": 0,
             "rows_recomputed": 0,
             "pendant_fixes": 0,
+            "region_repairs": 0,
+            "region_vertices": 0,
         }
         engines = list(self._players.values())
         if self._base is not None:

@@ -184,6 +184,41 @@ def _profile_tables(
     return combos, radices, rests
 
 
+def _gray_digit_stream(
+    radices: Sequence[int], digits: "list[int]"
+) -> Iterator[tuple[int, int, int]]:
+    """Loop-free successor stream of the reflected mixed-radix Gray code.
+
+    Mutates ``digits`` (the MSB-first digit vector of the current rank)
+    in place and yields ``(position, old_digit, new_digit)`` per rank
+    increment — the same sequence :func:`_gray_digits` produces rank by
+    rank, at amortised O(1) per step instead of O(n). Directions are
+    recovered from the reflection parity (digit ``i`` ascends iff the
+    digits before it sum to an even number), so the stream can start at
+    any rank — which is what lets census shards resume mid-sequence.
+    """
+    n = len(radices)
+    o = []
+    prefix = 0
+    for i in range(n):
+        o.append(1 if prefix % 2 == 0 else -1)
+        prefix += digits[i]
+    while True:
+        for j in range(n - 1, -1, -1):
+            d = digits[j] + o[j]
+            if 0 <= d < radices[j]:
+                old = digits[j]
+                digits[j] = d
+                # Positions right of j were at their extremes; passing
+                # them flipped their direction already, which is exactly
+                # the parity flip the changed digit at j implies.
+                yield j, old, d
+                break
+            o[j] = -o[j]
+        else:
+            return  # rank space exhausted
+
+
 def gray_profile_walk(
     game: BoundedBudgetGame,
     *,
@@ -260,16 +295,33 @@ def _budget_symmetry_group(budgets: Sequence[int]) -> np.ndarray:
 class _OrbitKeys:
     """Incrementally maintained canonical keys of one evolving profile.
 
-    For every group element the ownership adjacency of the relabeled
+    For a group element the ownership adjacency of the relabeled
     profile is packed into a single ``uint64`` bit key (bit ``a*n + b``
-    set iff arc ``a -> b``), kept current with two bit toggles per
-    element per Gray step. A profile is canonical iff its own key (the
-    identity row) is the orbit minimum; the orbit size follows from the
-    stabilizer count. Keys are injective on directed graphs with
-    ``n^2 <= 64``, so equal keys mean equal relabeled profiles.
+    set iff arc ``a -> b``). A profile is canonical iff its own key
+    (the identity element) is the orbit minimum; the orbit size follows
+    from the stabilizer count. Keys are injective on directed graphs
+    with ``n^2 <= 64``, so equal keys mean equal relabeled profiles.
+
+    Two-stage evaluation keeps the per-profile cost sublinear in the
+    group order: only a small **probe** subset — the identity plus
+    every within-class transposition — is maintained incrementally
+    (two gathers per Gray step). A probe key below the identity key
+    certainly refutes canonicity; the rare survivors get an exact
+    from-scratch scan over the *full* group, reconstructing the arc
+    list from the identity key's bits (no graph needed). When the
+    group is no larger than the probe set the full group simply *is*
+    the probe set and the exact stage is skipped. Both stages decide
+    "is the identity key the orbit minimum" exactly, so the pruning
+    decision — and hence the census — is bit-identical to the
+    maintain-everything implementation it replaces.
+
+    :meth:`advance_block` amortises the walk further: a whole block of
+    Gray swaps becomes one ``(block, probes)`` cumulative-sum pass, so
+    the per-profile Python and scan cost that used to dominate the
+    n = 7 census collapses into a handful of vectorised passes.
     """
 
-    __slots__ = ("_slot", "_weight", "_vals", "_g")
+    __slots__ = ("_n", "_g", "_slot", "_probe_slot", "_weight", "_vals", "_exact")
 
     def __init__(self, n: int, perms: np.ndarray) -> None:
         if n * n > 64:
@@ -277,18 +329,83 @@ class _OrbitKeys:
                 f"symmetry pruning packs profiles into 64-bit keys and is "
                 f"capped at n = {_MAX_SYMMETRY_N}, got n = {n}"
             )
-        inv = np.argsort(perms, axis=1)
-        # slot[k, i, j]: bit position of arc (i, j) after relabeling by
-        # perms[k] — the arc lands at (perm[i], perm[j]), so reading it
-        # back from position (a, b) needs the inverse images.
-        self._slot = (inv[:, :, None] * n + inv[:, None, :]).astype(np.int64)
-        self._weight = np.uint64(1) << np.arange(n * n, dtype=np.uint64)
-        self._vals = np.zeros(perms.shape[0], dtype=np.uint64)
+        from .isomorphism import budget_class_transpositions
+
+        def slots(p: np.ndarray) -> np.ndarray:
+            # slot[k, i, j]: bit position of arc (i, j) after relabeling
+            # by p[k] — the arc lands at (perm[i], perm[j]), so reading
+            # it back from position (a, b) needs the inverse images.
+            inv = np.argsort(p, axis=1)
+            return (inv[:, :, None] * n + inv[:, None, :]).astype(np.int64)
+
+        self._n = int(n)
         self._g = int(perms.shape[0])
+        self._slot = slots(perms)
+        # Budgets are recoverable from any group: every permutation in
+        # ∏ Sym(class) preserves them, so the classes are the orbits of
+        # the group's own action on players. Cheaper: the caller's
+        # perms came from a budget vector whose transpositions we can
+        # derive from the group's point orbits.
+        orbits = self._point_orbit_labels(perms)
+        probes = budget_class_transpositions(orbits)
+        if self._g <= probes.shape[0] + 1:
+            self._probe_slot = self._slot  # tiny group: probes = group
+            self._exact = False
+        else:
+            identity = np.arange(n, dtype=np.int64)[None, :]
+            self._probe_slot = slots(np.concatenate([identity, probes], axis=0))
+            self._exact = True
+        self._vals = np.zeros(self._probe_slot.shape[0], dtype=np.uint64)
+        self._weight = np.uint64(1) << np.arange(n * n, dtype=np.uint64)
+
+    @staticmethod
+    def _point_orbit_labels(perms: np.ndarray) -> np.ndarray:
+        """Label players by the orbit of the group's action on them.
+
+        For the budget symmetry group the orbits are exactly the
+        equal-budget classes, so the labels stand in for budgets when
+        deriving the within-class transpositions.
+        """
+        n = perms.shape[1]
+        labels = np.full(n, -1, dtype=np.int64)
+        nxt = 0
+        for i in range(n):
+            if labels[i] >= 0:
+                continue
+            members = np.unique(perms[:, i])
+            labels[members] = nxt
+            nxt += 1
+        return labels
+
+    def _arcs_from_key(self, key: np.uint64) -> "tuple[np.ndarray, np.ndarray]":
+        """Arc endpoint arrays recovered from an identity bit key."""
+        n = self._n
+        bits = np.flatnonzero(
+            (np.uint64(key) >> np.arange(n * n, dtype=np.uint64)) & np.uint64(1)
+        )
+        return bits // n, bits % n
+
+    def _exact_orbit_size(self, key: np.uint64) -> "int | None":
+        """Full-group decision for one probe-stage survivor.
+
+        Recomputes every group element's key from scratch off the arc
+        list encoded in ``key`` — ``O(g * m)`` gathers, paid only for
+        profiles the probes could not refute.
+        """
+        heads, tails = self._arcs_from_key(key)
+        if heads.size:
+            vals = self._weight[self._slot[:, heads, tails]].sum(
+                axis=1, dtype=np.uint64
+            )
+        else:
+            vals = np.zeros(self._g, dtype=np.uint64)
+        if vals.min() < key:
+            return None
+        return self._g // int((vals == key).sum())
 
     def toggle(self, i: int, j: int, present: bool) -> None:
         """Record that arc ``i -> j`` was added (or removed)."""
-        delta = self._weight[self._slot[:, i, j]]
+        delta = self._weight[self._probe_slot[:, i, j]]
         if present:
             self._vals += delta
         else:
@@ -299,7 +416,43 @@ class _OrbitKeys:
         key = self._vals[0]  # identity relabeling = the profile itself
         if self._vals.min() < key:
             return None
-        return self._g // int((self._vals == key).sum())
+        if not self._exact:
+            return self._g // int((self._vals == key).sum())
+        return self._exact_orbit_size(key)
+
+    def advance_block(
+        self, js: np.ndarray, drops: np.ndarray, adds: np.ndarray
+    ) -> np.ndarray:
+        """Apply a block of Gray arc swaps; orbit sizes per step.
+
+        Step ``t`` replaces arc ``js[t] -> drops[t]`` with
+        ``js[t] -> adds[t]``. Returns an ``int64`` array with the orbit
+        size at each post-swap profile for canonical profiles and ``0``
+        for non-canonical ones. One cumulative-sum pass maintains every
+        probe key across the whole block (``uint64`` wrap-around is
+        exact: all true partial sums are valid keys); survivors of the
+        probe minimum test get the exact full-group scan.
+        """
+        deltas = (
+            self._weight[self._probe_slot[:, js, adds]]
+            - self._weight[self._probe_slot[:, js, drops]]
+        ).T  # (block, probes)
+        block = self._vals[None, :] + np.cumsum(deltas, axis=0)
+        self._vals = block[-1].copy()
+        keys = block[:, 0]
+        candidates = block.min(axis=1) >= keys
+        sizes = np.zeros(js.size, dtype=np.int64)
+        if not self._exact:
+            hits = np.flatnonzero(candidates)
+            if hits.size:
+                stab = (block[hits] == keys[hits, None]).sum(axis=1)
+                sizes[hits] = self._g // stab
+            return sizes
+        for t in np.flatnonzero(candidates):
+            size = self._exact_orbit_size(keys[t])
+            if size is not None:
+                sizes[t] = size
+        return sizes
 
 
 def _expand_orbit(
@@ -343,6 +496,10 @@ def _attach_unit_snapshot(handle, graph: OwnedDigraph) -> "object | None":
         return None
 
 
+#: Gray swaps per vectorised orbit-key block of the symmetry census.
+_ORBIT_BLOCK: int = 2048
+
+
 def _census_shard(payload: tuple) -> "dict[str, object]":
     """One contiguous Gray-rank range of the census (worker function).
 
@@ -351,6 +508,13 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
     carries a warm-start :class:`~repro.core.matrix_pool.SegmentHandle`,
     the shard attaches the parent's snapshot of its start rank instead
     of rebuilding the base matrix from scratch.
+
+    With symmetry pruning the shard is a **canonical-rep-only walk**:
+    the Gray swap stream advances digits at amortised O(1) per rank,
+    orbit keys advance in vectorised :meth:`_OrbitKeys.advance_block`
+    blocks, and the graph (plus its engine pool) is only materialised
+    at the sparse canonical ranks — skipped profiles never touch the
+    graph at all, which is what breaks the n = 7 barrier.
     """
     budgets, version_value, lo, hi, symmetry, collect, max_profiles, handle = payload
     game = BoundedBudgetGame(list(budgets))
@@ -365,29 +529,59 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
     best_eq: "int | None" = None
     worst_eq: "int | None" = None
     eq_profiles: "list[tuple[tuple[int, ...], ...]]" = []
-    cache: "DistanceCache | None" = None
-    for rank, graph, swap in gray_profile_walk(
-        game, start=lo, stop=hi, max_profiles=max_profiles
-    ):
-        if cache is None:
-            base_engine = _attach_unit_snapshot(handle, graph)
-            warm = int(base_engine is not None)
-            cache = DistanceCache(
-                graph, dirty_fraction="adaptive", base_engine=base_engine
+    if hi <= lo:
+        return {
+            "count": 0,
+            "eq_count": 0,
+            "opt": None,
+            "best_eq": None,
+            "worst_eq": None,
+            "eq_profiles": eq_profiles if collect else None,
+            "warm": 0,
+        }
+    _check_cap(game, max_profiles)
+    combos, radices, rests = _profile_tables(game)
+    digits = _gray_digits(lo, radices, rests)
+    graph = OwnedDigraph.from_strategies(
+        [combos[u][digits[u]] for u in range(n)], n
+    )
+    base_engine = _attach_unit_snapshot(handle, graph)
+    warm = int(base_engine is not None)
+    cache = DistanceCache(graph, dirty_fraction="adaptive", base_engine=base_engine)
+    if orbit is not None:
+        for a, b in graph.arcs():
+            orbit.toggle(a, b, True)
+    gdigits = list(digits)  # digit vector the materialised graph reflects
+
+    # trans[j][d]: the (dropped, added) targets of player j's
+    # revolving-door step d -> d+1, precomputed once so the per-rank
+    # loop decodes a swap with one tuple lookup instead of two set
+    # differences.
+    trans = [
+        [
+            (
+                next(iter(set(cj[d]) - set(cj[d + 1]))),
+                next(iter(set(cj[d + 1]) - set(cj[d]))),
             )
-            if orbit is not None:
-                for a, b in graph.arcs():
-                    orbit.toggle(a, b, True)
-        elif orbit is not None and swap is not None:
-            j, dropped, added = swap
-            orbit.toggle(j, dropped, False)
-            orbit.toggle(j, added, True)
-        if orbit is not None:
-            orbit_size = orbit.canonical_orbit_size()
-            if orbit_size is None:
-                continue  # a smaller relabeling exists; its rep is counted
-        else:
-            orbit_size = 1
+            for d in range(len(cj) - 1)
+        ]
+        for cj in combos
+    ]
+
+    def decode_swap(j: int, old_d: int, new_d: int) -> "tuple[int, int]":
+        """(dropped, added) targets of the digit move ``old_d -> new_d``."""
+        if new_d == old_d + 1:
+            return trans[j][old_d]
+        added, dropped = trans[j][new_d]
+        return dropped, added
+
+    def evaluate(pdigits: "list[int]", orbit_size: int) -> None:
+        """Materialise the profile at ``pdigits`` and census it."""
+        nonlocal count, eq_count, opt, best_eq, worst_eq
+        for j in range(n):
+            if gdigits[j] != pdigits[j]:
+                graph.set_strategy(j, combos[j][pdigits[j]])
+                gdigits[j] = pdigits[j]
         d = int(cache.base().matrix.max()) if n > 1 else 0
         count += orbit_size
         if opt is None or d < opt:
@@ -404,6 +598,52 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
                     eq_profiles.extend(_expand_orbit(key, perms))
                 else:
                     eq_profiles.append(key)
+
+    first_size = 1 if orbit is None else orbit.canonical_orbit_size()
+    if first_size is not None:
+        evaluate(digits, first_size)
+
+    if orbit is None:
+        # Every rank is evaluated: apply each swap as a single-arc delta
+        # so the engine pool repairs (and step-forwards) one op at a time.
+        stream = _gray_digit_stream(radices, digits)
+        for rank in range(lo + 1, hi):
+            j, old_d, new_d = next(stream)
+            dropped, added = decode_swap(j, old_d, new_d)
+            graph.remove_arc(j, dropped)
+            graph.add_arc(j, added)
+            gdigits[j] = new_d
+            evaluate(digits, 1)
+    else:
+        # Canonical-rep-only walk: batch the swap stream into blocks,
+        # advance all probe keys per block in one vectorised pass, and
+        # only touch the graph at the (rare) canonical ranks.
+        stream = _gray_digit_stream(radices, digits)
+        pdigits = list(digits)  # digit vector at the evaluation pointer
+        rank = lo + 1
+        js = np.empty(_ORBIT_BLOCK, dtype=np.int64)
+        drops = np.empty(_ORBIT_BLOCK, dtype=np.int64)
+        adds = np.empty(_ORBIT_BLOCK, dtype=np.int64)
+        newds = np.empty(_ORBIT_BLOCK, dtype=np.int64)
+        while rank < hi:
+            b = min(_ORBIT_BLOCK, hi - rank)
+            for t in range(b):
+                j, old_d, new_d = next(stream)
+                dropped, added = decode_swap(j, old_d, new_d)
+                js[t] = j
+                drops[t] = dropped
+                adds[t] = added
+                newds[t] = new_d
+            sizes = orbit.advance_block(js[:b], drops[:b], adds[:b])
+            ptr = 0
+            for t in np.flatnonzero(sizes):
+                for t2 in range(ptr, int(t) + 1):
+                    pdigits[int(js[t2])] = int(newds[t2])
+                ptr = int(t) + 1
+                evaluate(pdigits, int(sizes[t]))
+            for t2 in range(ptr, b):
+                pdigits[int(js[t2])] = int(newds[t2])
+            rank += b
     return {
         "count": count,
         "eq_count": eq_count,

@@ -32,6 +32,7 @@ from ..graphs.distances import distance_matrix
 
 __all__ = [
     "are_isomorphic",
+    "budget_class_transpositions",
     "canonical_form",
     "isomorphism_invariant",
     "refined_vertex_colors",
@@ -50,6 +51,33 @@ _PERM_CHUNK = 8192
 def _check_size(graph: OwnedDigraph) -> None:
     if graph.n > _MAX_N:
         raise GameError(f"exact isomorphism is capped at n = {_MAX_N}")
+
+
+def budget_class_transpositions(budgets) -> np.ndarray:
+    """All within-class transpositions of the budget symmetry group.
+
+    Row ``k`` is the permutation swapping one pair of equal-budget
+    players and fixing everything else — always an element of
+    ``∏ Sym(budget class)``. These are the cheap *probe* elements the
+    census orbit pruning maintains incrementally: a profile whose key
+    is not minimal under some transposition is certainly not canonical,
+    and the probes reject the overwhelming majority of profiles without
+    ever touching the full group. Shape ``(t, n)``; ``t`` may be zero
+    (all budgets distinct).
+    """
+    n = len(budgets)
+    classes: "dict[int, list[int]]" = {}
+    for i, b in enumerate(budgets):
+        classes.setdefault(int(b), []).append(i)
+    perms = []
+    for members in classes.values():
+        for a, b in itertools.combinations(members, 2):
+            perm = np.arange(n, dtype=np.int64)
+            perm[a], perm[b] = b, a
+            perms.append(perm)
+    if not perms:
+        return np.empty((0, n), dtype=np.int64)
+    return np.stack(perms)
 
 
 def refined_vertex_colors(graph: OwnedDigraph) -> list[int]:

@@ -19,16 +19,10 @@ three paths, returned as a status string:
 
   - **Deletions** can only *increase* distances. Small batches (at most
     ``_SEQUENTIAL_DELETION_CAP`` edges) are processed one edge at a
-    time with the exact support criterion: removing ``{x, y}`` affects
-    source ``s`` only if the downhill endpoint (say ``d(s, y) =
-    d(s, x) + 1``) loses its *only* tight parent — if another neighbour
-    ``z`` of ``y`` with ``d(s, z) = d(s, y) - 1`` survives, every
-    shortest path through the edge reroutes through ``z`` at equal
-    length and row ``s`` is untouched. Affected rows get a bounded
-    recompute: a fresh batched BFS of just those sources on the
-    intermediate substrate. Larger batches use the coarser (sound but
+    time through the **deletion repair hierarchy** (cheapest tier that
+    applies wins; see below). Larger batches use the coarser (sound but
     pessimistic) tightness filter ``|d(s, x) - d(s, y)| == 1`` in one
-    composed pass.
+    composed whole-row pass.
   - **Insertions** can only *decrease* distances. Every inserted edge is
     covered by a small *pivot* vertex set (greedy vertex cover of the
     inserted edges — for a best-response step this is exactly the
@@ -44,15 +38,45 @@ three paths, returned as a status string:
   the changed-edge count alone exceeds the analysis budget (heavy
   churn), and always available via :meth:`rebuild`.
 
+Deletion repair hierarchy
+-------------------------
+Removing one edge ``{x, y}`` walks a four-tier hierarchy, each tier an
+order of magnitude cheaper than the next when it applies:
+
+1. **Pendant fix** — the removal isolates a degree-1 endpoint. No
+   shortest path between *other* vertices ever crossed it, so the
+   repair is one column/row write (the Section 6 fold primitive).
+2. **Affected-region repair** (Ramalingam–Reps style) — the exact
+   support criterion names the dirty sources: ``s`` is affected only if
+   the downhill endpoint (say ``d(s, y) = d(s, x) + 1``) loses its
+   *only* tight parent — if another neighbour ``z`` of ``y`` with
+   ``d(s, z) = d(s, y) - 1`` survives, every shortest path through the
+   edge reroutes through ``z`` at equal length and row ``s`` is
+   untouched. For each dirty source the *affected region* — the
+   vertices every one of whose tight-parent chains runs through the
+   removed edge — is grown from the downhill endpoint in old-distance
+   order, then re-relaxed in one masked multi-source Dijkstra seeded
+   from the unaffected boundary (positions outside the region keep
+   their exact old distances). On tree-like substrates a deletion
+   dirties many whole rows but only a small region per row, which is
+   exactly the gap this tier closes.
+3. **Dirty-row recompute** — a fresh batched BFS of the dirty sources
+   on the post-removal substrate, bounded by the row budget.
+4. **Rebuild** — full all-pairs BFS.
+
 The row budget is ``dirty_fraction * n`` by default. Passing
 ``dirty_fraction="adaptive"`` instead derives the budget from the
 engine's own cost counters: exponential moving averages of the
-wall-clock cost of a full rebuild and of the per-row cost of a delta
-repair (analysis included) set the break-even row count, so sparse
-tree-like substrates — where per-row repair is comparatively expensive
-because deletions dirty whole rows — fall back to rebuilds earlier,
-and dense substrates repair more aggressively. Both paths produce
-identical matrices; the knob only trades time.
+wall-clock cost of a full rebuild, of the per-row cost of a dirty-row
+repair, and of the per-position cost of a region repair set the
+break-even points between tiers 2/3/4, so each substrate settles into
+the tier mix that is measurably cheapest for its own shape. All tiers
+produce identical matrices; the knobs only trade time.
+
+:meth:`remove_edge` / :meth:`add_edge` are diff-free single-edge entry
+points for callers that already know the delta (a distance cache
+forwarding one Gray-step arc swap to a whole engine pool); they skip
+the edge-set diff of :meth:`update` and run the same repair machinery.
 
 Every path that may change distances bumps the ``epoch`` counter;
 consumers snapshot the epoch at read time and revalidate with
@@ -122,6 +146,32 @@ def _csr_remove_edge(csr: CSRAdjacency, x: int, y: int) -> CSRAdjacency:
     return CSRAdjacency(n=csr.n, indptr=indptr, indices=csr.indices[keep])
 
 
+def _csr_insert_edge(csr: CSRAdjacency, x: int, y: int) -> CSRAdjacency:
+    """Copy of ``csr`` with the undirected edge ``{x, y}`` spliced in."""
+    entries = []
+    for a, b in ((x, y), (y, x)):
+        lo, hi = int(csr.indptr[a]), int(csr.indptr[a + 1])
+        pos = lo + int(np.searchsorted(csr.indices[lo:hi], b))
+        if pos < hi and csr.indices[pos] == b:
+            raise GraphError(f"edge {{{x}, {y}}} already present in substrate")
+        entries.append((pos, a, b))
+    # Ties in position (adjacent empty rows) must keep row order so each
+    # value lands in its owner's CSR segment.
+    entries.sort()
+    counts = np.diff(csr.indptr).copy()
+    counts[x] += 1
+    counts[y] += 1
+    indptr = np.zeros(csr.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRAdjacency(
+        n=csr.n,
+        indptr=indptr,
+        indices=np.insert(
+            csr.indices, [p for p, _, _ in entries], [b for _, _, b in entries]
+        ),
+    )
+
+
 def _bfs_flat_frontier(
     indptr: np.ndarray,
     indices: np.ndarray,
@@ -168,6 +218,210 @@ def _bfs_flat_frontier(
         flat[idx] = level
         slots = idx // n
         verts = idx - slots * n
+
+
+def _gather_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, verts: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """CSR offsets of every edge leaving ``verts``, plus the owner index.
+
+    ``offsets[e]`` indexes ``indices`` (and an aligned weights array);
+    ``owner[e]`` is the position in ``verts`` the edge leaves from.
+    """
+    starts = indptr[verts]
+    counts = indptr[verts + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    offsets = np.repeat(starts - (cum - counts), counts) + np.arange(
+        total, dtype=np.int64
+    )
+    owner = np.repeat(np.arange(verts.size, dtype=np.int64), counts)
+    return offsets, owner
+
+
+def _deletion_roots(
+    D: np.ndarray, x: int, y: int, w: int, sources: np.ndarray
+) -> np.ndarray:
+    """Downhill endpoint of the removed edge ``{x, y}`` per dirty source.
+
+    For a source ``s`` dirtied by the deletion, exactly one endpoint is
+    downhill (``d(s, y) = d(s, x) + w`` or vice versa); that endpoint
+    lost its only tight parent and seeds the affected region.
+    """
+    dx = D[sources, x].astype(np.int64)
+    dy = D[sources, y].astype(np.int64)
+    return np.where(dy == dx + w, y, x).astype(np.int64)
+
+
+def _affected_positions(
+    D: np.ndarray,
+    inf: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: "np.ndarray | None",
+    sources: np.ndarray,
+    roots: np.ndarray,
+    cap: float,
+) -> "np.ndarray | None":
+    """Flat ``s * n + v`` positions whose distance may grow, or ``None``.
+
+    Ramalingam–Reps affected-set computation, batched over all dirty
+    sources at once: ``roots[i]`` (the downhill endpoint that lost its
+    only tight parent for ``sources[i]``) seeds the region, and a vertex
+    joins iff *every* tight parent — a surviving neighbour ``u`` with
+    ``d(s, u) + w(u, v) = d(s, v)`` w.r.t. the pre-removal matrix ``D``
+    — is already in the region (one unaffected tight parent preserves a
+    shortest path of unchanged length, so the vertex and its whole
+    downstream cone keep their distances). Candidates are processed in
+    increasing old-distance buckets, so parents are always classified
+    before children; the set is a (safe) over-approximation of the
+    vertices whose distances actually change.
+
+    ``weights=None`` means the unit regime (every edge length 1).
+    Returns ``None`` as soon as the region outgrows ``cap`` — the signal
+    to fall back to the dirty-row tier.
+    """
+    n = D.shape[1]
+    flatD = D.reshape(-1)
+    affected = np.zeros(D.size, dtype=bool)
+    seeds = sources * n + roots
+    affected[seeds] = True
+    total = seeds.size
+    if total > cap:
+        return None
+    marked = [seeds]
+    buckets: "dict[int, list[np.ndarray]]" = {}
+
+    def push_children(pos: np.ndarray) -> None:
+        """Queue the strictly-downhill neighbours of newly marked positions."""
+        v = pos % n
+        offsets, owner = _gather_neighbors(indptr, indices, v)
+        if offsets.size == 0:
+            return
+        tpos = (pos - v)[owner] + indices[offsets]
+        tvals = flatD[tpos]
+        keep = (tvals > flatD[pos][owner]) & (tvals < inf) & ~affected[tpos]
+        tpos = tpos[keep]
+        if tpos.size == 0:
+            return
+        tvals = tvals[keep].astype(np.int64)
+        order = np.argsort(tvals, kind="stable")
+        tvals = tvals[order]
+        tpos = tpos[order]
+        cuts = np.flatnonzero(tvals[1:] != tvals[:-1]) + 1
+        segs = np.split(tpos, cuts)
+        vals = tvals[np.concatenate([[0], cuts])] if cuts.size else tvals[:1]
+        for val, seg in zip(vals, segs):
+            buckets.setdefault(int(val), []).append(seg)
+
+    push_children(seeds)
+    while buckets:
+        level = min(buckets)
+        cand = np.unique(np.concatenate(buckets.pop(level)))
+        cand = cand[~affected[cand]]
+        if cand.size == 0:
+            continue
+        v = cand % n
+        offsets, owner = _gather_neighbors(indptr, indices, v)
+        ppos = (cand - v)[owner] + indices[offsets]
+        w_e = 1 if weights is None else weights[offsets].astype(np.int64)
+        tight = flatD[ppos].astype(np.int64) + w_e == level
+        escape = tight & ~affected[ppos]
+        has_escape = np.zeros(cand.size, dtype=bool)
+        np.logical_or.at(has_escape, owner, escape)
+        newly = cand[~has_escape]
+        if newly.size == 0:
+            continue
+        affected[newly] = True
+        total += newly.size
+        if total > cap:
+            return None
+        marked.append(newly)
+        push_children(newly)
+    return np.concatenate(marked)
+
+
+def _region_relax(
+    D: np.ndarray,
+    inf: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: "np.ndarray | None",
+    positions: np.ndarray,
+) -> None:
+    """Exact in-place recompute of the affected positions.
+
+    Masked multi-source Dijkstra restricted to the region: affected
+    labels reset to ``inf``, are seeded from their unaffected neighbours
+    (whose distances are final — a deletion never changes them), then
+    settle in one global nondecreasing-label loop. Edges never cross
+    source slots, so merging all sources into one schedule is still
+    Dijkstra per source; positions left at ``inf`` are genuinely
+    unreachable. Works for unit (``weights=None``) and weighted
+    substrates alike.
+    """
+    n = D.shape[1]
+    flatD = D.reshape(-1)
+    aff = np.zeros(D.size, dtype=bool)
+    aff[positions] = True
+    flatD[positions] = inf
+    v = positions % n
+    offsets, owner = _gather_neighbors(indptr, indices, v)
+    if offsets.size:
+        w_e = 1 if weights is None else weights[offsets].astype(np.int64)
+        cand = flatD[(positions - v)[owner] + indices[offsets]].astype(np.int64) + w_e
+        np.minimum(cand, int(inf), out=cand)
+        labels = np.full(positions.size, int(inf), dtype=np.int64)
+        np.minimum.at(labels, owner, cand)
+        flatD[positions] = labels.astype(flatD.dtype)
+    remaining = positions
+    while remaining.size:
+        vals = flatD[remaining].astype(np.int64)
+        finite = vals < inf
+        if not finite.any():
+            break
+        m = int(vals[finite].min())
+        front_mask = vals == m
+        front = remaining[front_mask]
+        remaining = remaining[~front_mask]
+        fv = front % n
+        offsets, owner = _gather_neighbors(indptr, indices, fv)
+        if offsets.size == 0:
+            continue
+        w_e = 1 if weights is None else weights[offsets].astype(np.int64)
+        nd = np.asarray(m + w_e, dtype=np.int64)
+        if nd.ndim == 0:
+            nd = np.full(offsets.size, int(nd), dtype=np.int64)
+        tpos = (front - fv)[owner] + indices[offsets]
+        improve = aff[tpos] & (flatD[tpos].astype(np.int64) > nd)
+        if improve.any():
+            np.minimum.at(flatD, tpos[improve], nd[improve].astype(flatD.dtype))
+
+
+def _minplus_through_pivots(
+    D: np.ndarray, pivots: np.ndarray, exempt: np.ndarray
+) -> None:
+    """Decrease-only min-plus repair through already-exact pivot rows.
+
+    Every row not in ``exempt`` improves in place via ``d(s, v) =
+    min(d(s, v), d(p, s) + d(p, v))`` over the pivots — sound because
+    any strictly shorter new path crosses an inserted/shortened edge
+    and hence a pivot, whose row is exact. Shared by the insertion
+    paths of both engines (``add_edge`` and ``update``).
+    """
+    n = D.shape[1]
+    survivors = np.ones(n, dtype=bool)
+    survivors[exempt] = False
+    rows = np.flatnonzero(survivors)
+    if rows.size == 0:
+        return
+    block = D[rows]
+    for p in pivots:
+        dp = D[p]
+        np.minimum(block, dp[rows, None] + dp[None, :], out=block)
+    D[rows] = block
 
 
 def _pivot_cover(edges: np.ndarray) -> np.ndarray:
@@ -224,6 +478,7 @@ class DistanceEngine:
         "_adaptive",
         "_ema_rebuild_cost",
         "_ema_delta_row_cost",
+        "_ema_region_pos_cost",
         "stats",
     )
 
@@ -238,14 +493,21 @@ class DistanceEngine:
         self._D = np.empty((self._n, self._n), dtype=self._dtype)
         self._cow = False
         self._epoch = 0
-        self.stats = {
+        self.stats = self._fresh_stats()
+        self.rebuild()
+
+    @staticmethod
+    def _fresh_stats() -> "dict[str, int]":
+        return {
             "rebuilds": 0,
             "deltas": 0,
             "noops": 0,
             "rows_recomputed": 0,
+            "pendant_fixes": 0,
+            "region_repairs": 0,
+            "region_vertices": 0,
             "cow_copies": 0,
         }
-        self.rebuild()
 
     def _configure(
         self, csr: CSRAdjacency, inf: "int | None", dirty_fraction: "float | str"
@@ -269,6 +531,7 @@ class DistanceEngine:
                 )
         self._ema_rebuild_cost: "float | None" = None
         self._ema_delta_row_cost: "float | None" = None
+        self._ema_region_pos_cost: "float | None" = None
         self._n = csr.n
         self._inf = cinf(csr.n) if inf is None else int(inf)
         if self._inf <= 2 * (self._n - 1):
@@ -321,13 +584,7 @@ class DistanceEngine:
         engine._D = matrix.copy() if copy else matrix
         engine._cow = not copy
         engine._epoch = 0
-        engine.stats = {
-            "rebuilds": 0,
-            "deltas": 0,
-            "noops": 0,
-            "rows_recomputed": 0,
-            "cow_copies": 0,
-        }
+        engine.stats = cls._fresh_stats()
         return engine
 
     @property
@@ -406,7 +663,7 @@ class DistanceEngine:
             return float(min(float(self._n), max(1.0, est)))
         return self._dirty_fraction * self._n
 
-    def _observe(self, which: str, seconds: float, rows: int) -> None:
+    def _observe(self, which: str, seconds: float, rows: float) -> None:
         """Fold one timed repair/rebuild into the adaptive cost EMAs."""
         if not self._adaptive:
             return
@@ -415,12 +672,39 @@ class DistanceEngine:
             self._ema_rebuild_cost = (
                 seconds if prev is None else (1 - _EMA_ALPHA) * prev + _EMA_ALPHA * seconds
             )
+        elif which == "region":
+            per_pos = seconds / max(1.0, rows)
+            prev = self._ema_region_pos_cost
+            self._ema_region_pos_cost = (
+                per_pos if prev is None else (1 - _EMA_ALPHA) * prev + _EMA_ALPHA * per_pos
+            )
         else:
-            per_row = seconds / max(1, rows)
+            per_row = seconds / max(1.0, rows)
             prev = self._ema_delta_row_cost
             self._ema_delta_row_cost = (
                 per_row if prev is None else (1 - _EMA_ALPHA) * prev + _EMA_ALPHA * per_row
             )
+
+    def _region_cap(self, ndirty: int) -> float:
+        """Affected positions the region tier may grow before the
+        dirty-row tier is estimated to be cheaper.
+
+        Adaptive mode compares the measured per-position region cost
+        against the per-row recompute cost (``ndirty`` rows would be
+        recomputed otherwise); until both EMAs are seeded — and always
+        in fixed mode — a structural default of half the dirty-row work
+        (``ndirty * n / 2`` positions) keeps the tier honest.
+        """
+        structural = ndirty * self._n / 2.0
+        if (
+            self._adaptive
+            and self._ema_region_pos_cost is not None
+            and self._ema_delta_row_cost is not None
+            and self._ema_region_pos_cost > 0.0
+        ):
+            est = ndirty * self._ema_delta_row_cost / self._ema_region_pos_cost
+            return float(min(est, float(ndirty * self._n)))
+        return structural
 
     @property
     def matrix(self) -> np.ndarray:
@@ -546,6 +830,139 @@ class DistanceEngine:
         self._epoch += 1
         self.stats["rebuilds"] += 1
 
+    def _isolated_endpoint_fix(self, endpoints: "list[int]") -> None:
+        """Column/row repair for endpoints isolated by a pendant removal.
+
+        A vertex of degree 1 lies on no shortest path between *other*
+        vertices (any walk through it backtracks over its single edge),
+        so deleting its last edge changes only its own row and column:
+        both become unreachable, except the zero diagonal.
+        """
+        self._prepare_write()
+        for y in endpoints:
+            self._D[:, y] = self._inf
+            self._D[y, :] = self._inf
+            self._D[y, y] = 0
+        self.stats["pendant_fixes"] += len(endpoints)
+
+    def _single_deletion_repair(
+        self,
+        x: int,
+        y: int,
+        after_csr: CSRAdjacency,
+        *,
+        row_budget: float,
+        rows_spent: float = 0.0,
+    ) -> "float | None":
+        """Walk the deletion repair hierarchy for one removed edge.
+
+        ``after_csr`` is the substrate with ``{x, y}`` already removed;
+        the matrix must be exact for the substrate *with* the edge. On
+        success the matrix is exact for ``after_csr`` and the
+        rows-equivalent budget spent so far is returned; ``None`` means
+        every tier was over budget and the caller should rebuild.
+        Tiers: pendant fix -> affected-region repair -> dirty rows.
+        """
+        isolated = [v for v in (x, y) if after_csr.degree(v) == 0]
+        if isolated:
+            self._isolated_endpoint_fix(isolated)
+            return rows_spent
+        dirty_rows = self._deletion_dirty_rows(x, y, after_csr)
+        if dirty_rows.size == 0:
+            return rows_spent
+        t0 = time.perf_counter()
+        roots = _deletion_roots(self._D, x, y, 1, dirty_rows)
+        cap = self._region_cap(dirty_rows.size)
+        positions = _affected_positions(
+            self._D,
+            self._inf,
+            after_csr.indptr,
+            after_csr.indices,
+            None,
+            dirty_rows,
+            roots,
+            cap,
+        )
+        if positions is not None:
+            self._prepare_write()
+            _region_relax(
+                self._D,
+                self._inf,
+                after_csr.indptr,
+                after_csr.indices,
+                None,
+                positions,
+            )
+            self._observe("region", time.perf_counter() - t0, positions.size)
+            self.stats["region_repairs"] += 1
+            self.stats["region_vertices"] += int(positions.size)
+            return rows_spent + positions.size / self._n
+        rows_spent += dirty_rows.size
+        if rows_spent > row_budget:
+            return None
+        self._prepare_write()
+        # Timed separately from t0: an aborted region attempt must not
+        # inflate the per-row EMA (that would raise the region cap and
+        # shrink the rebuild budget in a feedback loop).
+        t_rows = time.perf_counter()
+        self._bfs_rows(after_csr, dirty_rows, self._D, dirty_rows)
+        self._observe("delta", time.perf_counter() - t_rows, dirty_rows.size)
+        return rows_spent
+
+    def remove_edge(self, x: int, y: int) -> str:
+        """Sync the matrix to the substrate minus edge ``{x, y}``.
+
+        The diff-free single-deletion entry point: callers that already
+        know the delta (e.g. a cache forwarding one Gray-step op to a
+        whole engine pool) skip the edge-set diff of :meth:`update`
+        entirely and run the deletion repair hierarchy directly.
+        """
+        if not 0 <= x < self._n or not 0 <= y < self._n:
+            raise GraphError(
+                f"edge endpoint out of range [0, {self._n}): {{{x}, {y}}}"
+            )
+        after_csr = _csr_remove_edge(self._csr, x, y)  # raises if absent
+        if self._adaptive or self._dirty_fraction > 0.0:
+            spent = self._single_deletion_repair(
+                x, y, after_csr, row_budget=self.row_budget()
+            )
+            if spent is not None:
+                self._csr = after_csr
+                self._epoch += 1
+                self.stats["deltas"] += 1
+                return "delta"
+        self.rebuild(after_csr)
+        return "rebuild"
+
+    def add_edge(self, x: int, y: int) -> str:
+        """Sync the matrix to the substrate plus edge ``{x, y}``.
+
+        The diff-free single-insertion entry point, mirroring
+        :meth:`remove_edge`. Insertions only shorten distances, so the
+        repair is one pivot-row BFS plus the vectorised decrease-only
+        min-plus pass — the same machinery :meth:`update` uses for its
+        insertion batches.
+        """
+        if not 0 <= x < self._n or not 0 <= y < self._n:
+            raise GraphError(
+                f"edge endpoint out of range [0, {self._n}): {{{x}, {y}}}"
+            )
+        if x == y:
+            raise GraphError(f"self-loop {{{x}, {y}}} cannot be inserted")
+        new_csr = _csr_insert_edge(self._csr, x, y)  # raises if present
+        if (self._adaptive or self._dirty_fraction > 0.0) and self.row_budget() >= 1.0:
+            pivot = min(x, y)
+            self._prepare_write()
+            self._csr = new_csr
+            rows = np.asarray([pivot], dtype=np.int64)
+            self._bfs_rows(new_csr, rows, self._D, rows)
+            _minplus_through_pivots(self._D, rows, rows)
+            self._epoch += 1
+            self.stats["deltas"] += 1
+            return "delta"
+        self.rebuild(new_csr)
+        return "rebuild"
+
     def _deletion_dirty_rows(
         self, x: int, y: int, after_csr: CSRAdjacency
     ) -> np.ndarray:
@@ -618,6 +1035,7 @@ class DistanceEngine:
 
         self._prepare_write()  # delta repairs write in place: detach first
         t_delta = time.perf_counter()
+        observe_spent: "float | None" = None  # rows to credit the final observe
         pivots = np.empty(0, dtype=np.int64)
         if added_ids.size:
             if added_ids.size > analysis_cap:
@@ -627,26 +1045,32 @@ class DistanceEngine:
             ay = added_ids - ax * n
             pivots = _pivot_cover(np.stack([ax, ay], axis=1))
 
-        rows_spent = pivots.size
+        rows_spent = float(pivots.size)
         if rows_spent > row_budget:
             self.rebuild(new_csr)
             return "rebuild"
         if sequential and removed_ids.size:
-            # One edge at a time with the exact support filter; the
-            # matrix and a working substrate advance together, so each
-            # step's filter and repair are against exact distances.
+            # One edge at a time through the deletion repair hierarchy
+            # (pendant -> affected region -> dirty rows); the matrix and
+            # a working substrate advance together, so each step's
+            # filter and repair are against exact distances. The tiers
+            # observe their own costs, so the final observe only covers
+            # the insertion portion below.
             work_csr = self._csr
             for eid in removed_ids:
                 x = int(eid // n)
                 y = int(eid - x * n)
                 work_csr = _csr_remove_edge(work_csr, x, y)
-                dirty_rows = self._deletion_dirty_rows(x, y, work_csr)
-                rows_spent += dirty_rows.size
-                if rows_spent > row_budget:
+                spent = self._single_deletion_repair(
+                    x, y, work_csr, row_budget=row_budget, rows_spent=rows_spent
+                )
+                if spent is None:
                     self.rebuild(new_csr)
                     return "rebuild"
-                self._bfs_rows(work_csr, dirty_rows, self._D, dirty_rows)
+                rows_spent = spent
             exempt = pivots
+            t_delta = time.perf_counter()
+            observe_spent = float(pivots.size)
         elif removed_ids.size:
             # Composed batch: the coarse tightness filter, one pass.
             x = removed_ids // n
@@ -672,18 +1096,10 @@ class DistanceEngine:
                 # Not yet recomputed (the composed path folds the pivot
                 # rows into `recompute` on the final substrate already).
                 self._bfs_rows(new_csr, pivots, self._D, pivots)
-            survivors = np.ones(n, dtype=bool)
-            survivors[exempt] = False
-            rows = np.flatnonzero(survivors)
-            if rows.size:
-                # Decrease-only repair: any path using an inserted edge
-                # passes through a pivot, whose row is now exact.
-                block = self._D[rows]
-                for p in pivots:
-                    dp = self._D[p]
-                    np.minimum(block, dp[rows, None] + dp[None, :], out=block)
-                self._D[rows] = block
-        self._observe("delta", time.perf_counter() - t_delta, rows_spent)
+            _minplus_through_pivots(self._D, pivots, exempt)
+        credit = rows_spent if observe_spent is None else observe_spent
+        if observe_spent is None or observe_spent > 0:
+            self._observe("delta", time.perf_counter() - t_delta, credit)
         self._epoch += 1
         self.stats["deltas"] += 1
         return "delta"

@@ -25,17 +25,21 @@ Repair / fallback policy
 ``update(new_wcsr)`` diffs edge sets *and* edge weights and picks
 ``"noop"`` / ``"delta"`` / ``"rebuild"`` like the unit engine:
 
-* **Deletions** (and weight increases) only lengthen distances. The
-  exact per-edge support criterion generalises weight-aware: removing
-  ``{x, y}`` of length ``w`` affects source ``s`` only if the downhill
-  endpoint (say ``d(s, y) = d(s, x) + w``) loses its *only* tight
-  parent — a surviving neighbour ``z`` of ``y`` with ``d(s, z) +
-  w(z, y) = d(s, y)`` reroutes every shortest path at equal length.
-  Affected rows get a fresh batched SSSP. A **pendant fast path**
-  handles the Section 6 folding workload below row granularity: when a
-  removal isolates an endpoint (it had degree 1), no shortest path
-  between other vertices ever crossed it, so the repair is a single
-  column/row write instead of ``n`` dirty-row recomputes.
+* **Deletions** (and weight increases) only lengthen distances. Single
+  removals walk the same **repair hierarchy** as the unit engine
+  (see :mod:`repro.graphs.engine`): a **pendant fast path** (a removal
+  that isolates a degree-1 endpoint — the Section 6 fold primitive —
+  repairs as one column/row write), then the weight-aware exact
+  support criterion — removing ``{x, y}`` of length ``w`` affects
+  source ``s`` only if the downhill endpoint (say ``d(s, y) =
+  d(s, x) + w``) loses its *only* tight parent, since a surviving
+  neighbour ``z`` of ``y`` with ``d(s, z) + w(z, y) = d(s, y)``
+  reroutes every shortest path at equal length — feeding the shared
+  **affected-region repair** (grow the region of vertices whose every
+  tight-parent chain crosses the removed edge, re-relax only those
+  positions in a masked Dijkstra seeded from the unaffected boundary),
+  then a fresh batched SSSP of the dirty rows when the region outgrows
+  its budget.
 * **Insertions** (and weight decreases) only shorten distances: pivot
   rows (a greedy vertex cover of the touched edges) are recomputed
   exactly, then every other row repairs in one vectorised decrease-only
@@ -69,7 +73,14 @@ from ..errors import GraphError, StaleDistanceError, VertexError
 from .bfs import UNREACHABLE
 from .csr import CSRAdjacency
 from .distances import cinf
-from .engine import _bfs_flat_frontier, _pivot_cover
+from .engine import (
+    _affected_positions,
+    _bfs_flat_frontier,
+    _deletion_roots,
+    _minplus_through_pivots,
+    _pivot_cover,
+    _region_relax,
+)
 
 __all__ = [
     "WeightedCSR",
@@ -368,6 +379,8 @@ class WeightedDistanceEngine:
             "noops": 0,
             "rows_recomputed": 0,
             "pendant_fixes": 0,
+            "region_repairs": 0,
+            "region_vertices": 0,
             "cow_copies": 0,
         }
 
@@ -752,30 +765,85 @@ class WeightedDistanceEngine:
             weights=wcsr.weights[keep],
         )
 
+    def _single_deletion_repair(
+        self,
+        x: int,
+        y: int,
+        w_edge: int,
+        after_wcsr: WeightedCSR,
+        *,
+        row_budget: float,
+        rows_spent: float = 0.0,
+    ) -> "float | None":
+        """Walk the deletion repair hierarchy for one removed edge.
+
+        The weighted sibling of :meth:`DistanceEngine._single_deletion_repair
+        <repro.graphs.engine.DistanceEngine._single_deletion_repair>`:
+        pendant fix -> affected-region repair (shared machinery, weight
+        aware) -> dirty-row SSSP. Returns the rows-equivalent budget
+        spent, or ``None`` when the caller should rebuild.
+        """
+        isolated = [v for v in (x, y) if after_wcsr.degree(v) == 0]
+        if isolated:
+            self._isolated_endpoint_fix(isolated)
+            return rows_spent
+        dirty_rows = self._deletion_dirty_rows(x, y, w_edge, after_wcsr)
+        if dirty_rows.size == 0:
+            return rows_spent
+        roots = _deletion_roots(self._D, x, y, w_edge, dirty_rows)
+        cap = dirty_rows.size * self._n / 2.0
+        positions = _affected_positions(
+            self._D,
+            self._inf,
+            after_wcsr.indptr,
+            after_wcsr.indices,
+            after_wcsr.weights,
+            dirty_rows,
+            roots,
+            cap,
+        )
+        if positions is not None:
+            self._prepare_write()
+            _region_relax(
+                self._D,
+                self._inf,
+                after_wcsr.indptr,
+                after_wcsr.indices,
+                after_wcsr.weights,
+                positions,
+            )
+            self.stats["region_repairs"] += 1
+            self.stats["region_vertices"] += int(positions.size)
+            return rows_spent + positions.size / self._n
+        rows_spent += dirty_rows.size
+        if rows_spent > row_budget:
+            return None
+        self._prepare_write()
+        self._sssp_rows(after_wcsr, dirty_rows, self._D, dirty_rows)
+        return rows_spent
+
     def remove_edge(self, x: int, y: int) -> str:
         """Sync the matrix to the substrate minus edge ``{x, y}``.
 
         The diff-free single-deletion entry point: callers that already
         know the delta (e.g. a cache forwarding one fold to a whole
-        engine pool) skip the edge-set diff of :meth:`update` entirely.
-        Same repair policy as the single-removal fast path — pendant
-        column fix when the removal isolates an endpoint, exact support
-        filter plus bounded row recompute otherwise, rebuild fallback.
+        engine pool) skip the edge-set diff of :meth:`update` entirely
+        and run the deletion repair hierarchy directly — pendant column
+        fix when the removal isolates an endpoint, affected-region
+        repair when the region stays small, bounded dirty-row recompute,
+        rebuild fallback.
         """
+        if not 0 <= x < self._n or not 0 <= y < self._n:
+            raise GraphError(
+                f"edge endpoint out of range [0, {self._n}): {{{x}, {y}}}"
+            )
         w_edge = self._wcsr.edge_weight(x, y)  # raises if absent
         new_wcsr = self._remove_edge(self._wcsr, x, y)
         if self._dirty_fraction > 0.0:
-            isolated = [v for v in (x, y) if new_wcsr.degree(v) == 0]
-            if isolated:
-                self._isolated_endpoint_fix(isolated)
-                self._wcsr = new_wcsr
-                self._epoch += 1
-                self.stats["deltas"] += 1
-                return "delta"
-            dirty_rows = self._deletion_dirty_rows(x, y, w_edge, new_wcsr)
-            if dirty_rows.size <= self._dirty_fraction * self._n:
-                self._prepare_write()
-                self._sssp_rows(new_wcsr, dirty_rows, self._D, dirty_rows)
+            spent = self._single_deletion_repair(
+                x, y, w_edge, new_wcsr, row_budget=self._dirty_fraction * self._n
+            )
+            if spent is not None:
                 self._wcsr = new_wcsr
                 self._epoch += 1
                 self.stats["deltas"] += 1
@@ -836,21 +904,13 @@ class WeightedDistanceEngine:
                 f"build the engine with max_weight >= {w}"
             )
         new_wcsr = self._insert_edge(self._wcsr, x, y, w)
-        n = self._n
-        if self._dirty_fraction > 0.0 and self._dirty_fraction * n >= 1.0:
+        if self._dirty_fraction > 0.0 and self._dirty_fraction * self._n >= 1.0:
             pivot = min(x, y)
             self._prepare_write()
             self._wcsr = new_wcsr
             rows = np.asarray([pivot], dtype=np.int64)
             self._sssp_rows(new_wcsr, rows, self._D, rows)
-            survivors = np.ones(n, dtype=bool)
-            survivors[pivot] = False
-            others = np.flatnonzero(survivors)
-            if others.size:
-                block = self._D[others]
-                dp = self._D[pivot]
-                np.minimum(block, dp[others, None] + dp[None, :], out=block)
-                self._D[others] = block
+            _minplus_through_pivots(self._D, rows, rows)
             self._epoch += 1
             self.stats["deltas"] += 1
             return "delta"
@@ -934,24 +994,15 @@ class WeightedDistanceEngine:
         ):
             # Single-deletion fast path (one fold, one dropped arc): the
             # new substrate *is* the post-removal intermediate, so the
-            # pendant check and the support filter run on it directly —
-            # no edge-removal copy, no pivot machinery.
+            # repair hierarchy runs on it directly — no edge-removal
+            # copy, no pivot machinery.
             eid = int(removed_ids[0])
             x = eid // n
             y = eid - x * n
-            isolated = [v for v in (x, y) if new_wcsr.degree(v) == 0]
-            if isolated:
-                self._isolated_endpoint_fix(isolated)
-                self._wcsr = new_wcsr
-                self._epoch += 1
-                self.stats["deltas"] += 1
-                return "delta"
-            dirty_rows = self._deletion_dirty_rows(
-                x, y, int(removed_w[0]), new_wcsr
+            spent = self._single_deletion_repair(
+                x, y, int(removed_w[0]), new_wcsr, row_budget=row_budget
             )
-            if dirty_rows.size <= row_budget:
-                self._prepare_write()
-                self._sssp_rows(new_wcsr, dirty_rows, self._D, dirty_rows)
+            if spent is not None:
                 self._wcsr = new_wcsr
                 self._epoch += 1
                 self.stats["deltas"] += 1
@@ -986,27 +1037,24 @@ class WeightedDistanceEngine:
             self.rebuild(new_wcsr)
             return "rebuild"
         if sequential and removed_ids.size:
-            # One edge at a time with the exact support filter; matrix
-            # and working substrate advance together so every step's
-            # filter runs against exact distances.
+            # One edge at a time through the deletion repair hierarchy
+            # (pendant -> affected region -> dirty rows); matrix and
+            # working substrate advance together so every step's filter
+            # runs against exact distances.
             self._prepare_write()
             work = self._wcsr
+            spent = float(rows_spent)
             for eid, w_edge in zip(removed_ids, removed_w):
                 x = int(eid // n)
                 y = int(eid - x * n)
                 work = self._remove_edge(work, x, y)
-                isolated = [v for v in (x, y) if work.degree(v) == 0]
-                if isolated:
-                    # Pendant fast path: the removal isolated an
-                    # endpoint, so the repair is a column/row write.
-                    self._isolated_endpoint_fix(isolated)
-                    continue
-                dirty_rows = self._deletion_dirty_rows(x, y, int(w_edge), work)
-                rows_spent += dirty_rows.size
-                if rows_spent > row_budget:
+                spent = self._single_deletion_repair(
+                    x, y, int(w_edge), work, row_budget=row_budget, rows_spent=spent
+                )
+                if spent is None:
                     self.rebuild(new_wcsr)
                     return "rebuild"
-                self._sssp_rows(work, dirty_rows, self._D, dirty_rows)
+            rows_spent = spent
             exempt = pivots
         elif lengthen_ids.size:
             # Composed batch: an edge can only lengthen a row's
@@ -1034,16 +1082,7 @@ class WeightedDistanceEngine:
             self._prepare_write()
             if exempt is pivots:
                 self._sssp_rows(new_wcsr, pivots, self._D, pivots)
-            survivors = np.ones(n, dtype=bool)
-            survivors[exempt] = False
-            rows = np.flatnonzero(survivors)
-            if rows.size:
-                # Decrease-only min-plus repair through the pivot rows.
-                block = self._D[rows]
-                for p in pivots:
-                    dp = self._D[p]
-                    np.minimum(block, dp[rows, None] + dp[None, :], out=block)
-                self._D[rows] = block
+            _minplus_through_pivots(self._D, pivots, exempt)
         self._epoch += 1
         self.stats["deltas"] += 1
         return "delta"

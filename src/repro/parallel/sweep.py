@@ -99,7 +99,12 @@ def install_pool_handles(handles: "dict[tuple, Any]") -> None:
     _POOL_HANDLES.update(handles)
 
 
-def warm_distance_pool(graphs: "Sequence[OwnedDigraph]", **engine_kwargs):
+def warm_distance_pool(
+    graphs: "Sequence[OwnedDigraph]",
+    *,
+    players: "Sequence[int] | str | None" = None,
+    **engine_kwargs,
+):
     """Publish ``U(G)`` matrices of prototype graphs for worker attach.
 
     The parent computes each all-pairs matrix once, publishes it into a
@@ -107,6 +112,14 @@ def warm_distance_pool(graphs: "Sequence[OwnedDigraph]", **engine_kwargs):
     handles process-locally (forked workers inherit them). Returns the
     pool — the caller owns it and must :meth:`~repro.core.matrix_pool.
     MatrixPool.close` it when the sweep is done.
+
+    ``players`` extends each prototype's bundle with per-player
+    ``U(G - u)`` snapshots (``"all"`` for every player, or an iterable
+    of vertex ids): the dominant warm-start win for best-response
+    workloads, where every evaluated player otherwise pays a fresh
+    punctured all-pairs BFS on first touch. Workers adopt them through
+    :class:`~repro.core.distance_cache.DistanceCache`'s
+    ``player_engines=`` path, copy-on-write like the base matrix.
     """
     import numpy as np
 
@@ -117,20 +130,34 @@ def warm_distance_pool(graphs: "Sequence[OwnedDigraph]", **engine_kwargs):
     handles: "dict[tuple, Any]" = {}
     for graph in graphs:
         engine = DistanceEngine(graph.undirected_csr(), **engine_kwargs)
+        arrays: "dict[str, Any]" = {
+            "D": engine.matrix,
+            "inf": np.asarray([engine.inf], dtype=np.int64),
+        }
+        if players is not None:
+            warm_players = range(graph.n) if players == "all" else players
+            for u in warm_players:
+                player_engine = DistanceEngine(
+                    graph.undirected_csr_without(int(u)), **engine_kwargs
+                )
+                arrays[f"P{int(u)}"] = player_engine.matrix
         key = sweep_pool_key(graph)
-        handles[key] = pool.publish(
-            key,
-            {"D": engine.matrix, "inf": np.asarray([engine.inf], dtype=np.int64)},
-        )
+        handles[key] = pool.publish(key, arrays)
     install_pool_handles(handles)
     return pool
 
 
-def _attach_pooled_base(graph: OwnedDigraph, kwargs: "dict[str, Any]"):
-    """Copy-on-write ``U(G)`` engine from a published segment, or ``None``."""
+def _attach_pooled_engines(graph: OwnedDigraph, kwargs: "dict[str, Any]"):
+    """Copy-on-write engines from a published bundle.
+
+    Returns ``(base_engine, player_engines)`` — ``(None, None)`` on a
+    pool miss. The bundle's ``D`` field becomes the ``U(G)`` engine;
+    every ``P<u>`` field becomes a per-player ``U(G - u)`` engine, all
+    aliasing the shared segment copy-on-write.
+    """
     handle = _POOL_HANDLES.get(sweep_pool_key(graph))
     if handle is None:
-        return None
+        return None, None
     from ..graphs.engine import DistanceEngine
 
     engine_kwargs = {}
@@ -138,14 +165,21 @@ def _attach_pooled_base(graph: OwnedDigraph, kwargs: "dict[str, Any]"):
         engine_kwargs["dirty_fraction"] = kwargs["dirty_fraction"]
     try:
         views = handle.attach()
-        return DistanceEngine.from_snapshot(
-            graph.undirected_csr(),
-            views["D"],
-            inf=int(views["inf"][0]),
-            **engine_kwargs,
+        inf = int(views["inf"][0])
+        base = DistanceEngine.from_snapshot(
+            graph.undirected_csr(), views["D"], inf=inf, **engine_kwargs
         )
+        players: "dict[int, Any]" = {}
+        for field_name, view in views.items():
+            if not field_name.startswith("P"):
+                continue
+            u = int(field_name[1:])
+            players[u] = DistanceEngine.from_snapshot(
+                graph.undirected_csr_without(u), view, inf=inf, **engine_kwargs
+            )
+        return base, players or None
     except (PoolError, KeyError, ReproError):
-        return None  # segment evicted / owner gone: cold-start instead
+        return None, None  # segment evicted / owner gone: cold-start instead
 
 
 def shared_distance_cache(graph: OwnedDigraph, **kwargs) -> DistanceCache:
@@ -173,8 +207,10 @@ def shared_distance_cache(graph: OwnedDigraph, **kwargs) -> DistanceCache:
             cache = retired
             cache.rebind(graph)
         else:
-            base = _attach_pooled_base(graph, kwargs)
-            cache = DistanceCache(graph, base_engine=base, **kwargs)
+            base, players = _attach_pooled_engines(graph, kwargs)
+            cache = DistanceCache(
+                graph, base_engine=base, player_engines=players, **kwargs
+            )
         _PROCESS_CACHES[iid] = (cache, key)
     _PROCESS_CACHES.move_to_end(iid)
     while len(_PROCESS_CACHES) > _MAX_LIVE_CACHES:
@@ -253,6 +289,7 @@ def run_sweep(
     *,
     processes: "int | None" = 1,
     warm_graphs: "Sequence[OwnedDigraph] | None" = None,
+    warm_players: "Sequence[int] | str | None" = None,
 ) -> list[dict[str, Any]]:
     """Execute a sweep and return one record per grid point.
 
@@ -264,16 +301,19 @@ def run_sweep(
     the parent publishes into a shared-memory pool before fan-out; any
     worker whose task graph matches one (same ``n``, same profile)
     attaches the precomputed matrix through
-    :func:`shared_distance_cache` instead of rebuilding it. Results are
-    bit-identical with or without warming — the pool only replaces the
-    initial BFS, never the answers.
+    :func:`shared_distance_cache` instead of rebuilding it.
+    ``warm_players`` (``"all"`` or vertex ids) additionally bundles the
+    per-player ``U(G - u)`` matrices, so workers skip the punctured
+    first-touch BFS per evaluated player too. Results are bit-identical
+    with or without warming — the pool only replaces initial builds,
+    never the answers.
     """
     tasks = spec.tasks()
     pool = None
     initializer = None
     initargs: tuple = ()
     if warm_graphs:
-        pool = warm_distance_pool(warm_graphs)
+        pool = warm_distance_pool(warm_graphs, players=warm_players)
         initializer = install_pool_handles
         initargs = (dict(_POOL_HANDLES),)
     try:

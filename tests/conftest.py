@@ -75,6 +75,27 @@ def random_owned_digraph(
     return g
 
 
+def random_tree_digraph(
+    rng: np.random.Generator, n: int, extra_edges: int = 0
+) -> OwnedDigraph:
+    """Random tree-like realization: a uniform recursive tree plus up
+    to ``extra_edges`` chords — the sparse regime where deletions dirty
+    many rows but only small affected regions per row."""
+    g = OwnedDigraph(n)
+    for v in range(1, n):
+        g.add_arc(int(rng.integers(v)), v)
+    attempts = 0
+    added = 0
+    while added < extra_edges and attempts < 20 * (extra_edges + 1):
+        attempts += 1
+        a, b = int(rng.integers(n)), int(rng.integers(n))
+        if a == b or g.has_arc(a, b) or g.has_arc(b, a):
+            continue
+        g.add_arc(a, b)
+        added += 1
+    return g
+
+
 def to_networkx_undirected(g: OwnedDigraph):
     """Undirected networkx oracle view of a realization."""
     import networkx as nx
@@ -175,6 +196,21 @@ class EngineHarness:
     def update(self, engine, csr: CSRAdjacency) -> str:
         """Sync ``engine`` to the (unit) substrate of ``csr``."""
         return engine.update(self.substrate(csr))
+
+    def remove_edge(self, engine, x: int, y: int) -> str:
+        """Diff-free single-edge removal (the repair-hierarchy entry)."""
+        return engine.remove_edge(x, y)
+
+    def add_edge(self, engine, x: int, y: int) -> str:
+        """Diff-free single-edge insertion."""
+        return engine.add_edge(x, y)
+
+    def current_substrate_csr(self, engine) -> CSRAdjacency:
+        """Unit-CSR view of the engine's current substrate."""
+        if self.kind == "unit":
+            return engine.csr
+        wcsr = engine.wcsr
+        return CSRAdjacency(n=wcsr.n, indptr=wcsr.indptr, indices=wcsr.indices)
 
     def degree(self, engine, v: int) -> int:
         """Degree of ``v`` in the engine's current substrate."""

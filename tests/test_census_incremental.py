@@ -36,7 +36,7 @@ from repro.graphs import DistanceEngine, distance_matrix
 from repro.graphs.digraph import OwnedDigraph
 from repro.parallel.executor import contiguous_shards
 
-from repro.experiments.exact_census import DEFAULT_INSTANCES
+from repro.experiments.exact_census import DEFAULT_INSTANCES, GOLDEN_INSTANCES
 
 
 # ----------------------------------------------------------------------
@@ -85,6 +85,69 @@ def test_gray_walk_sharding_is_a_partition():
                 g.profile_key() for _, g, _ in gray_profile_walk(game, start=lo, stop=hi)
             )
         assert stitched == full
+
+
+@pytest.mark.parametrize(
+    "budgets", [(1, 1, 1), (2, 1, 0), (1, 1, 1, 1), (2, 2, 1, 1, 0), (0, 0, 1, 0)]
+)
+def test_gray_digit_stream_matches_unranking(budgets):
+    """The amortised-O(1) successor stream must reproduce the exact
+    digit sequence of per-rank unranking, from any start rank."""
+    from repro.core.enumeration import (
+        _gray_digit_stream,
+        _gray_digits,
+        _profile_tables,
+    )
+
+    game = BoundedBudgetGame(list(budgets))
+    _, radices, rests = _profile_tables(game)
+    total = rests[0]
+    for start in sorted({0, 1, total // 2, total - 2} & set(range(total))):
+        digits = _gray_digits(start, radices, rests)
+        stream = _gray_digit_stream(radices, digits)
+        for rank in range(start + 1, total):
+            j, old, new = next(stream)
+            assert abs(new - old) == 1
+            assert digits == _gray_digits(rank, radices, rests)
+        with pytest.raises(StopIteration):
+            next(stream)
+
+
+@pytest.mark.parametrize("budgets", [(1, 1, 1, 1), (2, 2, 1, 1, 0), (1, 1, 1, 1, 1)])
+def test_orbit_advance_block_matches_per_step_scan(budgets):
+    """The vectorised block advance (probe keys + exact recheck) must
+    make exactly the per-step canonical decisions with exactly the
+    per-step orbit sizes."""
+    game = BoundedBudgetGame(list(budgets))
+    perms = _budget_symmetry_group(budgets)
+    n = game.n
+    # Reference: an independent from-scratch scan per profile (the walk
+    # reuses one mutable graph, so the reference must run in-loop).
+    ref_sizes = []
+    swaps = []
+    orbit = None
+    for rank, graph, swap in gray_profile_walk(game):
+        keys = _OrbitKeys(n, perms)
+        for a, b in graph.arcs():
+            keys.toggle(a, b, True)
+        size = keys.canonical_orbit_size()
+        ref_sizes.append(0 if size is None else size)
+        if swap is None:
+            orbit = _OrbitKeys(n, perms)
+            for a, b in graph.arcs():
+                orbit.toggle(a, b, True)
+        else:
+            swaps.append(swap)
+    got = [orbit.canonical_orbit_size() or 0]
+    for chunk_start in range(0, len(swaps), 7):  # odd block size on purpose
+        chunk = swaps[chunk_start : chunk_start + 7]
+        js = np.asarray([s[0] for s in chunk], dtype=np.int64)
+        drops = np.asarray([s[1] for s in chunk], dtype=np.int64)
+        adds = np.asarray([s[2] for s in chunk], dtype=np.int64)
+        got.extend(int(x) for x in orbit.advance_block(js, drops, adds))
+    assert got == ref_sizes
+    total = sum(got)
+    assert total == profile_space_size(game)
 
 
 def test_contiguous_shards_edge_cases():
@@ -201,7 +264,7 @@ def test_symmetry_capped_by_key_width():
 # ----------------------------------------------------------------------
 # Golden equivalence: incremental == brute force, bit for bit
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("label,budgets", DEFAULT_INSTANCES)
+@pytest.mark.parametrize("label,budgets", GOLDEN_INSTANCES)
 @pytest.mark.parametrize("version", ["sum", "max"])
 def test_exact_prices_golden_equivalence(label, budgets, version):
     game = BoundedBudgetGame(list(budgets))
@@ -251,7 +314,7 @@ def test_brute_force_path_rejects_kernel_knobs():
 # ----------------------------------------------------------------------
 # Golden equivalence: warm-started shards == cold shards, bit for bit
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("label,budgets", DEFAULT_INSTANCES)
+@pytest.mark.parametrize("label,budgets", GOLDEN_INSTANCES)
 @pytest.mark.parametrize("version", ["sum", "max"])
 def test_warm_started_shards_bit_identical(label, budgets, version):
     """Shared-memory warm starts (parent snapshots each shard's start
@@ -300,11 +363,22 @@ def test_weighted_warm_started_shards_bit_identical():
 # Experiment surface
 # ----------------------------------------------------------------------
 def test_run_experiment_forwards_supported_overrides():
+    from repro.experiments.exact_census import exact_census_experiment
     from repro.experiments.runner import run_experiment
 
-    rep = run_experiment("EXACT-tiny", workers=2, symmetry=False)
+    # Sharding through the runner surface never changes the numbers
+    # (the promoted n=6 instance stays on the pruned kernel: the
+    # unpruned walk belongs in benches, not tier-1).
+    rep = run_experiment("EXACT-tiny", workers=2)
     baseline = run_experiment("EXACT-tiny")
-    assert rep.rows == baseline.rows  # knobs never change the numbers
+    assert rep.rows == baseline.rows
+    # symmetry=False forwards through the signature filter too; checked
+    # on the golden battery where the unpruned walk is cheap.
+    plain = run_experiment(
+        "EXACT-tiny", instances=GOLDEN_INSTANCES, symmetry=False
+    )
+    pruned = exact_census_experiment(instances=GOLDEN_INSTANCES)
+    assert plain.rows == pruned.rows
 
 
 def test_extended_battery_includes_unit_n6():
@@ -318,3 +392,47 @@ def test_extended_battery_includes_unit_n6():
     assert by_version["max"]["equilibria"] == 480
     assert by_version["sum"]["structure_thms"] is True
     assert by_version["max"]["structure_thms"] is True
+
+
+def test_default_battery_is_the_promoted_extended_battery():
+    """The formerly opt-in instances (unit n=6, mixed n=5) are default
+    now; the golden battery stays the brute-force-affordable prefix."""
+    from repro.experiments.exact_census import EXTENDED_INSTANCES
+
+    labels = [label for label, _ in DEFAULT_INSTANCES]
+    assert "unit n=6" in labels and "mixed n=5" in labels
+    assert DEFAULT_INSTANCES[: len(GOLDEN_INSTANCES)] == GOLDEN_INSTANCES
+    assert EXTENDED_INSTANCES == DEFAULT_INSTANCES
+
+
+@pytest.mark.parametrize("version", ["sum", "max"])
+def test_promoted_mixed_n5_knob_invariance(version):
+    """mixed n=5 (576 profiles) is cheap enough to bridge the unpruned
+    walk against every knob combination right here; the n=6 unpruned
+    bridge lives in the census bench lane (it costs ~15 s/version)."""
+    game = BoundedBudgetGame([2, 2, 1, 1, 0])
+    reference = exact_prices(game, version)
+    assert exact_prices(game, version, symmetry=True) == reference
+    assert exact_prices(game, version, workers=3, symmetry=True) == reference
+    assert (
+        exact_prices(game, version, workers=2, symmetry=True, pool=True)
+        == reference
+    )
+
+
+@pytest.mark.parametrize("version", ["sum", "max"])
+def test_promoted_unit_n6_knob_invariance(version):
+    """unit n=6's pruned-kernel knob combinations agree bit for bit
+    (count-pinned at 120/480 elsewhere; the symmetry-off bridge runs in
+    the census bench lane)."""
+    game = BoundedBudgetGame([1] * 6)
+    reference = exact_prices(game, version, symmetry=True, max_profiles=20_000)
+    for kwargs in (
+        {"workers": 3},
+        {"workers": 2, "pool": True},
+        {"workers": 4, "pool": False},
+    ):
+        got = exact_prices(
+            game, version, symmetry=True, max_profiles=20_000, **kwargs
+        )
+        assert got == reference, kwargs

@@ -25,6 +25,7 @@ from conftest import (
     networkx_distance_oracle,
     random_owned_digraph,
     random_strategy_swap,
+    random_tree_digraph,
     scipy_distance_oracle,
 )
 
@@ -121,6 +122,96 @@ def test_update_handles_disconnection_and_reconnection(engine_harness):
     engine_harness.update(engine, g.undirected_csr())
     assert np.array_equal(engine.distances(), scipy_distance_oracle(g))
     assert engine.distance(2, 3) == 5  # rerouted 2-1-0-5-4-3
+
+
+# ----------------------------------------------------------------------
+# Diff-free entry points + deletion repair hierarchy
+# ----------------------------------------------------------------------
+def test_remove_and_add_edge_equal_recompute(rng, engine_harness):
+    """remove_edge / add_edge (the diff-free op-forwarding entry
+    points) must be indistinguishable from a fresh build at every step."""
+    for _ in range(6):
+        n = int(rng.integers(3, 14))
+        g = random_owned_digraph(rng, n, p=float(rng.uniform(0.15, 0.45)))
+        engine = engine_harness.build(g.undirected_csr())
+        for _ in range(12):
+            csr = engine_harness.current_substrate_csr(engine)
+            edges = [
+                (u, int(v)) for u in range(n) for v in csr.neighbors(u) if u < int(v)
+            ]
+            if edges and rng.random() < 0.6:
+                x, y = edges[int(rng.integers(len(edges)))]
+                status = engine_harness.remove_edge(engine, x, y)
+            else:
+                non = [
+                    (a, b)
+                    for a in range(n)
+                    for b in range(a + 1, n)
+                    if not csr.has_edge(a, b)
+                ]
+                if not non:
+                    continue
+                x, y = non[int(rng.integers(len(non)))]
+                status = engine_harness.add_edge(engine, x, y)
+            assert status in ("delta", "rebuild")
+            fresh = engine_harness.build(engine_harness.current_substrate_csr(engine))
+            assert np.array_equal(np.asarray(engine.matrix), np.asarray(fresh.matrix))
+
+
+def test_remove_edge_rejects_absent_and_add_rejects_present(engine_harness):
+    g = OwnedDigraph(4)
+    g.add_arc(0, 1)
+    engine = engine_harness.build(g.undirected_csr())
+    with pytest.raises(GraphError):
+        engine_harness.remove_edge(engine, 0, 2)
+    with pytest.raises(GraphError):
+        engine_harness.add_edge(engine, 0, 1)
+
+
+def test_pendant_removal_is_a_column_fix(engine_harness):
+    """Removing a degree-1 endpoint's edge must repair below row
+    granularity: no rebuild, no row recompute, a pendant-fix stat."""
+    g = OwnedDigraph(6)
+    for i in range(5):
+        g.add_arc(i, i + 1)
+    engine = engine_harness.build(g.undirected_csr())
+    rows_before = engine.stats["rows_recomputed"]
+    status = engine_harness.remove_edge(engine, 4, 5)  # 5 is a leaf
+    assert status == "delta"
+    assert engine.stats["pendant_fixes"] == 1
+    assert engine.stats["rebuilds"] == 1  # only the constructor's
+    assert engine.stats["rows_recomputed"] == rows_before
+    assert engine.distance(0, 5) == UNREACHABLE
+    assert engine.distance(5, 5) == 0
+    fresh = engine_harness.build(engine_harness.current_substrate_csr(engine))
+    assert np.array_equal(np.asarray(engine.matrix), np.asarray(fresh.matrix))
+
+
+def test_tree_deletions_use_affected_region_not_rows(rng, engine_harness):
+    """On tree-like substrates every deletion must resolve in the
+    pendant or affected-region tier — zero whole-row recomputes and
+    zero rebuilds — while staying bit-identical to a fresh build."""
+    g = random_tree_digraph(rng, 20)
+    engine = engine_harness.build(g.undirected_csr())
+    for key in engine.stats:
+        engine.stats[key] = 0
+    edges = [
+        (u, int(v))
+        for u in range(20)
+        for v in g.undirected_csr().neighbors(u)
+        if u < int(v)
+    ]
+    rng.shuffle(edges)
+    for x, y in edges:
+        status = engine_harness.remove_edge(engine, x, y)
+        assert status == "delta"
+        fresh = engine_harness.build(engine_harness.current_substrate_csr(engine))
+        assert np.array_equal(np.asarray(engine.matrix), np.asarray(fresh.matrix))
+    assert engine.stats["rebuilds"] == 0
+    assert engine.stats["rows_recomputed"] == 0
+    assert engine.stats["region_repairs"] > 0
+    assert engine.stats["pendant_fixes"] > 0
+    assert engine.stats["region_vertices"] > 0
 
 
 # ----------------------------------------------------------------------

@@ -237,3 +237,46 @@ def test_pooled_sweep_bit_identical_and_attaches(n, protos):
     # Warmed workers attached instead of rebuilding; cold ones rebuilt.
     assert all(r["initial_rebuilds"] == 0 for r in warm)
     assert all(r["initial_rebuilds"] == 1 for r in cold)
+
+
+def _player_sweep_worker(task):
+    """Read per-player punctured distances through the shared cache."""
+    game = BoundedBudgetGame([1] * task.params["n"])
+    graph = game.random_realization(seed=task.params["proto"])
+    cache = shared_distance_cache(graph)
+    checksum = 0
+    player_rebuilds = 0
+    for u in range(graph.n):
+        engine = cache.player(u)
+        checksum += int(np.asarray(engine.matrix, dtype=np.int64).sum())
+        player_rebuilds += int(engine.stats["rebuilds"])
+    return {"checksum": checksum, "player_rebuilds": player_rebuilds}
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=7),
+    protos=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=2, unique=True
+    ),
+)
+def test_player_bundle_sweep_bit_identical_and_attaches(n, protos):
+    """warm_players publishes per-player U(G - u) snapshots end to end:
+    the worker-side attach adopts every player engine (0 initial BFS)
+    and every distance is bit-identical to the cold path."""
+    spec = SweepSpec(axes={"n": [n], "proto": protos}, replications=1, base_seed=2)
+    game = BoundedBudgetGame([1] * n)
+    prototypes = [game.random_realization(seed=p) for p in protos]
+    try:
+        clear_distance_caches()
+        warm = run_sweep(
+            _player_sweep_worker, spec, warm_graphs=prototypes, warm_players="all"
+        )
+        clear_distance_caches()
+        cold = run_sweep(_player_sweep_worker, spec)
+    finally:
+        clear_distance_caches()
+        install_pool_handles({})
+    assert [r["checksum"] for r in warm] == [r["checksum"] for r in cold]
+    assert all(r["player_rebuilds"] == 0 for r in warm)
+    assert all(r["player_rebuilds"] == n for r in cold)
