@@ -27,6 +27,7 @@ from .core import (
     Version,
     best_response_dynamics,
     certify_equilibrium,
+    deviation_improves,
     exact_best_response,
     find_improving_deviation,
     greedy_best_response,
@@ -65,6 +66,7 @@ __all__ = [
     "best_response_dynamics",
     "certify_equilibrium",
     "cinf",
+    "deviation_improves",
     "diameter",
     "distance_matrix",
     "distance_to_set",

@@ -30,6 +30,8 @@ from .weighted import (
     poor_leaves,
     rich_leaves,
     weighted_sum_cost,
+    weighted_swap_check,
+    weighted_swap_sweep,
 )
 from .tree_decomposition import (
     InequalityCheck,
@@ -64,6 +66,8 @@ __all__ = [
     "poor_leaves",
     "rich_leaves",
     "weighted_sum_cost",
+    "weighted_swap_check",
+    "weighted_swap_sweep",
     "best_family",
     "check_connectivity_theorem",
     "check_unit_structure",

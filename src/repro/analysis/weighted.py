@@ -44,6 +44,7 @@ import numpy as np
 from ..core.best_response import BestResponseEnvironment
 from ..errors import GameError, GraphError, StaleDistanceError
 from ..graphs.digraph import OwnedDigraph
+from ..graphs.engine import LazyRowGather
 
 __all__ = [
     "WeightedRealization",
@@ -55,6 +56,7 @@ __all__ = [
     "fold_all_poor_leaves",
     "is_weighted_weak_equilibrium",
     "weighted_swap_sweep",
+    "weighted_swap_check",
     "check_lemma_6_4",
     "degree_two_path_edges",
     "lemma_6_5_bound",
@@ -409,7 +411,11 @@ class WeightedSwapEnvironment:
         # the engine epoch (until someone syncs), or the vertex weights.
         self._edge_map = cache.edge_weights if cache is not None else None
         self._edge_rev = 0 if self._edge_map is None else self._edge_map.revision
-        self.D = engine.matrix
+        # A lazy engine reads through the row-on-demand facade so that
+        # a single check_swap prices against rows of cur ∪ In(u) ∪ {add}
+        # only; the full swap_improves sweep still touches ~n rows and
+        # simply promotes along the way.
+        self.D = LazyRowGather(engine) if engine.lazy else engine.matrix
         self.in_nbrs = graph.in_neighbors(u) if in_nbrs is None else in_nbrs
         if self.in_nbrs.size:
             self._base_min = self.D[self.in_nbrs].min(axis=0)
@@ -515,6 +521,42 @@ class WeightedSwapEnvironment:
             self.D, self.cinf, cur, self.in_nbrs, pool, w, u, cur_cost
         )
 
+    def check_swap(self, drop: int, add: int) -> bool:
+        """Whether the single swap ``drop -> add`` strictly lowers cost.
+
+        The point verdict beneath :meth:`swap_improves`: one named
+        (drop, add) pair is priced instead of the whole grid, touching
+        only the distance rows of ``cur ∪ In(u) ∪ {add}`` — on a lazy
+        engine that is a bounded batch of single-source sweeps, never a
+        full all-pairs build. ``drop`` must be a currently owned arc and
+        ``add`` a legal swap target (not ``u``, not already owned, not a
+        weight-0 folded ghost), mirroring :meth:`swap_improves`'s move
+        set so the disjunction of legal ``check_swap`` verdicts equals
+        its answer.
+        """
+        self._check_fresh()
+        wr = self._wr
+        u = self.u
+        cur = tuple(int(v) for v in wr.graph.out_neighbors(u))
+        drop = int(drop)
+        add = int(add)
+        if drop not in cur:
+            raise GameError(f"player {u} owns no arc to {drop}; cannot drop it")
+        if not 0 <= add < self.n:
+            raise GraphError(f"vertex {add} out of range [0, {self.n})")
+        if add == u:
+            raise GameError(f"player {u} cannot link to itself")
+        if add in cur:
+            raise GameError(f"player {u} already owns an arc to {add}")
+        if wr.weights[add] == 0:
+            raise GameError(
+                f"vertex {add} is a folded weight-0 ghost; not a swap target"
+            )
+        w = wr.weights
+        cur_cost = int(self.distances_for(cur) @ w)
+        swapped = tuple(sorted(set(cur) - {drop} | {add}))
+        return int(self.distances_for(swapped) @ w) < cur_cost
+
 
 def _weighted_swap_improves(
     wr: WeightedRealization,
@@ -600,6 +642,50 @@ def weighted_swap_sweep(
     return out
 
 
+def weighted_swap_check(
+    wr: WeightedRealization,
+    u: int,
+    drop: int,
+    add: int,
+    *,
+    cache=None,
+    env: "WeightedSwapEnvironment | None" = None,
+) -> bool:
+    """Whether the single swap ``drop -> add`` strictly lowers ``u``'s cost.
+
+    The cold-instance entry point of the Section 6 query tier: with no
+    prebuilt state at all (``cache=None``, ``env=None``) the verdict is
+    answered on a throwaway ``rows="lazy"`` engine over ``U(G - u)`` —
+    the distance rows of ``cur ∪ In(u) ∪ {add}`` are materialised by
+    bounded single-source sweeps and nothing else is, so a one-off swap
+    check never pays for a full all-pairs build. ``cache`` reuses the
+    shared engines (lazy or full) and ``env`` a prebuilt
+    :class:`WeightedSwapEnvironment` under its staleness contract; all
+    paths return identical verdicts.
+    """
+    if env is not None:
+        if env.u != u:
+            raise GameError(f"environment is for player {env.u}, requested {u}")
+        if env._wr is not wr:
+            raise GameError(
+                "environment was built on a different weighted realization; "
+                "build one for this realization"
+            )
+        return env.check_swap(drop, add)
+    if cache is not None:
+        _check_cache(wr, cache)
+        return WeightedSwapEnvironment(wr, u, cache=cache).check_swap(drop, add)
+    graph = wr.graph
+    if not 0 <= u < graph.n:
+        raise GraphError(f"vertex {u} out of range [0, {graph.n})")
+    from ..graphs.weighted_engine import WeightedDistanceEngine, weighted_csr_from_csr
+
+    engine = WeightedDistanceEngine(
+        weighted_csr_from_csr(graph.undirected_csr_without(u)), rows="lazy"
+    )
+    return WeightedSwapEnvironment(wr, u, engine=engine).check_swap(drop, add)
+
+
 def is_weighted_weak_equilibrium(
     wr: WeightedRealization, *, cache=None
 ) -> bool:
@@ -655,18 +741,22 @@ def check_lemma_6_4(wr: WeightedRealization, *, cache=None) -> Lemma64Report:
 
     In any weighted weak equilibrium this is at most 2 (Lemma 6.4); the
     checker lets tests audit that on folded dynamics output. ``cache``
-    reads the pairwise distances off the maintained ``U(G)`` matrix
-    (whose unreachable sentinel is exactly the ``n^2`` the reference
-    path substitutes) instead of one BFS per rich leaf.
+    answers each pair through :meth:`WeightedDistanceCache.query` — a
+    maintained-matrix read when the row is hot, one bounded
+    bidirectional search when it is not (the unreachable sentinel is
+    exactly the ``n^2`` the reference path substitutes either way) —
+    instead of one full BFS per rich leaf.
     """
     rich = rich_leaves(wr)
     worst = 0
     if cache is not None:
         _check_cache(wr, cache)
-        matrix = cache.base().matrix
+        # cache.query reads maintained matrix entries when they are hot
+        # and falls back to one bounded bidirectional search per pair —
+        # a handful of rich-leaf probes never forces an all-pairs build.
         for i, a in enumerate(rich):
             for b in rich[i + 1 :]:
-                worst = max(worst, int(matrix[a, b]))
+                worst = max(worst, int(cache.query(a, b)))
         return Lemma64Report(rich=tuple(rich), max_pairwise_distance=worst)
 
     from ..graphs.bfs import UNREACHABLE, bfs_distances

@@ -8,9 +8,10 @@ Subcommands
     Regenerate specific Table 1 cells / figures and print the reports.
     ``--workers`` shards supporting experiments (e.g. the exact census)
     across processes; ``--symmetry`` toggles census orbit pruning;
-    ``--extended`` is a no-op alias (the formerly extended census
-    instances — unit n=6, mixed n=5 — are part of the default battery
-    now); ``--weighted`` appends the Section 6
+    ``--extended`` is deprecated and has no effect (the formerly
+    extended census instances — unit n=6, mixed n=5 — are part of the
+    default battery now; passing it warns); ``--weighted`` appends the
+    Section 6
     weighted weak-equilibrium census battery; ``--pool/--no-pool``
     forces shared-memory shard warm starts on or off (default: pooled
     exactly when sharded; bit-identical either way).
@@ -28,6 +29,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 
 from .errors import ExperimentError
 from .experiments.runner import REGISTRY, list_experiments, run_experiment
@@ -94,8 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--extended",
         action="store_true",
         default=None,
-        help="census: no-op alias kept for compatibility (unit n=6 and "
-        "mixed n=5 are part of the default battery now)",
+        help="deprecated, no effect: the formerly extended census "
+        "instances (unit n=6, mixed n=5) run in the default battery; "
+        "passing this flag emits a DeprecationWarning",
     )
     run_p.add_argument(
         "--weighted",
@@ -140,6 +143,14 @@ def main(argv: "list[str] | None" = None) -> int:
             print(f"{key:18s} {desc}")
         return 0
     if args.command == "run":
+        if args.extended:
+            warnings.warn(
+                "--extended is deprecated and has no effect: the formerly "
+                "extended census instances (unit n=6, mixed n=5) are part of "
+                "the default battery; drop the flag",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return max(
             _run_and_print(
                 i,

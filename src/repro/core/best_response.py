@@ -30,7 +30,7 @@ from ..errors import GameError, StaleDistanceError, VertexError
 from ..graphs.connectivity import connected_components
 from ..graphs.digraph import OwnedDigraph
 from ..graphs.distances import cinf
-from ..graphs.engine import DistanceEngine
+from ..graphs.engine import DistanceEngine, LazyRowGather
 from .costs import Version
 
 __all__ = [
@@ -153,8 +153,11 @@ class BestResponseEnvironment:
         self._revision = graph.revision
         # D[w, v] = dist_{G-u}(w, v); unreachable pairs carry the engine's
         # sentinel, strictly larger than any finite distance (cinf works:
-        # finite distances are <= n - 2 < n^2 for n >= 2).
-        D = self.D = engine.matrix
+        # finite distances are <= n - 2 < n^2 for n >= 2). A lazy engine
+        # is wrapped in a row-materialising facade so evaluations only
+        # pay for the rows they touch (cur ∪ In(u) ∪ candidates) instead
+        # of promoting the whole matrix up front.
+        D = self.D = LazyRowGather(engine) if engine.lazy else engine.matrix
         self.in_nbrs = graph.in_neighbors(u)
         if self.in_nbrs.size:
             self._base_min = D[self.in_nbrs].min(axis=0)

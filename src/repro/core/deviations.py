@@ -23,12 +23,14 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from ..errors import GameError
+from ..errors import GameError, VertexError
 from ..graphs.bfs import UNREACHABLE, bfs_distances
 from ..graphs.digraph import OwnedDigraph
 from ..graphs.engine import DistanceEngine
 from .best_response import (
+    BestResponseEnvironment,
     BestResponseResult,
+    _coerce_env,
     exact_best_response,
     greedy_best_response,
     swap_best_response,
@@ -40,6 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "Method",
+    "deviation_improves",
     "find_improving_deviation",
     "is_best_response",
     "is_equilibrium",
@@ -152,6 +155,81 @@ def screen_best_responders(graph: OwnedDigraph, engine: DistanceEngine) -> np.nd
             adj[u, v] = True
         certified |= at_two & ~(adj & adj.T).any(axis=1)
     return certified
+
+
+def _lemma_screen_engine(cache: "DistanceCache | None") -> "DistanceEngine | None":
+    """The cheapest maintained ``U(G)`` engine for a Lemma 2.2 screen.
+
+    A lazy cache syncs for one row's worth of work, so its base engine
+    is always worth routing through; a full-mode cache is only used
+    when already fresh — forcing a cold all-pairs build to answer one
+    row would invert the economics the screen exists for.
+    """
+    if cache is None:
+        return None
+    if cache.lazy_rows:
+        return cache.base()
+    return cache.base_if_fresh()
+
+
+def deviation_improves(
+    graph: OwnedDigraph,
+    u: int,
+    strategy,
+    version: Version | str,
+    *,
+    cache: "DistanceCache | None" = None,
+    env: "BestResponseEnvironment | None" = None,
+    use_lemma: bool = True,
+) -> bool:
+    """Whether rewiring ``u`` to ``strategy`` strictly lowers its cost.
+
+    The single-deviation verdict: unlike
+    :func:`find_improving_deviation` nothing is searched — one proposed
+    strategy is priced against the current one. With a ``rows="lazy"``
+    cache (or no cache at all, which builds a throwaway lazy engine)
+    the answer costs the distance rows of ``current ∪ In(u) ∪
+    strategy`` — a bounded batch of single-source sweeps on the
+    punctured substrate — never a full all-pairs build, which is what
+    makes cold-instance swap checks cheap.
+
+    ``use_lemma`` first applies the Lemma 2.2 sufficient condition
+    (via the cache's maintained matrix when that is free): a certified
+    best responder has no improving deviation, so the evaluation is
+    skipped entirely.
+    """
+    if not 0 <= u < graph.n:
+        raise VertexError(u, graph.n)
+    if cache is not None:
+        _check_cache_graph(cache, graph)
+    new = tuple(sorted({int(v) for v in strategy}))
+    for v in new:
+        if not 0 <= v < graph.n:
+            raise VertexError(v, graph.n)
+        if v == u:
+            raise GameError(f"player {u} cannot link to itself")
+    current = tuple(sorted(int(v) for v in graph.out_neighbors(u)))
+    if len(new) > len(current):
+        raise GameError(
+            f"deviation uses {len(new)} links but player {u}'s budget "
+            f"in use is {len(current)}"
+        )
+    if new == current:
+        return False
+    if use_lemma and satisfies_lemma_2_2(
+        graph, u, engine=_lemma_screen_engine(cache)
+    ):
+        return False
+    if env is None and cache is not None:
+        env = cache.environment(u, version)
+    elif env is None:
+        lazy_engine = DistanceEngine(
+            graph.undirected_csr_without(u), rows="lazy"
+        )
+        env = BestResponseEnvironment(graph, u, version, engine=lazy_engine)
+    else:
+        env = _coerce_env(graph, u, version, env)
+    return env.evaluate(new) < env.evaluate(current)
 
 
 def find_improving_deviation(

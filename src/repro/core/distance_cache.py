@@ -122,6 +122,14 @@ class DistanceCache:
         Forwarded to every engine; a float fixes the delta-vs-rebuild
         cutoff, ``"adaptive"`` lets each engine tune it from its own
         cost EMAs — see :mod:`repro.graphs.engine` for the policy.
+    rows:
+        Forwarded to every engine the cache builds: ``"lazy"`` starts
+        each matrix unmaterialised with row-on-demand reads (the cold
+        single-verdict regime — :meth:`query` / :meth:`query_punctured`
+        then cost one bounded bidirectional search instead of a full
+        build), ``None`` keeps the engines' default full
+        materialisation. Adopted ``base_engine``/``player_engines`` are
+        used as constructed either way.
     base_engine:
         Optional pre-warmed ``U(G)`` engine adopted instead of building
         one on first access — e.g. a copy-on-write engine attached from
@@ -158,6 +166,7 @@ class DistanceCache:
         *,
         max_player_engines: int | None = None,
         dirty_fraction: "float | str | None" = None,
+        rows: "str | None" = None,
         base_engine: "DistanceEngine | None" = None,
         player_engines: "dict[int, DistanceEngine] | None" = None,
     ) -> None:
@@ -167,6 +176,9 @@ class DistanceCache:
         self._engine_kwargs = (
             {} if dirty_fraction is None else {"dirty_fraction": dirty_fraction}
         )
+        self._lazy_rows = rows == "lazy"
+        if rows is not None:
+            self._engine_kwargs["rows"] = rows  # engines validate the value
         self._base: DistanceEngine | None = None
         self._players: "OrderedDict[int, DistanceEngine]" = OrderedDict()
         self._player_tokens: dict[int, int] = {}
@@ -225,6 +237,11 @@ class DistanceCache:
     def graph(self) -> OwnedDigraph:
         """The tracked realization."""
         return self._graph
+
+    @property
+    def lazy_rows(self) -> bool:
+        """Whether cache-built engines start in row-on-demand mode."""
+        return self._lazy_rows
 
     def rebind(self, graph: OwnedDigraph) -> None:
         """Point the cache at another graph of the same size.
@@ -334,6 +351,48 @@ class DistanceCache:
             return self._base
         return None
 
+    def query(self, u: int, v: int) -> int:
+        """Single ``dist(u, v)`` in ``U(G)`` (``Cinf`` across components).
+
+        Tier-1 read: a fresh (or lazy, hence cheap to sync) base engine
+        answers from whatever it has materialised; a cold full-mode
+        cache answers with one bounded bidirectional search on the
+        substrate — never a full all-pairs build.
+        """
+        csr = self._sync()
+        if self._lazy_rows or (
+            self._base is not None and self._base_token == self._steps.token
+        ):
+            return self.base().query(u, v)
+        from ..graphs.query import point_to_point
+
+        return point_to_point(csr, u, v, inf=cinf(csr.n))
+
+    def query_punctured(self, player: int, u: int, v: int) -> int:
+        """Single ``dist(u, v)`` in the punctured ``U(G - player)``.
+
+        The single-pair form of the per-player family — what one swap
+        check or Lemma 2.2 deviation screen needs. Same tiering as
+        :meth:`query`: a cached-and-synced (or lazy) player engine
+        answers directly, a cold full-mode cache runs one bounded
+        bidirectional search on the punctured substrate without
+        building the engine.
+        """
+        if not 0 <= player < self._graph.n:
+            raise VertexError(player, self._graph.n)
+        self._sync()
+        engine = self._players.get(player)
+        synced = (
+            engine is not None
+            and self._player_tokens.get(player) == self._steps.token
+        )
+        if self._lazy_rows or synced:
+            return self.player(player).query(u, v)
+        from ..graphs.query import point_to_point
+
+        csr = self._graph.undirected_csr_without(player)
+        return point_to_point(csr, u, v, inf=cinf(csr.n))
+
     def player(self, u: int) -> DistanceEngine:
         """Engine over ``U(G - u)``, synced to the current revision.
 
@@ -436,6 +495,10 @@ class DistanceCache:
             "pendant_fixes": 0,
             "region_repairs": 0,
             "region_vertices": 0,
+            "lazy_rows": 0,
+            "lazy_invalidations": 0,
+            "promotions": 0,
+            "point_queries": 0,
         }
         engines = list(self._players.values())
         if self._base is not None:
@@ -481,6 +544,10 @@ class WeightedDistanceCache:
         never overflow the ``inf`` sentinel.
     dirty_fraction:
         Delta-vs-rebuild cutoff forwarded to every engine.
+    rows:
+        Forwarded to every engine the cache builds: ``"lazy"`` for
+        row-on-demand matrices (the cold single-verdict regime),
+        ``None`` for the engines' default full materialisation.
     base_engine:
         Optional pre-warmed weighted ``U(G)`` engine adopted instead of
         building one on first access (a pool-attached copy-on-write
@@ -496,6 +563,7 @@ class WeightedDistanceCache:
         max_player_engines: "int | None" = None,
         max_weight: "int | None" = None,
         dirty_fraction: "float | None" = None,
+        rows: "str | None" = None,
         base_engine: "WeightedDistanceEngine | None" = None,
     ) -> None:
         self._graph = graph
@@ -504,6 +572,9 @@ class WeightedDistanceCache:
         self._engine_kwargs: dict = {}
         if dirty_fraction is not None:
             self._engine_kwargs["dirty_fraction"] = dirty_fraction
+        self._lazy_rows = rows == "lazy"
+        if rows is not None:
+            self._engine_kwargs["rows"] = rows  # engines validate the value
         if max_weight is not None:
             self._max_weight = int(max_weight)
         elif edge_weights is not None:
@@ -562,6 +633,11 @@ class WeightedDistanceCache:
     def edge_weights(self) -> "EdgeWeightMap | None":
         """The tracked edge-length assignment (``None`` means unit)."""
         return self._edge_weights
+
+    @property
+    def lazy_rows(self) -> bool:
+        """Whether cache-built engines start in row-on-demand mode."""
+        return self._lazy_rows
 
     @property
     def max_weight(self) -> int:
@@ -678,6 +754,54 @@ class WeightedDistanceCache:
         self._base_token = self._steps.token
         return self._base
 
+    def _query_inf(self) -> int:
+        """The pooled engines' shared ``inf`` sentinel.
+
+        Every engine gets the same ``max_weight`` headroom hint, so
+        base and punctured engines agree on
+        ``max(Cinf, (n - 1) * max_weight + 1)`` — a bypassing
+        bidirectional search must use the same sentinel to stay
+        bit-identical.
+        """
+        n = self._graph.n
+        return max(cinf(n), (n - 1) * self._max_weight + 1)
+
+    def query(self, u: int, v: int) -> int:
+        """Single weighted ``dist(u, v)`` in ``U(G)``.
+
+        The weighted sibling of :meth:`DistanceCache.query`: a synced
+        (or lazy) base engine answers directly, a cold full-mode cache
+        runs one bounded bidirectional Dial search on the substrate.
+        """
+        wcsr = self._sync()
+        if self._lazy_rows or (
+            self._base is not None and self._base_token == self._steps.token
+        ):
+            return self.base().query(u, v)
+        from ..graphs.query import point_to_point
+
+        return point_to_point(wcsr, u, v, inf=self._query_inf())
+
+    def query_punctured(self, player: int, u: int, v: int) -> int:
+        """Single weighted ``dist(u, v)`` in the punctured ``U(G - player)``.
+
+        Same tiering as :meth:`query`, against the per-player family.
+        """
+        if not 0 <= player < self._graph.n:
+            raise VertexError(player, self._graph.n)
+        wcsr = self._sync()
+        engine = self._players.get(player)
+        synced = (
+            engine is not None
+            and self._player_tokens.get(player) == self._steps.token
+        )
+        if self._lazy_rows or synced:
+            return self.player(player).query(u, v)
+        from ..graphs.query import point_to_point
+
+        punctured = weighted_csr_without_vertex(wcsr, player)
+        return point_to_point(punctured, u, v, inf=self._query_inf())
+
     def player(self, u: int) -> WeightedDistanceEngine:
         """Engine over weighted ``U(G - u)``, synced to both revisions."""
         if not 0 <= u < self._graph.n:
@@ -738,6 +862,10 @@ class WeightedDistanceCache:
             "pendant_fixes": 0,
             "region_repairs": 0,
             "region_vertices": 0,
+            "lazy_rows": 0,
+            "lazy_invalidations": 0,
+            "promotions": 0,
+            "point_queries": 0,
         }
         engines = list(self._players.values())
         if self._base is not None:

@@ -64,6 +64,7 @@ are used in this repo:
 from __future__ import annotations
 
 import atexit
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
@@ -116,13 +117,26 @@ def _unregister_nonowner(shm: shared_memory.SharedMemory) -> None:
     owner; left in place, a spawned worker's tracker would try to unlink
     (and warn about) segments the parent still owns. Harmless if the
     interpreter version no longer registers attachments.
+
+    Expected, version-dependent failures (no tracker module/attribute,
+    the segment was never registered, the tracker pipe is gone) are
+    swallowed; anything else is surfaced as a :class:`RuntimeWarning`
+    rather than silently discarded — a blanket ``pass`` here once hid
+    real bugs in the cleanup path.
     """
     try:  # pragma: no cover - depends on interpreter version
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
+    except (ImportError, AttributeError, KeyError, OSError):
         pass
+    except Exception as exc:  # pragma: no cover - unexpected tracker state
+        warnings.warn(
+            f"unexpected error unregistering shared segment {shm.name!r} "
+            f"from the resource tracker: {exc!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
 
 def attach_views(
@@ -328,7 +342,13 @@ class MatrixPool:
     # ------------------------------------------------------------------
     @staticmethod
     def _release(handle: SegmentHandle, shm: shared_memory.SharedMemory) -> None:
-        """Close + unlink one segment, tolerating live local views."""
+        """Close + unlink one segment, tolerating live local views.
+
+        A failing ``close`` must never leak the segment *name*: the
+        unlink below still runs, and unexpected close errors are
+        reported as a :class:`RuntimeWarning` instead of either
+        propagating (skipping the unlink) or vanishing silently.
+        """
         _ATTACHED.pop(handle.name, None)
         try:
             shm.close()
@@ -336,6 +356,13 @@ class MatrixPool:
             # A local read-only view still aliases the buffer; the
             # mapping stays until the view dies, but the name must go.
             pass
+        except OSError as exc:
+            warnings.warn(
+                f"error closing shared segment {handle.name!r}: {exc!r}; "
+                f"unlinking its name anyway",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         try:
             shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone

@@ -28,7 +28,13 @@ from .connectivity import (
 )
 from .csr import CSRAdjacency, build_csr, csr_without_vertex
 from .digraph import OwnedDigraph
-from .engine import DistanceEngine
+from .engine import DistanceEngine, LazyRowGather
+from .query import (
+    QueryStats,
+    multi_source_distances,
+    point_to_point,
+    single_source_distances,
+)
 from .weighted_engine import (
     EdgeWeightMap,
     WeightedCSR,
@@ -78,7 +84,9 @@ __all__ = [
     "CSRAdjacency",
     "DistanceEngine",
     "EdgeWeightMap",
+    "LazyRowGather",
     "OwnedDigraph",
+    "QueryStats",
     "WeightedCSR",
     "WeightedDistanceEngine",
     "build_weighted_csr",
@@ -114,8 +122,11 @@ __all__ = [
     "local_vertex_connectivity",
     "menger_paths",
     "multi_source_bfs",
+    "multi_source_distances",
     "num_components",
     "pairwise_distance",
+    "point_to_point",
+    "single_source_distances",
     "path_realization",
     "radius",
     "random_budgets_with_sum",

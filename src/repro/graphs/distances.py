@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import GraphError
-from .bfs import UNREACHABLE, all_pairs_distances, bfs_distances, multi_source_bfs
+from ..errors import VertexError
+from .bfs import UNREACHABLE, all_pairs_distances
 from .csr import CSRAdjacency
 from .digraph import OwnedDigraph
+from .query import multi_source_distances, point_to_point, single_source_distances
 
 __all__ = [
     "cinf",
@@ -71,10 +72,14 @@ def eccentricities(graph: OwnedDigraph | CSRAdjacency) -> np.ndarray:
 def local_diameter(graph: OwnedDigraph | CSRAdjacency, u: int) -> int:
     """Eccentricity of a single vertex ``u`` under the ``Cinf`` convention."""
     csr = _as_csr(graph)
-    d = bfs_distances(csr, u)
+    if not 0 <= u < csr.n:
+        raise VertexError(u, csr.n)
     if csr.n == 1:
+        # Early-return *before* the sweep, so all three single-call
+        # helpers share one ordering (validate, trivial case, sweep,
+        # remap) and none pays a BFS it will discard.
         return 0
-    d[d == UNREACHABLE] = cinf(csr.n)
+    d = single_source_distances(csr, u, inf=cinf(csr.n))
     return int(d.max())
 
 
@@ -103,11 +108,13 @@ def sum_distances(graph: OwnedDigraph | CSRAdjacency) -> np.ndarray:
 
 
 def pairwise_distance(graph: OwnedDigraph | CSRAdjacency, u: int, v: int) -> int:
-    """Distance between ``u`` and ``v`` (``Cinf`` across components)."""
+    """Distance between ``u`` and ``v`` (``Cinf`` across components).
+
+    Answered by one bounded bidirectional search — a single pair never
+    pays for a full single-source sweep.
+    """
     csr = _as_csr(graph)
-    d = bfs_distances(csr, u)
-    val = int(d[v])
-    return cinf(csr.n) if val == UNREACHABLE else val
+    return point_to_point(csr, u, v, inf=cinf(csr.n))
 
 
 def distance_to_set(
@@ -119,9 +126,4 @@ def distance_to_set(
     ``Cinf``.
     """
     csr = _as_csr(graph)
-    t = np.asarray(targets, dtype=np.int64)
-    if t.size == 0:
-        raise GraphError("distance_to_set requires a nonempty target set")
-    d = multi_source_bfs(csr, t)
-    d[d == UNREACHABLE] = cinf(csr.n)
-    return d
+    return multi_source_distances(csr, targets, inf=cinf(csr.n))

@@ -78,6 +78,33 @@ points for callers that already know the delta (a distance cache
 forwarding one Gray-step arc swap to a whole engine pool); they skip
 the edge-set diff of :meth:`update` and run the same repair machinery.
 
+Three-tier read path
+--------------------
+Reads escalate through three tiers, each materialising more state:
+
+1. **Bidirectional query** — :meth:`query` answers a single ``(u, v)``
+   distance. On a lazy engine with both rows cold it runs one bounded
+   forward-backward search (:mod:`repro.graphs.query`) on the current
+   substrate and materialises nothing.
+2. **Lazy rows** — constructing with ``rows="lazy"`` starts the matrix
+   unmaterialised; :meth:`row` / :meth:`distance` (and the explicit
+   :meth:`ensure_rows`) compute single rows on first touch and mark
+   them *hot*. Delta/region repairs then maintain only the hot rows,
+   so a mutation costs what the consumer's working set costs, not
+   ``n`` rows.
+3. **Full matrix** — :attr:`matrix` (or enough hot rows) promotes the
+   engine to the classic fully-materialised mode. The promotion
+   threshold reuses the repair cost model: once the hot-row count
+   reaches :meth:`row_budget` — EMA-derived under
+   ``dirty_fraction="adaptive"``, ``dirty_fraction * n`` otherwise —
+   maintaining rows one by one is measurably no cheaper than owning
+   the whole matrix, so the engine computes the cold remainder and
+   leaves lazy mode for good.
+
+All three tiers produce bit-identical answers (including the ``inf``
+sentinel for unreachable pairs); they only trade how much state is
+built and kept repaired.
+
 Every path that may change distances bumps the ``epoch`` counter;
 consumers snapshot the epoch at read time and revalidate with
 :meth:`ensure_epoch`, so a stale view raises
@@ -105,7 +132,7 @@ from .bfs import UNREACHABLE
 from .csr import CSRAdjacency, csr_without_vertex
 from .distances import cinf
 
-__all__ = ["DistanceEngine"]
+__all__ = ["DistanceEngine", "LazyRowGather"]
 
 #: Default fallback threshold: delta-repair only while the rows needing a
 #: fresh BFS stay below this fraction of all rows.
@@ -401,7 +428,10 @@ def _region_relax(
 
 
 def _minplus_through_pivots(
-    D: np.ndarray, pivots: np.ndarray, exempt: np.ndarray
+    D: np.ndarray,
+    pivots: np.ndarray,
+    exempt: np.ndarray,
+    rows: "np.ndarray | None" = None,
 ) -> None:
     """Decrease-only min-plus repair through already-exact pivot rows.
 
@@ -409,10 +439,16 @@ def _minplus_through_pivots(
     min(d(s, v), d(p, s) + d(p, v))`` over the pivots — sound because
     any strictly shorter new path crosses an inserted/shortened edge
     and hence a pivot, whose row is exact. Shared by the insertion
-    paths of both engines (``add_edge`` and ``update``).
+    paths of both engines (``add_edge`` and ``update``). ``rows``
+    restricts the repair to a subset of rows (a lazy engine's hot set);
+    ``None`` means every row.
     """
     n = D.shape[1]
-    survivors = np.ones(n, dtype=bool)
+    if rows is None:
+        survivors = np.ones(n, dtype=bool)
+    else:
+        survivors = np.zeros(n, dtype=bool)
+        survivors[rows] = True
     survivors[exempt] = False
     rows = np.flatnonzero(survivors)
     if rows.size == 0:
@@ -464,6 +500,13 @@ class DistanceEngine:
         repair whenever the analysis budget allows it, and the string
         ``"adaptive"`` tunes the cutoff from the engine's own repair
         cost vs rebuild cost EMAs.
+    rows:
+        ``"full"`` (default) materialises the all-pairs matrix up
+        front. ``"lazy"`` starts unmaterialised: rows are computed and
+        marked hot on first touch, repairs maintain only the hot rows,
+        and the engine promotes itself to full mode once the hot count
+        reaches :meth:`row_budget` — see *Three-tier read path* in the
+        module docstring.
     """
 
     __slots__ = (
@@ -479,6 +522,8 @@ class DistanceEngine:
         "_ema_rebuild_cost",
         "_ema_delta_row_cost",
         "_ema_region_pos_cost",
+        "_lazy",
+        "_hot",
         "stats",
     )
 
@@ -488,13 +533,20 @@ class DistanceEngine:
         *,
         inf: int | None = None,
         dirty_fraction: "float | str" = DEFAULT_DIRTY_FRACTION,
+        rows: str = "full",
     ) -> None:
         self._configure(csr, inf, dirty_fraction)
         self._D = np.empty((self._n, self._n), dtype=self._dtype)
         self._cow = False
         self._epoch = 0
         self.stats = self._fresh_stats()
-        self.rebuild()
+        if rows not in ("full", "lazy"):
+            raise GraphError(f'rows must be "full" or "lazy", got {rows!r}')
+        if rows == "lazy":
+            self._lazy = True
+            self._hot = np.zeros(self._n, dtype=bool)
+        else:
+            self.rebuild()
 
     @staticmethod
     def _fresh_stats() -> "dict[str, int]":
@@ -507,6 +559,10 @@ class DistanceEngine:
             "region_repairs": 0,
             "region_vertices": 0,
             "cow_copies": 0,
+            "lazy_rows": 0,
+            "lazy_invalidations": 0,
+            "promotions": 0,
+            "point_queries": 0,
         }
 
     def _configure(
@@ -544,6 +600,9 @@ class DistanceEngine:
         self._dtype = np.int32 if 2 * self._inf < 2**31 else np.int64
         self._dirty_fraction = float(dirty_fraction)
         self._csr = csr
+        # Lazy row-on-demand state; __init__(rows="lazy") flips these.
+        self._lazy = False
+        self._hot: "np.ndarray | None" = None
 
     @classmethod
     def from_snapshot(
@@ -645,6 +704,89 @@ class DistanceEngine:
         """Whether the delta-vs-rebuild cutoff is tuned from cost EMAs."""
         return self._adaptive
 
+    @property
+    def lazy(self) -> bool:
+        """Whether the engine is still in row-on-demand mode."""
+        return self._lazy
+
+    def hot_rows(self) -> np.ndarray:
+        """Sources whose rows are materialised (every source when full)."""
+        if not self._lazy:
+            return np.arange(self._n, dtype=np.int64)
+        return np.flatnonzero(self._hot)
+
+    def promotion_threshold(self) -> float:
+        """Hot-row count at which a lazy engine promotes to full mode.
+
+        The break-even point of the cost model: once :meth:`row_budget`
+        rows are hot, maintaining them one by one is estimated to cost
+        as much as the batched rebuild that a full matrix amortises.
+        """
+        return max(1.0, self.row_budget())
+
+    def promote(self) -> None:
+        """Materialise the remaining cold rows and leave lazy mode.
+
+        Distance content does not change for any row a reader could
+        have observed (hot rows are kept, cold rows were never handed
+        out), so the epoch does not advance.
+        """
+        if not self._lazy:
+            return
+        cold = np.flatnonzero(~self._hot)
+        if cold.size:
+            t0 = time.perf_counter()
+            self._bfs_rows(self._csr, cold, self._D, cold)
+            self._observe("rebuild", time.perf_counter() - t0, self._n)
+        self._lazy = False
+        self._hot = None
+        self.stats["promotions"] += 1
+
+    def ensure_rows(self, sources: "Sequence[int] | np.ndarray") -> None:
+        """Materialise (and mark hot) any still-cold rows in ``sources``.
+
+        No-op in full mode. Promotes to full mode afterwards when the
+        hot count reaches :meth:`promotion_threshold`.
+        """
+        if not self._lazy:
+            return
+        src = np.unique(np.asarray(sources, dtype=np.int64).ravel())
+        if src.size and (src[0] < 0 or src[-1] >= self._n):
+            bad = int(src[0]) if src[0] < 0 else int(src[-1])
+            raise VertexError(bad, self._n)
+        cold = src[~self._hot[src]]
+        if cold.size:
+            t0 = time.perf_counter()
+            self._bfs_rows(self._csr, cold, self._D, cold)
+            self._observe("delta", time.perf_counter() - t0, cold.size)
+            self._hot[cold] = True
+            self.stats["lazy_rows"] += int(cold.size)
+        if int(self._hot.sum()) >= self.promotion_threshold():
+            self.promote()
+
+    def query(self, u: int, v: int) -> int:
+        """Single ``(u, v)`` distance under the ``inf`` convention.
+
+        Tier-1 read: answered from the matrix when the relevant row is
+        materialised (either direction — the substrate is undirected),
+        otherwise by one bounded bidirectional search on the substrate,
+        materialising nothing. Bit-identical to ``matrix[u, v]``.
+        """
+        if not 0 <= u < self._n:
+            raise VertexError(u, self._n)
+        if not 0 <= v < self._n:
+            raise VertexError(v, self._n)
+        self.stats["point_queries"] += 1
+        if not self._lazy:
+            return int(self._D[u, v])
+        if self._hot[u]:
+            return int(self._D[u, v])
+        if self._hot[v]:
+            return int(self._D[v, u])
+        from .query import point_to_point
+
+        return point_to_point(self._csr, u, v, inf=self._inf)
+
     def row_budget(self) -> float:
         """Rows a delta repair may recompute before falling back to rebuild.
 
@@ -712,17 +854,28 @@ class DistanceEngine:
 
         The view aliases the engine's buffer: it is only valid for the
         epoch at which it was taken. Guard reuse with
-        :meth:`ensure_epoch`.
+        :meth:`ensure_epoch`. A lazy engine promotes to full mode first
+        (prefer :meth:`query` / :meth:`row` to stay lazy).
         """
+        if self._lazy:
+            self.promote()
         view = self._D.view()
         view.flags.writeable = False
         return view
 
     def row(self, s: int) -> np.ndarray:
-        """Read-only distance row from source ``s`` (``inf`` convention)."""
+        """Read-only distance row from source ``s`` (``inf`` convention).
+
+        Tier-2 read: a lazy engine materialises just this row (marking
+        it hot) rather than promoting.
+        """
         if not 0 <= s < self._n:
             raise VertexError(s, self._n)
-        return self.matrix[s]
+        if self._lazy:
+            self.ensure_rows([s])
+        view = self._D[s].view()
+        view.flags.writeable = False
+        return view
 
     def distance(self, s: int, v: int) -> int:
         """Distance ``s -> v``; ``UNREACHABLE`` across components."""
@@ -730,11 +883,13 @@ class DistanceEngine:
             raise VertexError(s, self._n)
         if not 0 <= v < self._n:
             raise VertexError(v, self._n)
-        d = int(self._D[s, v])
+        d = self.query(s, v)
         return UNREACHABLE if d >= self._inf else d
 
     def distances(self, *, sentinel: int = UNREACHABLE) -> np.ndarray:
         """``int64`` copy of the full matrix, unreachable pairs remapped."""
+        if self._lazy:
+            self.promote()
         out = self._D.astype(np.int64)
         if sentinel != self._inf:
             out[out >= self._inf] = sentinel
@@ -814,7 +969,12 @@ class DistanceEngine:
     # Mutation API
     # ------------------------------------------------------------------
     def rebuild(self, new_csr: CSRAdjacency | None = None) -> None:
-        """Full batched all-pairs BFS (optionally onto a new substrate)."""
+        """Full batched all-pairs BFS (optionally onto a new substrate).
+
+        A lazy engine exits row-on-demand mode here — after a rebuild
+        every row is exact, so staying lazy would only re-pay the
+        bookkeeping.
+        """
         if new_csr is not None:
             if new_csr.n != self._n:
                 raise GraphError(
@@ -822,6 +982,8 @@ class DistanceEngine:
                     f"build a fresh engine instead"
                 )
             self._csr = new_csr
+        self._lazy = False
+        self._hot = None
         self._prepare_write(preserve=False)
         all_rows = np.arange(self._n, dtype=np.int64)
         t0 = time.perf_counter()
@@ -922,6 +1084,12 @@ class DistanceEngine:
                 f"edge endpoint out of range [0, {self._n}): {{{x}, {y}}}"
             )
         after_csr = _csr_remove_edge(self._csr, x, y)  # raises if absent
+        if self._lazy:
+            self._lazy_deletion_repair(x, y, after_csr)
+            self._csr = after_csr
+            self._epoch += 1
+            self.stats["deltas"] += 1
+            return "delta"
         if self._adaptive or self._dirty_fraction > 0.0:
             spent = self._single_deletion_repair(
                 x, y, after_csr, row_budget=self.row_budget()
@@ -950,6 +1118,20 @@ class DistanceEngine:
         if x == y:
             raise GraphError(f"self-loop {{{x}, {y}}} cannot be inserted")
         new_csr = _csr_insert_edge(self._csr, x, y)  # raises if present
+        if self._lazy:
+            self._csr = new_csr
+            hot = np.flatnonzero(self._hot)
+            if hot.size:
+                pivot = min(x, y)
+                rows = np.asarray([pivot], dtype=np.int64)
+                self._bfs_rows(new_csr, rows, self._D, rows)
+                self._hot[pivot] = True
+                _minplus_through_pivots(
+                    self._D, rows, rows, rows=np.flatnonzero(self._hot)
+                )
+            self._epoch += 1
+            self.stats["deltas"] += 1
+            return "delta"
         if (self._adaptive or self._dirty_fraction > 0.0) and self.row_budget() >= 1.0:
             pivot = min(x, y)
             self._prepare_write()
@@ -964,7 +1146,11 @@ class DistanceEngine:
         return "rebuild"
 
     def _deletion_dirty_rows(
-        self, x: int, y: int, after_csr: CSRAdjacency
+        self,
+        x: int,
+        y: int,
+        after_csr: CSRAdjacency,
+        candidates: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Sources whose row may change when edge ``{x, y}`` is removed.
 
@@ -972,21 +1158,125 @@ class DistanceEngine:
         affected only if the downhill endpoint has no surviving tight
         parent in ``after_csr`` (the substrate with the edge already
         removed, and without any not-yet-applied insertions).
+        ``candidates`` restricts the filter to those source rows (the
+        lazy engines' hot set — cold rows hold garbage and must not be
+        read); the returned ids are still absolute sources.
         """
-        dirty = np.zeros(self._n, dtype=bool)
-        dx = self._D[:, x]
-        dy = self._D[:, y]
+        D = self._D if candidates is None else self._D[candidates]
+        dirty = np.zeros(D.shape[0], dtype=bool)
+        dx = D[:, x]
+        dy = D[:, y]
         for hi, dlo in ((y, dx), (x, dy)):
-            supported = self._D[:, hi] == dlo + 1
+            supported = D[:, hi] == dlo + 1
             if not supported.any():
                 continue
             alt_nbrs = after_csr.neighbors(hi)
             if alt_nbrs.size:
-                alt = (self._D[:, alt_nbrs] == dlo[:, None]).any(axis=1)
+                alt = (D[:, alt_nbrs] == dlo[:, None]).any(axis=1)
                 dirty |= supported & ~alt
             else:
                 dirty |= supported
-        return np.flatnonzero(dirty)
+        hits = np.flatnonzero(dirty)
+        return hits if candidates is None else candidates[hits]
+
+    def _lazy_deletion_repair(self, x: int, y: int, after_csr: CSRAdjacency) -> None:
+        """Deletion repair restricted to the hot rows of a lazy engine.
+
+        Same tier walk as :meth:`_single_deletion_repair` minus the
+        budget bookkeeping — with only hot rows to maintain there is no
+        rebuild to fall back to, the worst case is re-running BFS for
+        each hot row. Cold rows are garbage before and after; the
+        pendant fix's row/column writes are correct on hot rows and
+        harmless on cold ones.
+        """
+        hot = np.flatnonzero(self._hot)
+        if hot.size == 0:
+            return
+        isolated = [v for v in (x, y) if after_csr.degree(v) == 0]
+        if isolated:
+            self._isolated_endpoint_fix(isolated)
+            # The fixed endpoint's own row is now exact whether or not
+            # it was hot before.
+            for v in isolated:
+                self._hot[v] = True
+            return
+        dirty = self._deletion_dirty_rows(x, y, after_csr, candidates=hot)
+        if dirty.size == 0:
+            return
+        t0 = time.perf_counter()
+        roots = _deletion_roots(self._D, x, y, 1, dirty)
+        cap = self._region_cap(dirty.size)
+        positions = _affected_positions(
+            self._D,
+            self._inf,
+            after_csr.indptr,
+            after_csr.indices,
+            None,
+            dirty,
+            roots,
+            cap,
+        )
+        if positions is not None:
+            _region_relax(
+                self._D,
+                self._inf,
+                after_csr.indptr,
+                after_csr.indices,
+                None,
+                positions,
+            )
+            self._observe("region", time.perf_counter() - t0, positions.size)
+            self.stats["region_repairs"] += 1
+            self.stats["region_vertices"] += int(positions.size)
+            return
+        t_rows = time.perf_counter()
+        self._bfs_rows(after_csr, dirty, self._D, dirty)
+        self._observe("delta", time.perf_counter() - t_rows, dirty.size)
+
+    def _lazy_update(
+        self, new_csr: CSRAdjacency, removed_ids: np.ndarray, added_ids: np.ndarray
+    ) -> str:
+        """:meth:`update` for a lazy engine: maintain only the hot rows.
+
+        Light churn repairs hot rows in place (sequential deletions
+        through the hot-row hierarchy, then pivot rows + the hot-subset
+        min-plus pass for insertions). Heavy churn simply invalidates
+        the hot set — the lazy analogue of a rebuild, at zero cost —
+        and rows re-materialise on demand against the new substrate.
+        """
+        n = self._n
+        hot = np.flatnonzero(self._hot)
+        churn = removed_ids.size + added_ids.size
+        heavy = removed_ids.size > _SEQUENTIAL_DELETION_CAP or churn > max(
+            16.0, n / 8
+        )
+        if hot.size and not heavy:
+            work_csr = self._csr
+            for eid in removed_ids:
+                x = int(eid // n)
+                y = int(eid - x * n)
+                work_csr = _csr_remove_edge(work_csr, x, y)
+                self._lazy_deletion_repair(x, y, work_csr)
+            self._csr = new_csr
+            if added_ids.size:
+                ax = added_ids // n
+                ay = added_ids - ax * n
+                pivots = _pivot_cover(np.stack([ax, ay], axis=1))
+                self._bfs_rows(new_csr, pivots, self._D, pivots)
+                self._hot[pivots] = True
+                _minplus_through_pivots(
+                    self._D, pivots, pivots, rows=np.flatnonzero(self._hot)
+                )
+            self._epoch += 1
+            self.stats["deltas"] += 1
+            return "delta"
+        if hot.size:
+            self._hot[:] = False
+            self.stats["lazy_invalidations"] += 1
+        self._csr = new_csr
+        self._epoch += 1
+        self.stats["deltas"] += 1
+        return "delta" if not hot.size else "rebuild"
 
     def update(self, new_csr: CSRAdjacency) -> str:
         """Sync the matrix to ``new_csr``; returns the path taken.
@@ -1020,6 +1310,8 @@ class DistanceEngine:
             self._csr = new_csr
             self.stats["noops"] += 1
             return "noop"
+        if self._lazy:
+            return self._lazy_update(new_csr, removed_ids, added_ids)
 
         n = self._n
         row_budget = self.row_budget()
@@ -1103,3 +1395,46 @@ class DistanceEngine:
         self._epoch += 1
         self.stats["deltas"] += 1
         return "delta"
+
+
+class LazyRowGather:
+    """Numpy-indexable facade over an engine that materialises rows on
+    demand.
+
+    The batch environments read distances with fancy indexing
+    (``self.D[rows, cols]``, ``self.D[mask]``); handing them
+    ``engine.matrix`` would promote a lazy engine immediately. This
+    facade forwards ``__getitem__`` after ensuring the touched *rows*
+    are hot, so ``D[cur, v]``-style reads stay row-on-demand and the
+    environments' indexing code is unchanged. A full-row slice in the
+    row position (``D[:, v]``) genuinely needs every row and promotes.
+
+    Works over both engine flavours (anything with ``n``,
+    ``ensure_rows``, ``promote``, ``lazy`` and a ``_D`` buffer).
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+
+    @property
+    def shape(self) -> "tuple[int, int]":
+        return (self._engine.n, self._engine.n)
+
+    def __getitem__(self, key):
+        eng = self._engine
+        if eng.lazy:
+            rows = key[0] if isinstance(key, tuple) else key
+            if isinstance(rows, slice):
+                eng.promote()
+            else:
+                r = np.asarray(rows)
+                if r.dtype == bool:
+                    r = np.flatnonzero(r)
+                eng.ensure_rows(np.unique(r.ravel()))
+        out = eng._D[key]
+        if isinstance(out, np.ndarray) and out.base is not None:
+            out = out.view()
+            out.flags.writeable = False
+        return out

@@ -1,0 +1,321 @@
+"""Forward-backward bidirectional point-to-point distance queries.
+
+The engines in :mod:`repro.graphs.engine` and
+:mod:`repro.graphs.weighted_engine` answer reads from a maintained
+all-pairs matrix — the right shape for batch best-response sweeps, but
+a single ``(u, v)`` verdict (a swap check, a Lemma 2.2 screen, one PoA
+probe) does not need ``n`` rows of state. This module is the query tier
+beneath them: a Wilson–Zwick style forward-backward search that grows a
+ball around ``u`` and a ball around ``v`` in alternation and stops with
+the standard meet-in-the-middle rule, settling a small fraction of the
+graph on sparse instances instead of sweeping all of it.
+
+Two paths share the public entry point :func:`point_to_point`:
+
+* a **unit-BFS fast path** — level-synchronous frontier expansion on
+  each side, always expanding the smaller frontier; and
+* a **Dial-bucket weighted path** — bidirectional Dijkstra with the
+  same heap-free bucket queues as the weighted engine's batched kernel,
+  taken only when some edge length exceeds 1 (an all-unit
+  :class:`~repro.graphs.weighted_engine.WeightedCSR` degenerates to the
+  BFS path bit-identically).
+
+Answers follow the engines' sentinel convention exactly: reachable
+pairs return the true distance, unreachable pairs return ``inf`` (the
+paper's ``Cinf = n^2`` by default), so a kernel answer is bit-identical
+to the corresponding full-matrix entry.
+
+Correctness of the stopping rule: per side, labels are exact when
+assigned (BFS levels / settled Dijkstra labels), and a meet candidate
+``d_f(x) + d_b(x)`` is recorded whenever a vertex acquires (or
+improves) its second label — an upper bound realised by an actual
+``u``-``x``-``v`` walk. Once the explored radii satisfy ``r_f + r_b >=
+best``, some vertex on a true shortest path is doubly labelled, so
+``best`` already equals the true distance and the search stops.
+
+:func:`single_source_distances` / :func:`multi_source_distances` wrap
+the full one-sided sweeps under the same sentinel convention — the
+single place the aggregate helpers in :mod:`repro.graphs.distances`
+route through, so the ``Cinf`` remap ordering is uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GraphError, VertexError
+from .bfs import UNREACHABLE, bfs_distances, multi_source_bfs
+from .csr import CSRAdjacency
+
+__all__ = [
+    "QueryStats",
+    "point_to_point",
+    "single_source_distances",
+    "multi_source_distances",
+]
+
+
+@dataclass
+class QueryStats:
+    """Work counters of one bidirectional query (for benchmarks/tests).
+
+    ``settled`` counts the labels assigned across both search balls; on
+    a graph of ``n`` vertices ``settled / n`` is the fraction of the
+    graph the query had to explore (it can exceed 1 only in the rare
+    case that both balls label almost every vertex).
+    """
+
+    settled: int = 0
+
+    def fraction_settled(self, n: int) -> float:
+        """``settled`` as a fraction of ``n`` labels (one ball's worth)."""
+        return self.settled / max(1, n)
+
+
+def _default_inf(substrate) -> int:
+    """The engines' default sentinel for this substrate.
+
+    ``Cinf = n^2`` for unit adjacencies; weighted substrates widen it to
+    exceed the largest finite distance ``(n - 1) * w_max``, exactly like
+    :class:`~repro.graphs.weighted_engine.WeightedDistanceEngine`.
+    """
+    n = substrate.n
+    weights = getattr(substrate, "weights", None)
+    if weights is None:
+        return n * n
+    w_max = substrate.max_weight()
+    return max(n * n, (n - 1) * w_max + 1)
+
+
+def _frontier_neighbors(
+    indptr: np.ndarray, indices: np.ndarray, verts: np.ndarray
+) -> np.ndarray:
+    """Concatenated neighbour ids of every vertex in ``verts``."""
+    starts = indptr[verts]
+    counts = indptr[verts + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    cum = np.cumsum(counts)
+    offsets = np.repeat(starts - (cum - counts), counts) + np.arange(
+        total, dtype=np.int64
+    )
+    return indices[offsets]
+
+
+def _bidirectional_unit(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    u: int,
+    v: int,
+    inf: int,
+    stats: "QueryStats | None",
+) -> int:
+    """Alternating bidirectional BFS; returns the distance or ``inf``."""
+    dist_f = np.full(n, -1, dtype=np.int64)
+    dist_b = np.full(n, -1, dtype=np.int64)
+    dist_f[u] = 0
+    dist_b[v] = 0
+    frontier_f = np.asarray([u], dtype=np.int64)
+    frontier_b = np.asarray([v], dtype=np.int64)
+    radius_f = 0
+    radius_b = 0
+    best = int(inf)
+    if stats is not None:
+        stats.settled += 2
+    while frontier_f.size and frontier_b.size and radius_f + radius_b < best:
+        # Expand the smaller ball: balanced radii settle ~2 * b^(L/2)
+        # labels where one-sided BFS settles b^L.
+        forward = frontier_f.size <= frontier_b.size
+        dist, other = (dist_f, dist_b) if forward else (dist_b, dist_f)
+        frontier = frontier_f if forward else frontier_b
+        nbrs = _frontier_neighbors(indptr, indices, frontier)
+        fresh = nbrs[dist[nbrs] < 0]
+        if fresh.size > 1:
+            fresh = np.unique(fresh)
+        if forward:
+            radius_f += 1
+            level = radius_f
+        else:
+            radius_b += 1
+            level = radius_b
+        dist[fresh] = level
+        if stats is not None:
+            stats.settled += int(fresh.size)
+        met = fresh[other[fresh] >= 0]
+        if met.size:
+            cand = level + int(other[met].min())
+            if cand < best:
+                best = cand
+        if forward:
+            frontier_f = fresh
+        else:
+            frontier_b = fresh
+    return best
+
+
+def _pop_bucket(
+    buckets: "dict[int, list[np.ndarray]]",
+    label: int,
+    dist: np.ndarray,
+    settled: np.ndarray,
+) -> np.ndarray:
+    """Live (still-current, unsettled) vertices of bucket ``label``."""
+    idx = np.concatenate(buckets.pop(label))
+    idx = idx[(dist[idx] == label) & ~settled[idx]]
+    if idx.size > 1:
+        idx = np.unique(idx)
+    return idx
+
+
+def _bidirectional_weighted(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    n: int,
+    u: int,
+    v: int,
+    inf: int,
+    stats: "QueryStats | None",
+) -> int:
+    """Bidirectional Dial-bucket Dijkstra; returns the distance or ``inf``."""
+    dist_f = np.full(n, inf, dtype=np.int64)
+    dist_b = np.full(n, inf, dtype=np.int64)
+    settled_f = np.zeros(n, dtype=bool)
+    settled_b = np.zeros(n, dtype=bool)
+    dist_f[u] = 0
+    dist_b[v] = 0
+    buckets_f: "dict[int, list[np.ndarray]]" = {0: [np.asarray([u], dtype=np.int64)]}
+    buckets_b: "dict[int, list[np.ndarray]]" = {0: [np.asarray([v], dtype=np.int64)]}
+    best = int(inf)
+    while buckets_f and buckets_b:
+        top_f = min(buckets_f)
+        top_b = min(buckets_b)
+        # Stale queue entries can only make a top an under-estimate,
+        # which delays the stop by one empty pop — never a wrong answer.
+        if top_f + top_b >= best:
+            break
+        forward = top_f <= top_b
+        if forward:
+            label, dist, other = top_f, dist_f, dist_b
+            settled, buckets = settled_f, buckets_f
+        else:
+            label, dist, other = top_b, dist_b, dist_f
+            settled, buckets = settled_b, buckets_b
+        front = _pop_bucket(buckets, label, dist, settled)
+        if front.size == 0:
+            continue
+        settled[front] = True
+        if stats is not None:
+            stats.settled += int(front.size)
+        starts = indptr[front]
+        counts = indptr[front + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        cum = np.cumsum(counts)
+        offsets = np.repeat(starts - (cum - counts), counts) + np.arange(
+            total, dtype=np.int64
+        )
+        nbrs = indices[offsets]
+        nd = label + weights[offsets].astype(np.int64)
+        improve = (nd < dist[nbrs]) & ~settled[nbrs]
+        nbrs = nbrs[improve]
+        if nbrs.size == 0:
+            continue
+        np.minimum.at(dist, nbrs, nd[improve])
+        if nbrs.size > 1:
+            nbrs = np.unique(nbrs)
+        labels = dist[nbrs]
+        order = np.argsort(labels, kind="stable")
+        labels = labels[order]
+        pushed = nbrs[order]
+        cuts = np.flatnonzero(labels[1:] != labels[:-1]) + 1
+        vals = labels[np.concatenate([[0], cuts])] if cuts.size else labels[:1]
+        for val, seg in zip(vals, np.split(pushed, cuts)):
+            buckets.setdefault(int(val), []).append(seg)
+        # Meet rule: a vertex that just acquired (or improved) its
+        # second label witnesses a real u-x-v walk.
+        met = nbrs[other[nbrs] < inf]
+        if met.size:
+            cand = int((dist[met] + other[met]).min())
+            if cand < best:
+                best = cand
+    return best
+
+
+def point_to_point(
+    substrate: "CSRAdjacency | object",
+    u: int,
+    v: int,
+    *,
+    inf: "int | None" = None,
+    stats: "QueryStats | None" = None,
+) -> int:
+    """Distance ``u`` to ``v`` by bidirectional search; ``inf`` if apart.
+
+    ``substrate`` is a :class:`~repro.graphs.csr.CSRAdjacency` or a
+    :class:`~repro.graphs.weighted_engine.WeightedCSR`, assumed
+    *symmetric* (an undirected ``U(G)``, as everywhere in this stack) —
+    the backward ball expands over the same arcs. All-unit weighted
+    substrates take the BFS fast path and are bit-identical to the Dial
+    path. The return value matches the corresponding engine
+    matrix entry exactly (``inf``-sentinel convention, defaulting to the
+    engine defaults for the substrate). Pass a :class:`QueryStats` to
+    observe how much of the graph the query settled.
+    """
+    n = substrate.n
+    if not 0 <= u < n:
+        raise VertexError(u, n)
+    if not 0 <= v < n:
+        raise VertexError(v, n)
+    if inf is None:
+        inf = _default_inf(substrate)
+    if u == v:
+        return 0
+    weights = getattr(substrate, "weights", None)
+    if weights is None or substrate.max_weight() == 1:
+        return _bidirectional_unit(
+            substrate.indptr, substrate.indices, n, u, v, int(inf), stats
+        )
+    return _bidirectional_weighted(
+        substrate.indptr, substrate.indices, weights, n, u, v, int(inf), stats
+    )
+
+
+def single_source_distances(
+    csr: CSRAdjacency, s: int, *, inf: "int | None" = None
+) -> np.ndarray:
+    """One full BFS sweep from ``s`` under the ``inf``-sentinel convention.
+
+    The one-sided degeneration of the kernel, shared by the aggregate
+    helpers so unreachable entries are remapped in exactly one place.
+    """
+    if not 0 <= s < csr.n:
+        raise VertexError(s, csr.n)
+    d = bfs_distances(csr, s)
+    d[d == UNREACHABLE] = csr.n * csr.n if inf is None else int(inf)
+    return d
+
+
+def multi_source_distances(
+    csr: CSRAdjacency,
+    targets: "np.ndarray | list[int]",
+    *,
+    inf: "int | None" = None,
+) -> np.ndarray:
+    """``min_a dist(v, a)`` for every ``v``, ``inf``-sentinel convention.
+
+    The backward (multi-source) half of the bidirectional kernel run to
+    exhaustion — what a set-target query degenerates to when every
+    vertex needs an answer.
+    """
+    t = np.asarray(targets, dtype=np.int64)
+    if t.size == 0:
+        raise GraphError("distance_to_set requires a nonempty target set")
+    d = multi_source_bfs(csr, t)
+    d[d == UNREACHABLE] = csr.n * csr.n if inf is None else int(inf)
+    return d

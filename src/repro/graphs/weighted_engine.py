@@ -341,6 +341,11 @@ class WeightedDistanceEngine:
     dirty_fraction:
         Delta-vs-rebuild cutoff as a fraction of rows (``0.0`` disables
         delta repair, ``1.0`` always tries it).
+    rows:
+        ``"full"`` (default) materialises the all-pairs matrix up
+        front; ``"lazy"`` starts unmaterialised with row-on-demand
+        reads — see *Three-tier read path* in
+        :mod:`repro.graphs.engine`.
     """
 
     __slots__ = (
@@ -353,6 +358,8 @@ class WeightedDistanceEngine:
         "_cow",
         "_epoch",
         "_dirty_fraction",
+        "_lazy",
+        "_hot",
         "stats",
     )
 
@@ -363,13 +370,20 @@ class WeightedDistanceEngine:
         inf: "int | None" = None,
         max_weight: "int | None" = None,
         dirty_fraction: float = DEFAULT_DIRTY_FRACTION,
+        rows: str = "full",
     ) -> None:
         self._configure(wcsr, inf, max_weight, dirty_fraction)
         self._D = np.empty((self._n, self._n), dtype=self._dtype)
         self._cow = False
         self._epoch = 0
         self.stats = self._fresh_stats()
-        self.rebuild()
+        if rows not in ("full", "lazy"):
+            raise GraphError(f'rows must be "full" or "lazy", got {rows!r}')
+        if rows == "lazy":
+            self._lazy = True
+            self._hot = np.zeros(self._n, dtype=bool)
+        else:
+            self.rebuild()
 
     @staticmethod
     def _fresh_stats() -> "dict[str, int]":
@@ -382,6 +396,10 @@ class WeightedDistanceEngine:
             "region_repairs": 0,
             "region_vertices": 0,
             "cow_copies": 0,
+            "lazy_rows": 0,
+            "lazy_invalidations": 0,
+            "promotions": 0,
+            "point_queries": 0,
         }
 
     def _configure(
@@ -416,6 +434,9 @@ class WeightedDistanceEngine:
         self._dtype = np.int32 if 2 * self._inf < 2**31 else np.int64
         self._dirty_fraction = float(dirty_fraction)
         self._wcsr = wcsr
+        # Lazy row-on-demand state; __init__(rows="lazy") flips these.
+        self._lazy = False
+        self._hot: "np.ndarray | None" = None
 
     @classmethod
     def from_snapshot(
@@ -499,21 +520,113 @@ class WeightedDistanceEngine:
         return self._epoch
 
     @property
+    def lazy(self) -> bool:
+        """Whether the engine is still in row-on-demand mode."""
+        return self._lazy
+
+    def hot_rows(self) -> np.ndarray:
+        """Sources whose rows are materialised (every source when full)."""
+        if not self._lazy:
+            return np.arange(self._n, dtype=np.int64)
+        return np.flatnonzero(self._hot)
+
+    def row_budget(self) -> float:
+        """Rows a delta repair may recompute before falling back to rebuild.
+
+        Fixed-fraction cost model (the weighted engine has no adaptive
+        EMAs): ``dirty_fraction * n``.
+        """
+        return self._dirty_fraction * self._n
+
+    def promotion_threshold(self) -> float:
+        """Hot-row count at which a lazy engine promotes to full mode."""
+        return max(1.0, self.row_budget())
+
+    def promote(self) -> None:
+        """Materialise the remaining cold rows and leave lazy mode.
+
+        No epoch bump: hot rows are kept and cold rows were never
+        handed out, so no observable distance changes.
+        """
+        if not self._lazy:
+            return
+        cold = np.flatnonzero(~self._hot)
+        if cold.size:
+            self._sssp_rows(self._wcsr, cold, self._D, cold)
+        self._lazy = False
+        self._hot = None
+        self.stats["promotions"] += 1
+
+    def ensure_rows(self, sources: "Sequence[int] | np.ndarray") -> None:
+        """Materialise (and mark hot) any still-cold rows in ``sources``.
+
+        No-op in full mode. Promotes to full mode afterwards when the
+        hot count reaches :meth:`promotion_threshold`.
+        """
+        if not self._lazy:
+            return
+        src = np.unique(np.asarray(sources, dtype=np.int64).ravel())
+        if src.size and (src[0] < 0 or src[-1] >= self._n):
+            bad = int(src[0]) if src[0] < 0 else int(src[-1])
+            raise VertexError(bad, self._n)
+        cold = src[~self._hot[src]]
+        if cold.size:
+            self._sssp_rows(self._wcsr, cold, self._D, cold)
+            self._hot[cold] = True
+            self.stats["lazy_rows"] += int(cold.size)
+        if int(self._hot.sum()) >= self.promotion_threshold():
+            self.promote()
+
+    def query(self, u: int, v: int) -> int:
+        """Single ``(u, v)`` distance under the ``inf`` convention.
+
+        Tier-1 read: answered from the matrix when either row is hot
+        (the substrate is undirected), otherwise by one bounded
+        bidirectional Dial search, materialising nothing. Bit-identical
+        to ``matrix[u, v]``.
+        """
+        if not 0 <= u < self._n:
+            raise VertexError(u, self._n)
+        if not 0 <= v < self._n:
+            raise VertexError(v, self._n)
+        self.stats["point_queries"] += 1
+        if not self._lazy:
+            return int(self._D[u, v])
+        if self._hot[u]:
+            return int(self._D[u, v])
+        if self._hot[v]:
+            return int(self._D[v, u])
+        from .query import point_to_point
+
+        return point_to_point(self._wcsr, u, v, inf=self._inf)
+
+    @property
     def matrix(self) -> np.ndarray:
         """Read-only ``(n, n)`` distance view (``inf`` for unreachable).
 
         Aliases the engine's buffer; guard reuse across mutations with
-        :meth:`ensure_epoch`.
+        :meth:`ensure_epoch`. A lazy engine promotes to full mode first
+        (prefer :meth:`query` / :meth:`row` to stay lazy).
         """
+        if self._lazy:
+            self.promote()
         view = self._D.view()
         view.flags.writeable = False
         return view
 
     def row(self, s: int) -> np.ndarray:
-        """Read-only distance row from source ``s`` (``inf`` convention)."""
+        """Read-only distance row from source ``s`` (``inf`` convention).
+
+        Tier-2 read: a lazy engine materialises just this row (marking
+        it hot) rather than promoting.
+        """
         if not 0 <= s < self._n:
             raise VertexError(s, self._n)
-        return self.matrix[s]
+        if self._lazy:
+            self.ensure_rows([s])
+        view = self._D[s].view()
+        view.flags.writeable = False
+        return view
 
     def distance(self, s: int, v: int) -> int:
         """Distance ``s -> v``; ``UNREACHABLE`` across components."""
@@ -521,11 +634,13 @@ class WeightedDistanceEngine:
             raise VertexError(s, self._n)
         if not 0 <= v < self._n:
             raise VertexError(v, self._n)
-        d = int(self._D[s, v])
+        d = self.query(s, v)
         return UNREACHABLE if d >= self._inf else d
 
     def distances(self, *, sentinel: int = UNREACHABLE) -> np.ndarray:
         """``int64`` copy of the full matrix, unreachable pairs remapped."""
+        if self._lazy:
+            self.promote()
         out = self._D.astype(np.int64)
         if sentinel != self._inf:
             out[out >= self._inf] = sentinel
@@ -686,7 +801,11 @@ class WeightedDistanceEngine:
             )
 
     def rebuild(self, new_wcsr: "WeightedCSR | None" = None) -> None:
-        """Full batched SSSP (optionally onto a new substrate)."""
+        """Full batched SSSP (optionally onto a new substrate).
+
+        A lazy engine exits row-on-demand mode here — after a rebuild
+        every row is exact.
+        """
         if new_wcsr is not None:
             if new_wcsr.n != self._n:
                 raise GraphError(
@@ -695,6 +814,8 @@ class WeightedDistanceEngine:
                 )
             self._check_weights(new_wcsr)
             self._wcsr = new_wcsr
+        self._lazy = False
+        self._hot = None
         self._prepare_write(preserve=False)
         all_rows = np.arange(self._n, dtype=np.int64)
         self._sssp_rows(self._wcsr, all_rows, self._D, all_rows)
@@ -717,32 +838,88 @@ class WeightedDistanceEngine:
         self.stats["pendant_fixes"] += len(endpoints)
 
     def _deletion_dirty_rows(
-        self, x: int, y: int, w_edge: int, after_wcsr: WeightedCSR
+        self,
+        x: int,
+        y: int,
+        w_edge: int,
+        after_wcsr: WeightedCSR,
+        candidates: "np.ndarray | None" = None,
     ) -> np.ndarray:
         """Sources whose row may change when edge ``{x, y}`` is removed.
 
         Weight-aware exact support criterion against the current matrix:
         a source is affected only if the downhill endpoint has no
-        surviving tight parent in ``after_wcsr``.
+        surviving tight parent in ``after_wcsr``. ``candidates``
+        restricts the filter to those source rows (a lazy engine's hot
+        set); the returned ids are still absolute sources.
         """
-        dirty = np.zeros(self._n, dtype=bool)
-        dx = self._D[:, x].astype(np.int64)
-        dy = self._D[:, y].astype(np.int64)
+        D = self._D if candidates is None else self._D[candidates]
+        dirty = np.zeros(D.shape[0], dtype=bool)
+        dx = D[:, x].astype(np.int64)
+        dy = D[:, y].astype(np.int64)
         for hi, dlo in ((y, dx), (x, dy)):
-            supported = self._D[:, hi] == dlo + w_edge
+            supported = D[:, hi] == dlo + w_edge
             if not supported.any():
                 continue
             alt_nbrs = after_wcsr.neighbors(hi)
             if alt_nbrs.size:
                 alt_wts = after_wcsr.neighbor_weights(hi).astype(np.int64)
                 alt = (
-                    self._D[:, alt_nbrs].astype(np.int64) + alt_wts[None, :]
-                    == self._D[:, hi].astype(np.int64)[:, None]
+                    D[:, alt_nbrs].astype(np.int64) + alt_wts[None, :]
+                    == D[:, hi].astype(np.int64)[:, None]
                 ).any(axis=1)
                 dirty |= supported & ~alt
             else:
                 dirty |= supported
-        return np.flatnonzero(dirty)
+        hits = np.flatnonzero(dirty)
+        return hits if candidates is None else candidates[hits]
+
+    def _lazy_deletion_repair(
+        self, x: int, y: int, w_edge: int, after_wcsr: WeightedCSR
+    ) -> None:
+        """Deletion repair restricted to the hot rows of a lazy engine.
+
+        Same tier walk as :meth:`_single_deletion_repair` minus the
+        budget bookkeeping — with only hot rows to maintain the worst
+        case is one SSSP per hot row, there is no rebuild to prefer.
+        """
+        hot = np.flatnonzero(self._hot)
+        if hot.size == 0:
+            return
+        isolated = [v for v in (x, y) if after_wcsr.degree(v) == 0]
+        if isolated:
+            self._isolated_endpoint_fix(isolated)
+            for v in isolated:
+                self._hot[v] = True
+            return
+        dirty = self._deletion_dirty_rows(x, y, w_edge, after_wcsr, candidates=hot)
+        if dirty.size == 0:
+            return
+        roots = _deletion_roots(self._D, x, y, w_edge, dirty)
+        cap = dirty.size * self._n / 2.0
+        positions = _affected_positions(
+            self._D,
+            self._inf,
+            after_wcsr.indptr,
+            after_wcsr.indices,
+            after_wcsr.weights,
+            dirty,
+            roots,
+            cap,
+        )
+        if positions is not None:
+            _region_relax(
+                self._D,
+                self._inf,
+                after_wcsr.indptr,
+                after_wcsr.indices,
+                after_wcsr.weights,
+                positions,
+            )
+            self.stats["region_repairs"] += 1
+            self.stats["region_vertices"] += int(positions.size)
+            return
+        self._sssp_rows(after_wcsr, dirty, self._D, dirty)
 
     def _remove_edge(self, wcsr: WeightedCSR, x: int, y: int) -> WeightedCSR:
         """Copy of ``wcsr`` with the undirected edge ``{x, y}`` removed."""
@@ -839,9 +1016,15 @@ class WeightedDistanceEngine:
             )
         w_edge = self._wcsr.edge_weight(x, y)  # raises if absent
         new_wcsr = self._remove_edge(self._wcsr, x, y)
+        if self._lazy:
+            self._lazy_deletion_repair(x, y, w_edge, new_wcsr)
+            self._wcsr = new_wcsr
+            self._epoch += 1
+            self.stats["deltas"] += 1
+            return "delta"
         if self._dirty_fraction > 0.0:
             spent = self._single_deletion_repair(
-                x, y, w_edge, new_wcsr, row_budget=self._dirty_fraction * self._n
+                x, y, w_edge, new_wcsr, row_budget=self.row_budget()
             )
             if spent is not None:
                 self._wcsr = new_wcsr
@@ -904,6 +1087,20 @@ class WeightedDistanceEngine:
                 f"build the engine with max_weight >= {w}"
             )
         new_wcsr = self._insert_edge(self._wcsr, x, y, w)
+        if self._lazy:
+            self._wcsr = new_wcsr
+            hot = np.flatnonzero(self._hot)
+            if hot.size:
+                pivot = min(x, y)
+                rows = np.asarray([pivot], dtype=np.int64)
+                self._sssp_rows(new_wcsr, rows, self._D, rows)
+                self._hot[pivot] = True
+                _minplus_through_pivots(
+                    self._D, rows, rows, rows=np.flatnonzero(self._hot)
+                )
+            self._epoch += 1
+            self.stats["deltas"] += 1
+            return "delta"
         if self._dirty_fraction > 0.0 and self._dirty_fraction * self._n >= 1.0:
             pivot = min(x, y)
             self._prepare_write()
@@ -916,6 +1113,60 @@ class WeightedDistanceEngine:
             return "delta"
         self.rebuild(new_wcsr)
         return "rebuild"
+
+    def _lazy_update(
+        self,
+        new_wcsr: WeightedCSR,
+        removed_ids: np.ndarray,
+        removed_w: np.ndarray,
+        added_ids: np.ndarray,
+        changed_ids: np.ndarray,
+    ) -> str:
+        """:meth:`update` for a lazy engine: maintain only the hot rows.
+
+        Light churn repairs hot rows in place (sequential deletions
+        through the hot-row hierarchy, pivot rows + the hot-subset
+        min-plus pass for insertions). Heavy churn — or any in-place
+        weight change, which composes both directions at once — just
+        invalidates the hot set (the zero-cost lazy analogue of a
+        rebuild); rows re-materialise on demand against the new
+        substrate.
+        """
+        n = self._n
+        hot = np.flatnonzero(self._hot)
+        churn = removed_ids.size + added_ids.size + changed_ids.size
+        heavy = (
+            changed_ids.size > 0
+            or removed_ids.size > _SEQUENTIAL_DELETION_CAP
+            or churn > max(16.0, n / 8)
+        )
+        if hot.size and not heavy:
+            work = self._wcsr
+            for eid, w_edge in zip(removed_ids, removed_w):
+                x = int(eid // n)
+                y = int(eid - x * n)
+                work = self._remove_edge(work, x, y)
+                self._lazy_deletion_repair(x, y, int(w_edge), work)
+            self._wcsr = new_wcsr
+            if added_ids.size:
+                ax = added_ids // n
+                ay = added_ids - ax * n
+                pivots = _pivot_cover(np.stack([ax, ay], axis=1))
+                self._sssp_rows(new_wcsr, pivots, self._D, pivots)
+                self._hot[pivots] = True
+                _minplus_through_pivots(
+                    self._D, pivots, pivots, rows=np.flatnonzero(self._hot)
+                )
+            self._epoch += 1
+            self.stats["deltas"] += 1
+            return "delta"
+        if hot.size:
+            self._hot[:] = False
+            self.stats["lazy_invalidations"] += 1
+        self._wcsr = new_wcsr
+        self._epoch += 1
+        self.stats["deltas"] += 1
+        return "delta" if not hot.size else "rebuild"
 
     def update(self, new_wcsr: WeightedCSR) -> str:
         """Sync the matrix to ``new_wcsr``; returns the path taken.
@@ -982,6 +1233,10 @@ class WeightedDistanceEngine:
             self._wcsr = new_wcsr
             self.stats["noops"] += 1
             return "noop"
+        if self._lazy:
+            return self._lazy_update(
+                new_wcsr, removed_ids, removed_w, added_ids, changed_ids
+            )
 
         n = self._n
         row_budget = self._dirty_fraction * n

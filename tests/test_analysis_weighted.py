@@ -133,3 +133,90 @@ def test_lemma_6_4_violated_on_non_equilibrium():
     report = check_lemma_6_4(wr)
     assert not report.holds
     assert not is_weighted_weak_equilibrium(wr)
+
+
+# ----------------------------------------------------------------------
+# weighted_swap_check: the Section 6 point verdict (PR-6)
+# ----------------------------------------------------------------------
+def test_weighted_swap_check_grid_matches_swap_improves():
+    from conftest import random_owned_digraph
+
+    from repro.analysis.weighted import (
+        WeightedRealization,
+        _weighted_swap_improves,
+        weighted_swap_check,
+    )
+    from repro.core.distance_cache import WeightedDistanceCache
+
+    rng = np.random.default_rng(5)
+    for _ in range(6):
+        n = int(rng.integers(4, 10))
+        g = random_owned_digraph(rng, n, p=0.35)
+        weights = rng.integers(1, 6, n)
+        wr = WeightedRealization(graph=g, weights=weights)
+        caches = [None, WeightedDistanceCache(g), WeightedDistanceCache(g, rows="lazy")]
+        for u in range(n):
+            cur = tuple(int(v) for v in g.out_neighbors(u))
+            if not cur:
+                continue
+            pool = [v for v in range(n) if v != u and v not in cur]
+            found = False
+            for drop in cur:
+                for add in pool:
+                    verdicts = {
+                        weighted_swap_check(wr, u, drop, add, cache=c)
+                        for c in caches
+                    }
+                    assert len(verdicts) == 1, (u, drop, add)
+                    found = found or verdicts.pop()
+            assert found == _weighted_swap_improves(wr, u)
+
+
+def test_weighted_swap_check_validates_move_set():
+    from repro.analysis.weighted import WeightedRealization, weighted_swap_check
+    from repro.errors import GameError
+
+    g = path_realization(5)
+    wr = WeightedRealization.unit(g)
+    wr.weights[4] = 0  # a folded ghost
+    with pytest.raises(GameError):
+        weighted_swap_check(wr, 0, 3, 2)  # 0 owns no arc to 3
+    with pytest.raises(GameError):
+        weighted_swap_check(wr, 0, 1, 0)  # self-link
+    with pytest.raises(GameError):
+        weighted_swap_check(wr, 1, 2, 2)  # already owned
+    with pytest.raises(GameError):
+        weighted_swap_check(wr, 0, 1, 4)  # ghost target
+
+
+def test_weighted_swap_check_cold_path_touches_few_rows():
+    """A one-off cold verdict must materialise only the rows of
+    cur ∪ In(u) ∪ {add}, never promote to a full matrix."""
+    from repro.analysis.weighted import WeightedRealization, WeightedSwapEnvironment
+    from repro.graphs import weighted_csr_from_csr
+    from repro.graphs.weighted_engine import WeightedDistanceEngine
+
+    g = path_realization(64)
+    wr = WeightedRealization.unit(g)
+    u = 5
+    engine = WeightedDistanceEngine(
+        weighted_csr_from_csr(g.undirected_csr_without(u)), rows="lazy"
+    )
+    env = WeightedSwapEnvironment(wr, u, engine=engine)
+    env.check_swap(6, 40)
+    assert engine.lazy
+    assert engine.hot_rows().size <= 4  # cur(1) + In(u)(1) + add(1) + slack
+
+
+def test_check_lemma_6_4_lazy_cache_matches_reference():
+    from repro.analysis.weighted import WeightedRealization, check_lemma_6_4
+    from repro.core.distance_cache import WeightedDistanceCache
+
+    wr = WeightedRealization.unit(star_realization(6))
+    ref = check_lemma_6_4(wr)
+    for cache in (
+        WeightedDistanceCache(wr.graph),
+        WeightedDistanceCache(wr.graph, rows="lazy"),
+    ):
+        got = check_lemma_6_4(wr, cache=cache)
+        assert got == ref

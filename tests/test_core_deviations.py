@@ -114,3 +114,77 @@ def test_is_equilibrium_players_subset():
 def test_two_vertex_brace_is_equilibrium(brace_pair):
     assert is_equilibrium(brace_pair, "sum")
     assert is_equilibrium(brace_pair, "max")
+
+
+# ----------------------------------------------------------------------
+# deviation_improves: the single-deviation point verdict (PR-6)
+# ----------------------------------------------------------------------
+def test_deviation_improves_agrees_with_env_pricing():
+    from conftest import random_owned_digraph
+
+    from repro.core import DistanceCache, deviation_improves
+    from repro.core.best_response import BestResponseEnvironment
+
+    rng = np.random.default_rng(99)
+    for _ in range(8):
+        n = int(rng.integers(4, 11))
+        g = random_owned_digraph(rng, n, p=0.3)
+        caches = [None, DistanceCache(g), DistanceCache(g, rows="lazy")]
+        for version in ("sum", "max"):
+            for u in range(n):
+                cur = tuple(sorted(int(v) for v in g.out_neighbors(u)))
+                if not cur:
+                    continue
+                others = [v for v in range(n) if v != u]
+                dev = tuple(
+                    sorted(
+                        int(v)
+                        for v in rng.choice(
+                            others, size=len(cur), replace=False
+                        )
+                    )
+                )
+                verdicts = {
+                    deviation_improves(g, u, dev, version, cache=c)
+                    for c in caches
+                }
+                assert len(verdicts) == 1
+                env = BestResponseEnvironment(g, u, version)
+                truth = env.evaluate(dev) < env.evaluate(cur)
+                assert verdicts.pop() == truth
+
+
+def test_deviation_improves_current_strategy_is_never_improving():
+    from repro.core import deviation_improves
+
+    g = path_realization(5)
+    for u in range(5):
+        cur = [int(v) for v in g.out_neighbors(u)]
+        if cur:
+            assert not deviation_improves(g, u, cur, "sum")
+
+
+def test_deviation_improves_validates_inputs():
+    from repro.core import deviation_improves
+    from repro.errors import VertexError
+
+    g = path_realization(4)
+    with pytest.raises(VertexError):
+        deviation_improves(g, 9, [0], "sum")
+    with pytest.raises(VertexError):
+        deviation_improves(g, 0, [9], "sum")
+    with pytest.raises(GameError):
+        deviation_improves(g, 0, [0], "sum")  # self-link
+    with pytest.raises(GameError):
+        deviation_improves(g, 0, [2, 3], "sum")  # over budget (owns 1 arc)
+
+
+def test_deviation_improves_cold_path_stays_lazy():
+    """The no-cache verdict must price against a lazy throwaway engine,
+    not a full all-pairs build."""
+    from repro.core import deviation_improves
+
+    g = path_realization(30)
+    # An end vertex relinking to the middle strictly improves.
+    assert deviation_improves(g, 0, [15], "sum", use_lemma=False)
+    assert not deviation_improves(g, 0, [1], "sum", use_lemma=False)

@@ -360,3 +360,108 @@ def test_snapshot_validates_shape_and_dtype(engine_harness):
         engine_harness.from_snapshot(
             g.undirected_csr(), np.asarray(built.matrix, dtype=np.float64)
         )
+
+
+# ----------------------------------------------------------------------
+# Query tier + lazy row-on-demand mode — the PR-6 contract
+# ----------------------------------------------------------------------
+def test_query_matches_matrix_including_cinf(rng, engine_harness):
+    """Bidirectional point queries must be bit-identical to the full
+    matrix entry on every pair — including the Cinf sentinel on
+    disconnected pairs — across the whole conformance matrix."""
+    for _ in range(8):
+        n = int(rng.integers(2, 16))
+        g = random_owned_digraph(rng, n, p=float(rng.uniform(0.05, 0.4)))
+        full = engine_harness.build(g.undirected_csr())
+        lazy = engine_harness.build(g.undirected_csr(), rows="lazy")
+        ref = np.asarray(full.matrix)
+        for u in range(n):
+            for v in range(n):
+                assert full.query(u, v) == int(ref[u, v])
+                assert lazy.query(u, v) == int(ref[u, v])
+
+
+def test_lazy_build_defers_all_pairs_work(engine_harness):
+    g = OwnedDigraph(6)
+    for i in range(5):
+        g.add_arc(i, i + 1)
+    engine = engine_harness.build(g.undirected_csr(), rows="lazy")
+    assert engine.lazy
+    assert engine.stats["rebuilds"] == 0  # no initial all-pairs sweep
+    assert engine.hot_rows().size == 0
+    assert engine.query(0, 5) == 5
+    assert engine.lazy  # a point query materialises nothing
+    assert engine.hot_rows().size == 0
+    assert engine.stats["point_queries"] == 1
+
+
+def test_lazy_row_reads_materialise_on_demand(rng, engine_harness):
+    g = random_owned_digraph(rng, 10, p=0.3)
+    full = engine_harness.build(g.undirected_csr())
+    lazy = engine_harness.build(g.undirected_csr(), rows="lazy")
+    got = lazy.row(3)
+    assert np.array_equal(got, np.asarray(full.matrix)[3])
+    if lazy.lazy:  # a small promotion threshold may already have fired
+        assert 3 in lazy.hot_rows().tolist()
+    with pytest.raises(ValueError):
+        got[0] = 7  # read-only view either way
+
+
+def test_lazy_matrix_read_promotes_to_full(rng, engine_harness):
+    g = random_owned_digraph(rng, 9, p=0.3)
+    full = engine_harness.build(g.undirected_csr())
+    lazy = engine_harness.build(g.undirected_csr(), rows="lazy")
+    epoch = lazy.epoch
+    assert np.array_equal(np.asarray(lazy.matrix), np.asarray(full.matrix))
+    assert not lazy.lazy
+    assert lazy.stats["promotions"] == 1
+    assert lazy.epoch == epoch  # promotion is a read, not a mutation
+
+
+def test_lazy_mutations_keep_hot_rows_exact(rng, engine_harness):
+    """Arbitrary remove/add/update sequences on a lazy engine: every
+    read (point query, row, promoted matrix) agrees with a fresh build
+    of the current substrate at every step."""
+    for _ in range(4):
+        n = int(rng.integers(4, 12))
+        g = random_owned_digraph(rng, n, p=0.3)
+        lazy = engine_harness.build(g.undirected_csr(), rows="lazy")
+        # Warm a few rows so repairs have hot state to maintain.
+        lazy.ensure_rows([0, n // 2])
+        for _ in range(8):
+            random_strategy_swap(rng, g)
+            engine_harness.update(lazy, g.undirected_csr())
+            fresh = engine_harness.build(g.undirected_csr())
+            ref = np.asarray(fresh.matrix)
+            u = int(rng.integers(n))
+            v = int(rng.integers(n))
+            assert lazy.query(u, v) == int(ref[u, v])
+            if lazy.lazy:
+                for s in lazy.hot_rows().tolist():
+                    assert np.array_equal(lazy.row(s), ref[s])
+        assert np.array_equal(
+            np.asarray(lazy.matrix),
+            np.asarray(engine_harness.build(g.undirected_csr()).matrix),
+        )
+
+
+def test_lazy_staleness_contract(rng, engine_harness):
+    g = random_owned_digraph(rng, 8, p=0.35)
+    lazy = engine_harness.build(g.undirected_csr(), rows="lazy")
+    seen = lazy.epoch
+    lazy.ensure_epoch(seen)
+    csr = engine_harness.current_substrate_csr(lazy)
+    edges = [(u, int(v)) for u in range(8) for v in csr.neighbors(u) if u < int(v)]
+    if not edges:
+        return
+    engine_harness.remove_edge(lazy, *edges[0])
+    assert lazy.epoch != seen
+    with pytest.raises(StaleDistanceError):
+        lazy.ensure_epoch(seen)
+
+
+def test_lazy_rejects_unknown_rows_mode(engine_harness):
+    g = OwnedDigraph(3)
+    g.add_arc(0, 1)
+    with pytest.raises(GraphError):
+        engine_harness.build(g.undirected_csr(), rows="eager")

@@ -195,3 +195,21 @@ def test_cli_run_unknown(capsys):
 
     assert main(["run", "NOPE"]) == 1
     assert "failed" in capsys.readouterr().err
+
+
+def test_cli_extended_flag_warns_deprecated(capsys):
+    from repro.cli import main
+
+    with pytest.warns(DeprecationWarning, match="--extended is deprecated"):
+        main(["run", "FIG-2", "--extended"])
+    assert "FIG-2" in capsys.readouterr().out
+
+
+def test_cli_run_without_extended_does_not_warn(capsys, recwarn):
+    import warnings
+
+    from repro.cli import main
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert main(["run", "FIG-2"]) == 0

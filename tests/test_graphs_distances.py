@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import GraphError
+from repro.errors import GraphError, VertexError
 from repro.graphs import (
     OwnedDigraph,
     cinf,
@@ -107,3 +107,55 @@ def test_distance_to_set_unreachable(two_components):
 def test_brace_distance_is_one(brace_pair):
     assert pairwise_distance(brace_pair, 0, 1) == 1
     assert diameter(brace_pair) == 1
+
+
+# ----------------------------------------------------------------------
+# Kernel-routed helpers vs the full-matrix reference (PR-6 differential)
+# ----------------------------------------------------------------------
+def test_pairwise_distance_matches_matrix_on_random_digraphs(rng):
+    from conftest import random_owned_digraph
+
+    for _ in range(12):
+        n = int(rng.integers(2, 15))
+        g = random_owned_digraph(rng, n, p=float(rng.uniform(0.05, 0.5)))
+        ref = distance_matrix(g, apply_cinf=True)
+        for u in range(n):
+            for v in range(n):
+                assert pairwise_distance(g, u, v) == int(ref[u, v])
+
+
+def test_distance_to_set_matches_matrix_on_random_digraphs(rng):
+    from conftest import random_owned_digraph
+
+    for _ in range(10):
+        n = int(rng.integers(2, 15))
+        g = random_owned_digraph(rng, n, p=float(rng.uniform(0.05, 0.5)))
+        ref = distance_matrix(g, apply_cinf=True)
+        k = int(rng.integers(1, n + 1))
+        targets = rng.choice(n, size=k, replace=False)
+        assert np.array_equal(
+            distance_to_set(g, targets), ref[:, targets].min(axis=1)
+        )
+
+
+def test_local_diameter_matches_matrix_and_validates(rng):
+    from conftest import random_owned_digraph
+
+    for _ in range(10):
+        n = int(rng.integers(1, 14))
+        g = random_owned_digraph(rng, n, p=0.3)
+        ecc = eccentricities(g)
+        for u in range(n):
+            assert local_diameter(g, u) == int(ecc[u])
+    with pytest.raises(VertexError):
+        local_diameter(g, g.n)
+    with pytest.raises(VertexError):
+        local_diameter(g, -1)
+
+
+def test_local_diameter_single_vertex_validates_before_trivial_return():
+    g = OwnedDigraph(1)
+    assert local_diameter(g, 0) == 0
+    # n == 1 must not short-circuit past the bounds check.
+    with pytest.raises(VertexError):
+        local_diameter(g, 1)

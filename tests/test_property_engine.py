@@ -233,3 +233,44 @@ def test_lru_eviction_bounds_cached_engines():
     got = cache.player(0).distances()
     ref = all_pairs_distances(csr_without_vertex(g.undirected_csr(), 0))
     assert np.array_equal(got, ref)
+
+
+# ----------------------------------------------------------------------
+# Cache point queries: cold, synced, and lazy paths agree (PR-6)
+# ----------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+    steps=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_cache_query_matches_matrices_across_modes(n, seed, steps):
+    """DistanceCache.query / query_punctured must be bit-identical to
+    the corresponding maintained-matrix entries in every rows mode,
+    interleaved with strategy swaps — and a cold full-mode cache must
+    answer without building its engines."""
+    rng = np.random.default_rng(seed)
+    g = _random_graph(rng, n)
+    cold = DistanceCache(g)
+    full = DistanceCache(g)
+    lazy = DistanceCache(g, rows="lazy")
+    for _ in range(steps + 1):
+        ref = all_pairs_distances(g.undirected_csr())
+        ref[ref == -1] = n * n
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        base_stats = cold.stats()["rebuilds"]
+        for c in (cold, full, lazy):
+            assert c.query(u, v) == int(ref[u, v])
+        # The cold cache answered by bounded search, not an engine build.
+        assert cold.stats()["rebuilds"] == base_stats
+        player = int(rng.integers(n))
+        pref = all_pairs_distances(csr_without_vertex(g.undirected_csr(), player))
+        pref[pref == -1] = n * n
+        for c in (cold, full, lazy):
+            assert c.query_punctured(player, u, v) == int(pref[u, v])
+        full.base()  # keep one cache fully synced for the next round
+        u2 = int(rng.integers(n))
+        others = [x for x in range(n) if x != u2]
+        k = min(g.out_degree(u2), len(others))
+        picked = rng.choice(others, size=k, replace=False) if k else []
+        g.set_strategy(u2, [int(x) for x in np.atleast_1d(picked)])

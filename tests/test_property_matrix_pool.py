@@ -280,3 +280,62 @@ def test_player_bundle_sweep_bit_identical_and_attaches(n, protos):
     assert [r["checksum"] for r in warm] == [r["checksum"] for r in cold]
     assert all(r["player_rebuilds"] == 0 for r in warm)
     assert all(r["player_rebuilds"] == n for r in cold)
+
+
+# ----------------------------------------------------------------------
+# Cleanup hardening: failing close must warn and still unlink (PR-6)
+# ----------------------------------------------------------------------
+def test_release_with_failing_close_still_unlinks_and_warns(monkeypatch):
+    import warnings
+
+    from multiprocessing import shared_memory
+
+    pool = MatrixPool()
+    pool.publish(("doomed",), {"a": np.arange(8)})
+    handle, shm = pool._segments[("doomed",)]
+
+    unlinked = []
+    real_unlink = shared_memory.SharedMemory.unlink
+
+    def failing_close(self):
+        raise OSError("simulated close failure")
+
+    def tracked_unlink(self):
+        unlinked.append(self.name)
+        return real_unlink(self)
+
+    monkeypatch.setattr(shared_memory.SharedMemory, "close", failing_close)
+    monkeypatch.setattr(shared_memory.SharedMemory, "unlink", tracked_unlink)
+    with warnings.catch_warnings(record=True) as rec:
+        warnings.simplefilter("always")
+        pool.evict(("doomed",))
+    monkeypatch.undo()
+    # The unlink still ran despite the close failure...
+    assert unlinked == [handle.name]
+    # ...and the failure surfaced as a RuntimeWarning, not silence.
+    messages = [str(w.message) for w in rec if w.category is RuntimeWarning]
+    assert any("simulated close failure" in m for m in messages)
+    assert pool.lookup(("doomed",)) is None
+    pool.close()
+    shm.close()
+
+
+def test_release_close_errors_do_not_propagate(monkeypatch):
+    """pool.close() across a failing segment close must not raise — the
+    atexit path would otherwise lose every later segment's unlink."""
+    from multiprocessing import shared_memory
+
+    pool = MatrixPool()
+    pool.publish(("a",), {"x": np.arange(3)})
+    pool.publish(("b",), {"x": np.arange(5)})
+    raw = [entry[1] for entry in pool._segments.values()]
+
+    def failing_close(self):
+        raise OSError("simulated close failure")
+
+    monkeypatch.setattr(shared_memory.SharedMemory, "close", failing_close)
+    with pytest.warns(RuntimeWarning):
+        pool.close()  # must complete despite both closes failing
+    monkeypatch.undo()
+    for shm in raw:
+        shm.close()
