@@ -4,7 +4,7 @@ Subcommands
 -----------
 ``list``
     Show every registered experiment id with its description.
-``run <id> [<id> ...] [--workers N] [--symmetry/--no-symmetry] [--extended] [--weighted] [--pool/--no-pool]``
+``run <id> [<id> ...] [--workers N] [--symmetry/--no-symmetry] [--extended] [--weighted] [--pool/--no-pool] [--checkpoint-dir DIR] [--resume]``
     Regenerate specific Table 1 cells / figures and print the reports.
     ``--workers`` shards supporting experiments (e.g. the exact census)
     across processes; ``--symmetry`` toggles census orbit pruning;
@@ -14,7 +14,10 @@ Subcommands
     Section 6
     weighted weak-equilibrium census battery; ``--pool/--no-pool``
     forces shared-memory shard warm starts on or off (default: pooled
-    exactly when sharded; bit-identical either way).
+    exactly when sharded; bit-identical either way);
+    ``--checkpoint-dir DIR`` journals census shard progress through the
+    fault-tolerant work-stealing runtime and ``--resume`` continues an
+    interrupted run from those journals.
     Flags are forwarded only to experiments whose signature takes them.
 ``all``
     Regenerate everything (the full paper reproduction).
@@ -113,6 +116,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared-memory warm starts for census shards (default: on "
         "exactly when sharded; bit-identical results either way)",
     )
+    run_p.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        default=None,
+        metavar="DIR",
+        help="census: journal shard progress under DIR (fault-tolerant "
+        "work-stealing runtime; one subdirectory per scan) so an "
+        "interrupted run can be continued with --resume",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        default=None,
+        help="census: continue an interrupted --checkpoint-dir run from "
+        "its journals (bit-identical to an uninterrupted run)",
+    )
     sub.add_parser("all", help="run every experiment")
     exp_p = sub.add_parser("export", help="build a construction and save it")
     exp_p.add_argument("spec", help="fig1 | spider:<k> | binary-tree:<d> | overlap:<t>,<k> | thm2.3:<b,...>")
@@ -151,6 +170,9 @@ def main(argv: "list[str] | None" = None) -> int:
                 DeprecationWarning,
                 stacklevel=2,
             )
+        if args.resume and not args.checkpoint_dir:
+            print("!! --resume requires --checkpoint-dir", file=sys.stderr)
+            return 2
         return max(
             _run_and_print(
                 i,
@@ -159,6 +181,8 @@ def main(argv: "list[str] | None" = None) -> int:
                 extended=args.extended,
                 weighted=args.weighted,
                 pool=args.pool,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
             )
             for i in args.ids
         )

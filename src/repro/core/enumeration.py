@@ -60,7 +60,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from ..errors import GameError
+from ..errors import CheckpointError, GameError
 from ..graphs.digraph import OwnedDigraph
 from ..graphs.distances import diameter
 from .costs import Version
@@ -75,6 +75,7 @@ __all__ = [
     "revolving_door_combinations",
     "gray_profile_walk",
     "CensusResult",
+    "IncompletenessManifest",
     "census_scan",
     "ExactPriceReport",
     "exact_prices",
@@ -403,6 +404,27 @@ class _OrbitKeys:
             return None
         return self._g // int((vals == key).sum())
 
+    def export_state(self) -> "tuple[int, ...]":
+        """Probe-key vector as JSON-safe ints (checkpoint payload).
+
+        The vector is a pure function of the current profile (each
+        present arc contributes one weight per probe), so a resumed
+        walk could equally recompute it from the rebuilt graph —
+        storing it verbatim keeps the checkpoint self-contained and the
+        restore O(probes).
+        """
+        return tuple(int(v) for v in self._vals)
+
+    def restore_state(self, vals: "Sequence[int]") -> None:
+        """Adopt a probe-key vector exported by :meth:`export_state`."""
+        arr = np.asarray([int(v) for v in vals], dtype=np.uint64)
+        if arr.shape != self._vals.shape:
+            raise CheckpointError(
+                f"orbit state has {arr.shape[0]} probe keys, walk "
+                f"maintains {self._vals.shape[0]}"
+            )
+        self._vals = arr
+
     def toggle(self, i: int, j: int, present: bool) -> None:
         """Record that arc ``i -> j`` was added (or removed)."""
         delta = self._weight[self._probe_slot[:, i, j]]
@@ -500,7 +522,22 @@ def _attach_unit_snapshot(handle, graph: OwnedDigraph) -> "object | None":
 _ORBIT_BLOCK: int = 2048
 
 
-def _census_shard(payload: tuple) -> "dict[str, object]":
+def _resume_handle(handle, cursor: int):
+    """Unwrap a rank-tagged pool handle; stale tags degrade to cold.
+
+    Fresh shards carry a plain handle published at rank ``lo``; the
+    runtime's resume hook republishes at the resume cursor and tags the
+    handle ``(cursor, handle)`` so a shard can never silently adopt a
+    matrix snapshot of the wrong rank.
+    """
+    if isinstance(handle, tuple):
+        tag, handle = handle
+        if tag != cursor:
+            return None
+    return handle
+
+
+def _census_shard(payload: tuple, ctx=None) -> "dict[str, object]":
     """One contiguous Gray-rank range of the census (worker function).
 
     Owns a private mutable graph, engine pool and orbit keys; returns
@@ -515,6 +552,15 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
     blocks, and the graph (plus its engine pool) is only materialised
     at the sparse canonical ranks — skipped profiles never touch the
     graph at all, which is what breaks the n = 7 barrier.
+
+    ``ctx`` (a :class:`~repro.parallel.runtime.ShardContext`) makes the
+    shard checkpointable: progress records go to the shard journal at
+    ``ctx.interval`` rank spacing, and ``ctx.resume_state`` restarts
+    the walk mid-range — counters and orbit probe keys restored
+    verbatim, the graph rebuilt at rank ``next_rank - 1`` with one
+    unranking — without re-counting any rank. ``ctx=None`` is the
+    plain :func:`~repro.parallel.executor.parallel_map` path,
+    bit-identical to the checkpointed one.
     """
     budgets, version_value, lo, hi, symmetry, collect, max_profiles, handle = payload
     game = BoundedBudgetGame(list(budgets))
@@ -522,6 +568,9 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
     n = game.n
     perms = _budget_symmetry_group(budgets) if symmetry else None
     orbit = _OrbitKeys(n, perms) if perms is not None else None
+    resume_rec = ctx.resume_state if ctx is not None else None
+    if resume_rec is not None and resume_rec.next_rank <= lo:
+        resume_rec = None  # vacuous progress: run the shard fresh
     count = 0
     eq_count = 0
     warm = 0
@@ -529,28 +578,67 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
     best_eq: "int | None" = None
     worst_eq: "int | None" = None
     eq_profiles: "list[tuple[tuple[int, ...], ...]]" = []
-    if hi <= lo:
+    start = lo
+    if resume_rec is not None:
+        c = resume_rec.counters
+        count = int(c["count"] or 0)
+        eq_count = int(c["eq_count"] or 0)
+        warm = int(c.get("warm") or 0)
+        opt = c["opt"]
+        best_eq = c["best_eq"]
+        worst_eq = c["worst_eq"]
+        if collect and resume_rec.eq_profiles is not None:
+            eq_profiles = list(resume_rec.eq_profiles)
+        start = resume_rec.next_rank
+
+    def counters() -> "dict[str, int | None]":
         return {
-            "count": 0,
-            "eq_count": 0,
-            "opt": None,
-            "best_eq": None,
-            "worst_eq": None,
-            "eq_profiles": eq_profiles if collect else None,
-            "warm": 0,
+            "count": count,
+            "eq_count": eq_count,
+            "opt": opt,
+            "best_eq": best_eq,
+            "worst_eq": worst_eq,
+            "warm": warm,
         }
+
+    def part() -> "dict[str, object]":
+        out: "dict[str, object]" = counters()
+        out["eq_profiles"] = eq_profiles if collect else None
+        return out
+
+    def save(next_rank: int, *, done: bool = False) -> None:
+        if ctx is None:
+            return
+        ctx.checkpoint(
+            lo=lo,
+            hi=hi,
+            next_rank=next_rank,
+            counters=counters(),
+            eq_profiles=tuple(eq_profiles) if collect else None,
+            orbit_vals=orbit.export_state() if orbit is not None else None,
+            done=done,
+        )
+
+    if start >= hi:
+        if lo <= hi:
+            save(hi, done=True)
+        return part()
     _check_cap(game, max_profiles)
     combos, radices, rests = _profile_tables(game)
-    digits = _gray_digits(lo, radices, rests)
+    cursor = start - 1 if resume_rec is not None else lo
+    digits = _gray_digits(cursor, radices, rests)
     graph = OwnedDigraph.from_strategies(
         [combos[u][digits[u]] for u in range(n)], n
     )
-    base_engine = _attach_unit_snapshot(handle, graph)
-    warm = int(base_engine is not None)
+    base_engine = _attach_unit_snapshot(_resume_handle(handle, cursor), graph)
+    warm += int(base_engine is not None)
     cache = DistanceCache(graph, dirty_fraction="adaptive", base_engine=base_engine)
     if orbit is not None:
-        for a, b in graph.arcs():
-            orbit.toggle(a, b, True)
+        if resume_rec is not None and resume_rec.orbit_vals is not None:
+            orbit.restore_state(resume_rec.orbit_vals)
+        else:
+            for a, b in graph.arcs():
+                orbit.toggle(a, b, True)
     gdigits = list(digits)  # digit vector the materialised graph reflects
 
     # trans[j][d]: the (dropped, added) targets of player j's
@@ -599,28 +687,42 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
                 else:
                     eq_profiles.append(key)
 
-    first_size = 1 if orbit is None else orbit.canonical_orbit_size()
-    if first_size is not None:
-        evaluate(digits, first_size)
+    if resume_rec is None:
+        # The cursor rank itself is only censused on a fresh start; a
+        # resumed walk already aggregated it (``[lo, next_rank)`` done).
+        first_size = 1 if orbit is None else orbit.canonical_orbit_size()
+        if first_size is not None:
+            evaluate(digits, first_size)
+
+    interval = ctx.interval if ctx is not None else 0
+    next_cp = start + interval if interval else None
 
     if orbit is None:
         # Every rank is evaluated: apply each swap as a single-arc delta
         # so the engine pool repairs (and step-forwards) one op at a time.
         stream = _gray_digit_stream(radices, digits)
-        for rank in range(lo + 1, hi):
+        for rank in range(cursor + 1, hi):
             j, old_d, new_d = next(stream)
             dropped, added = decode_swap(j, old_d, new_d)
             graph.remove_arc(j, dropped)
             graph.add_arc(j, added)
             gdigits[j] = new_d
             evaluate(digits, 1)
+            if ctx is not None:
+                ctx.tick(rank)
+                if next_cp is not None and rank + 1 >= next_cp and rank + 1 < hi:
+                    save(rank + 1)
+                    next_cp = rank + 1 + interval
     else:
         # Canonical-rep-only walk: batch the swap stream into blocks,
         # advance all probe keys per block in one vectorised pass, and
         # only touch the graph at the (rare) canonical ranks.
+        # Checkpoints land on block boundaries: ``orbit._vals`` and the
+        # stream's digit vector both describe the block's last rank
+        # there, exactly the ``next_rank - 1`` state a resume rebuilds.
         stream = _gray_digit_stream(radices, digits)
         pdigits = list(digits)  # digit vector at the evaluation pointer
-        rank = lo + 1
+        rank = cursor + 1
         js = np.empty(_ORBIT_BLOCK, dtype=np.int64)
         drops = np.empty(_ORBIT_BLOCK, dtype=np.int64)
         adds = np.empty(_ORBIT_BLOCK, dtype=np.int64)
@@ -644,15 +746,31 @@ def _census_shard(payload: tuple) -> "dict[str, object]":
             for t2 in range(ptr, b):
                 pdigits[int(js[t2])] = int(newds[t2])
             rank += b
-    return {
-        "count": count,
-        "eq_count": eq_count,
-        "opt": opt,
-        "best_eq": best_eq,
-        "worst_eq": worst_eq,
-        "eq_profiles": eq_profiles if collect else None,
-        "warm": warm,
-    }
+            if ctx is not None:
+                ctx.tick(rank - 1)
+                if next_cp is not None and rank >= next_cp and rank < hi:
+                    save(rank)
+                    next_cp = rank + interval
+    save(hi, done=True)
+    return part()
+
+
+@dataclass(frozen=True)
+class IncompletenessManifest:
+    """Exactly what a degraded census run did *not* cover.
+
+    Produced only by the checkpointed runtime path when poison shards
+    exhausted their retries and were quarantined. ``missing`` holds one
+    ``(shard_id, first_missing_rank, hi)`` triple per quarantined shard
+    — the half-open Gray-rank range ``[first_missing_rank, hi)`` whose
+    profiles are absent from every merged aggregate. ``covered`` is the
+    number of profiles the partial counters do include (orbit-weighted
+    under symmetry, so it is comparable to ``total``).
+    """
+
+    total: int
+    covered: int
+    missing: "tuple[tuple[int, int, int], ...]"
 
 
 @dataclass(frozen=True)
@@ -663,10 +781,17 @@ class CensusResult:
     a :meth:`~repro.graphs.digraph.OwnedDigraph.profile_key`, sorted —
     which is exactly lexicographic profile order, matching the
     brute-force enumeration.
+
+    ``incomplete`` is ``None`` for every fully-covered census (the
+    overwhelmingly common case, asserted internally); a checkpointed
+    run that had to quarantine poison shards instead attaches the
+    :class:`IncompletenessManifest` naming the uncovered rank ranges,
+    and its ``report`` aggregates only the covered profiles.
     """
 
     report: "ExactPriceReport"
     equilibria: "tuple[tuple[tuple[int, ...], ...], ...] | None" = None
+    incomplete: "IncompletenessManifest | None" = None
 
     def equilibrium_graphs(self) -> "list[OwnedDigraph]":
         """Materialise the collected equilibria as graphs."""
@@ -683,9 +808,22 @@ class CensusResult:
 #: pooled and unpooled results stay bit-identical.
 LAST_CENSUS_POOL_STATS: "dict[str, int]" = {"shards": 0, "warm_attached": 0}
 
+#: Observability side-channel of the last *checkpointed* census run:
+#: the runtime's supervision stats (workers spawned, crashes, stalls,
+#: retries, quarantines, shards resumed/skipped) plus coverage
+#: (``covered``/``total``/``missing``). A side-channel because
+#: :func:`weighted_census_scan` returns a fixed 2-tuple whose shape the
+#: incompleteness manifest must not change; cleared and rewritten per
+#: runtime scan.
+LAST_CENSUS_RUNTIME_STATS: "dict[str, object]" = {}
+
 
 def _warm_start_shards(
-    game: BoundedBudgetGame, shards: "list[tuple[int, int]]", *, weighted: bool
+    game: BoundedBudgetGame,
+    shards: "list[tuple[int, int]]",
+    *,
+    weighted: bool,
+    slack: int = 0,
 ):
     """Publish each shard's start-rank engine state into a fresh pool.
 
@@ -695,15 +833,20 @@ def _warm_start_shards(
     attach zero-copy instead of rebuilding. Returns ``(pool, handles)``
     — the caller owns the pool and must close it after the shards
     finish (segments stay readable for attached workers even after the
-    unlink, per POSIX semantics).
+    unlink, per POSIX semantics). ``slack`` widens the pool's segment
+    cap beyond one-per-shard — the checkpointed runtime republishes a
+    resume-rank matrix per retry and must not evict live shard
+    segments. Scan start is also when orphaned segments of previously
+    killed owner processes are swept from the system.
     """
     from ..graphs.engine import DistanceEngine
     from ..graphs.weighted_engine import WeightedDistanceEngine, weighted_csr_from_csr
-    from .matrix_pool import MatrixPool
+    from .matrix_pool import MatrixPool, sweep_orphan_segments
 
+    sweep_orphan_segments()
     n = game.n
     combos, radices, rests = _profile_tables(game)
-    pool = MatrixPool(max_segments=max(1, len(shards)))
+    pool = MatrixPool(max_segments=max(1, len(shards)) + max(0, int(slack)))
     handles = []
     for lo, hi in shards:
         digits = _gray_digits(lo, radices, rests)
@@ -728,6 +871,282 @@ def _warm_start_shards(
     return pool, handles
 
 
+def _merge_unit_parts(
+    parts: "list[dict]",
+    *,
+    version: Version,
+    total: int,
+    collect: bool,
+    expect_full: bool = True,
+):
+    """Order-independent merge of unit-census shard partials.
+
+    ``expect_full=False`` is the degraded (quarantine) merge: coverage
+    may fall short of ``total`` and every reduction guards against an
+    empty covered set.
+    """
+    count = sum(p["count"] for p in parts)
+    if expect_full:
+        assert count == total, f"census covered {count} of {total} profiles"
+    eq_count = sum(p["eq_count"] for p in parts)
+    opts = [p["opt"] for p in parts if p["opt"] is not None]
+    bests = [p["best_eq"] for p in parts if p["best_eq"] is not None]
+    worsts = [p["worst_eq"] for p in parts if p["worst_eq"] is not None]
+    report = ExactPriceReport(
+        version=version,
+        num_profiles=count,
+        num_equilibria=eq_count,
+        opt_diameter=min(opts) if opts else 0,
+        best_equilibrium_diameter=min(bests) if bests else None,
+        worst_equilibrium_diameter=max(worsts) if worsts else None,
+    )
+    equilibria = None
+    if collect:
+        merged: "list[tuple[tuple[int, ...], ...]]" = []
+        for p in parts:
+            if p["eq_profiles"]:
+                merged.extend(p["eq_profiles"])
+        equilibria = tuple(sorted(merged))
+    return report, equilibria
+
+
+_UNIT_COUNTER_KEYS = ("count", "eq_count", "opt", "best_eq", "worst_eq")
+_WEIGHTED_COUNTER_KEYS = (
+    "count",
+    "eq_count",
+    "opt_d",
+    "opt_c",
+    "best_d",
+    "worst_d",
+    "best_c",
+    "worst_c",
+)
+
+
+def _part_from_record(record, keys: "tuple[str, ...]") -> "dict[str, object]":
+    """Rebuild a shard's mergeable part dict from a checkpoint record.
+
+    Used for ``done`` records on resume (the shard is not re-executed)
+    and for the last record of a quarantined shard (its partial
+    counters still contribute to the degraded merge).
+    """
+    part: "dict[str, object]" = {k: record.counters.get(k) for k in keys}
+    part["count"] = int(part["count"] or 0)
+    part["eq_count"] = int(part["eq_count"] or 0)
+    part["warm"] = int(record.counters.get("warm") or 0)
+    part["eq_profiles"] = (
+        list(record.eq_profiles) if record.eq_profiles is not None else None
+    )
+    return part
+
+
+def _unit_part_from_record(record) -> "dict[str, object]":
+    return _part_from_record(record, _UNIT_COUNTER_KEYS)
+
+
+def _weighted_part_from_record(record) -> "dict[str, object]":
+    return _part_from_record(record, _WEIGHTED_COUNTER_KEYS)
+
+
+def _make_resume_payload(game: BoundedBudgetGame, matrix_pool, *, weighted: bool):
+    """Parent-side hook refreshing a reclaimed shard's warm-start handle.
+
+    A shard resuming at checkpoint cursor ``next_rank - 1`` must not
+    attach the matrix published for its *start* rank — that snapshot
+    describes a different profile. The hook walks the Gray code to the
+    cursor (one O(n) unranking), publishes that profile's all-pairs
+    matrix into the live pool, and swaps a rank-tagged handle into the
+    payload so the retry re-attaches instead of rebuilding. Any pool
+    failure degrades to a cold (handle-free) retry.
+    """
+    from ..errors import PoolError
+
+    n = game.n
+    combos, radices, rests = _profile_tables(game)
+
+    def hook(payload: tuple, record) -> tuple:
+        cursor = record.next_rank - 1
+        if cursor < record.lo:
+            return payload[:-1] + (None,)
+        digits = _gray_digits(cursor, radices, rests)
+        graph = OwnedDigraph.from_strategies(
+            [combos[u][digits[u]] for u in range(n)], n
+        )
+        if weighted:
+            from ..graphs.weighted_engine import (
+                WeightedDistanceEngine,
+                weighted_csr_from_csr,
+            )
+
+            engine = WeightedDistanceEngine(
+                weighted_csr_from_csr(graph.undirected_csr())
+            )
+        else:
+            from ..graphs.engine import DistanceEngine
+
+            engine = DistanceEngine(graph.undirected_csr())
+        try:
+            handle = matrix_pool.publish(
+                (
+                    "census-shard-resume",
+                    record.shard_id,
+                    cursor,
+                    weighted,
+                    record.attempt,
+                ),
+                {
+                    "D": engine.matrix,
+                    "inf": np.asarray([engine.inf], dtype=np.int64),
+                },
+            )
+        except PoolError:
+            return payload[:-1] + (None,)
+        return payload[:-1] + ((cursor, handle),)
+
+    return hook
+
+
+def _resolve_runtime_shards(
+    checkpoint_dir,
+    *,
+    resume: bool,
+    kind: str,
+    budgets: "tuple[int, ...]",
+    total: int,
+    shard_count: "int | None",
+    workers: int,
+    version: "str | None" = None,
+    weights: "tuple[int, ...] | None" = None,
+    symmetry: bool = False,
+    collect: bool = False,
+) -> "tuple[tuple[int, int], ...]":
+    """Manifest handshake: pin (fresh) or verify (resume) the run shape.
+
+    A fresh run writes the manifest atomically before any journal
+    exists; a resume reads it back and refuses to proceed unless the
+    caller's game/version/weights/symmetry/collect match exactly — the
+    shard decomposition then comes *from the manifest*, never from the
+    caller, so journals always line up with their rank ranges.
+    """
+    from .checkpoint import RunManifest, read_manifest, write_manifest
+
+    if resume:
+        manifest = read_manifest(checkpoint_dir)
+        expected = RunManifest(
+            kind=kind,
+            budgets=budgets,
+            total=total,
+            shards=manifest.shards,
+            version=version,
+            weights=weights,
+            symmetry=symmetry,
+            collect=collect,
+        )
+        if manifest != expected:
+            raise CheckpointError(
+                f"resume manifest mismatch at {checkpoint_dir}: journals "
+                f"describe {manifest}, caller expects {expected}"
+            )
+        return manifest.shards
+    from ..parallel.executor import contiguous_shards
+
+    n_shards = int(shard_count) if shard_count is not None else max(1, workers)
+    shards = tuple(contiguous_shards(total, n_shards))
+    write_manifest(
+        checkpoint_dir,
+        RunManifest(
+            kind=kind,
+            budgets=budgets,
+            total=total,
+            shards=shards,
+            version=version,
+            weights=weights,
+            symmetry=symmetry,
+            collect=collect,
+        ),
+    )
+    return shards
+
+
+def _run_census_shards(
+    game: BoundedBudgetGame,
+    shard_fn,
+    payload_for,
+    record_to_part,
+    shards: "tuple[tuple[int, int], ...]",
+    *,
+    weighted: bool,
+    workers: int,
+    use_pool: bool,
+    checkpoint_dir,
+    resume: bool,
+    fault_plan,
+    runtime_opts: "dict | None",
+):
+    """Shared checkpointed-execution core of both census kinds.
+
+    Warm-starts the shard pool, runs the work-stealing supervised
+    runtime, converts outcomes into mergeable parts (quarantined shards
+    contribute the partial counters of their last good record), and
+    publishes the run's supervision stats. Returns
+    ``(parts, missing, runtime_stats)``.
+    """
+    from ..parallel.runtime import run_shards
+
+    matrix_pool = None
+    handles: "list" = [None] * len(shards)
+    resume_hook = None
+    if use_pool and shards:
+        matrix_pool, handles = _warm_start_shards(
+            game, list(shards), weighted=weighted, slack=4 * len(shards) + 4
+        )
+        resume_hook = _make_resume_payload(game, matrix_pool, weighted=weighted)
+    else:
+        from .matrix_pool import sweep_orphan_segments
+
+        sweep_orphan_segments()
+    payloads = [
+        payload_for(lo, hi, handle) for (lo, hi), handle in zip(shards, handles)
+    ]
+    opts = dict(runtime_opts or {})
+    try:
+        rt = run_shards(
+            shard_fn,
+            payloads,
+            checkpoint_dir=checkpoint_dir,
+            workers=workers,
+            resume=resume,
+            fault_plan=fault_plan,
+            resume_payload=resume_hook,
+            result_from_record=record_to_part,
+            **opts,
+        )
+    finally:
+        if matrix_pool is not None:
+            matrix_pool.close()
+    parts: "list[dict]" = []
+    missing: "list[tuple[int, int, int]]" = []
+    for outcome in rt.outcomes:
+        lo, hi = shards[outcome.shard_id]
+        if outcome.result is not None:
+            parts.append(outcome.result)
+        elif outcome.last_record is not None:
+            parts.append(record_to_part(outcome.last_record))
+            missing.append((outcome.shard_id, outcome.last_record.next_rank, hi))
+        else:
+            missing.append((outcome.shard_id, lo, hi))
+    LAST_CENSUS_POOL_STATS["shards"] = len(shards)
+    LAST_CENSUS_POOL_STATS["warm_attached"] = sum(p.pop("warm", 0) for p in parts)
+    covered = sum(p["count"] for p in parts)
+    stats: "dict[str, object]" = dict(rt.stats)
+    stats["shards"] = len(shards)
+    stats["covered"] = covered
+    stats["missing"] = [list(m) for m in missing]
+    LAST_CENSUS_RUNTIME_STATS.clear()
+    LAST_CENSUS_RUNTIME_STATS.update(stats)
+    return parts, tuple(missing), covered
+
+
 def census_scan(
     game: BoundedBudgetGame,
     version: "Version | str",
@@ -737,6 +1156,11 @@ def census_scan(
     workers: int = 1,
     collect_equilibria: bool = False,
     pool: "bool | None" = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    fault_plan=None,
+    shard_count: "int | None" = None,
+    runtime_opts: "dict | None" = None,
 ) -> CensusResult:
     """Full equilibrium census via the incremental Gray-order kernel.
 
@@ -750,6 +1174,16 @@ def census_scan(
     each shard's start-rank matrix once; shards attach instead of
     rebuilding): ``None`` enables it exactly when the scan is sharded.
     The result is bit-identical for every combination of knobs.
+
+    ``checkpoint_dir`` switches execution to the fault-tolerant
+    work-stealing runtime (:func:`repro.parallel.runtime.run_shards`):
+    shards journal their progress there, ``resume=True`` continues an
+    interrupted run from the journals (after a manifest handshake), and
+    ``fault_plan`` / ``shard_count`` / ``runtime_opts`` expose the
+    fault-injection harness, the shard decomposition width, and the
+    supervisor's tuning knobs. Checkpointed results are bit-identical
+    to the static path; only a run that quarantines poison shards
+    degrades — explicitly, via :attr:`CensusResult.incomplete`.
     """
     from ..parallel.executor import contiguous_shards, parallel_map
 
@@ -762,8 +1196,73 @@ def census_scan(
             f"symmetry pruning is capped at n = {_MAX_SYMMETRY_N} "
             f"(64-bit profile keys), got n = {game.n}"
         )
+    if checkpoint_dir is None and (
+        resume or fault_plan is not None or shard_count is not None
+    ):
+        raise GameError(
+            "resume/fault_plan/shard_count require checkpoint_dir (the "
+            "checkpointed runtime path)"
+        )
     total = profile_space_size(game)
     budgets = tuple(int(b) for b in game.budgets)
+
+    if checkpoint_dir is not None:
+        shards_t = _resolve_runtime_shards(
+            checkpoint_dir,
+            resume=resume,
+            kind="census",
+            budgets=budgets,
+            total=total,
+            shard_count=shard_count,
+            workers=workers,
+            version=version.value,
+            symmetry=symmetry,
+            collect=collect_equilibria,
+        )
+        use_pool = pool if pool is not None else len(shards_t) > 1
+
+        def payload_for(lo: int, hi: int, handle) -> tuple:
+            return (
+                budgets,
+                version.value,
+                lo,
+                hi,
+                symmetry,
+                collect_equilibria,
+                max_profiles,
+                handle,
+            )
+
+        parts, missing, covered = _run_census_shards(
+            game,
+            _census_shard,
+            payload_for,
+            _unit_part_from_record,
+            shards_t,
+            weighted=False,
+            workers=workers,
+            use_pool=use_pool,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            fault_plan=fault_plan,
+            runtime_opts=runtime_opts,
+        )
+        report, equilibria = _merge_unit_parts(
+            parts,
+            version=version,
+            total=total,
+            collect=collect_equilibria,
+            expect_full=not missing,
+        )
+        incomplete = (
+            IncompletenessManifest(total=total, covered=covered, missing=missing)
+            if missing
+            else None
+        )
+        return CensusResult(
+            report=report, equilibria=equilibria, incomplete=incomplete
+        )
+
     shards = contiguous_shards(total, workers)
     use_pool = pool if pool is not None else len(shards) > 1
     matrix_pool = None
@@ -790,27 +1289,9 @@ def census_scan(
             matrix_pool.close()
     LAST_CENSUS_POOL_STATS["shards"] = len(shards)
     LAST_CENSUS_POOL_STATS["warm_attached"] = sum(p.pop("warm", 0) for p in parts)
-    count = sum(p["count"] for p in parts)
-    assert count == total, f"census covered {count} of {total} profiles"
-    eq_count = sum(p["eq_count"] for p in parts)
-    opts = [p["opt"] for p in parts if p["opt"] is not None]
-    opt = min(opts)
-    bests = [p["best_eq"] for p in parts if p["best_eq"] is not None]
-    worsts = [p["worst_eq"] for p in parts if p["worst_eq"] is not None]
-    report = ExactPriceReport(
-        version=version,
-        num_profiles=count,
-        num_equilibria=eq_count,
-        opt_diameter=opt,
-        best_equilibrium_diameter=min(bests) if bests else None,
-        worst_equilibrium_diameter=max(worsts) if worsts else None,
+    report, equilibria = _merge_unit_parts(
+        parts, version=version, total=total, collect=collect_equilibria
     )
-    equilibria = None
-    if collect_equilibria:
-        merged: "list[tuple[tuple[int, ...], ...]]" = []
-        for p in parts:
-            merged.extend(p["eq_profiles"])
-        equilibria = tuple(sorted(merged))
     return CensusResult(report=report, equilibria=equilibria)
 
 
@@ -947,13 +1428,19 @@ def _attach_weighted_snapshot(handle, graph: OwnedDigraph) -> "object | None":
         return None
 
 
-def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
+def _weighted_census_shard(payload: tuple, ctx=None) -> "dict[str, object]":
     """One contiguous Gray-rank range of the weighted census.
 
     Owns a private mutable graph and weighted engine pool; every swap
     verdict routes through the cache, so consecutive profiles cost one
     single-arc delta repair per touched engine instead of a fresh
     all-pairs BFS per player.
+
+    ``ctx`` enables checkpointing and mid-range resume exactly as in
+    :func:`_census_shard`: the walk restarts at ``next_rank - 1`` (one
+    unranking seeds the graph and its pool-attached engine), the
+    already-counted cursor rank is skipped, and counters continue
+    verbatim — the merge is bit-identical to an uninterrupted run.
     """
     # Imported lazily: analysis.weighted consumes core modules, so a
     # top-level import here would cycle through the package __init__s.
@@ -963,6 +1450,9 @@ def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
     budgets, weights, lo, hi, collect, max_profiles, handle = payload
     game = BoundedBudgetGame(list(budgets))
     w = np.asarray(weights, dtype=np.int64)
+    resume_rec = ctx.resume_state if ctx is not None else None
+    if resume_rec is not None and resume_rec.next_rank <= lo:
+        resume_rec = None  # vacuous progress: run the shard fresh
     count = 0
     eq_count = 0
     warm = 0
@@ -970,18 +1460,72 @@ def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
     opt_c: "int | None" = None
     best_d = worst_d = best_c = worst_c = None
     eq_profiles: "list[tuple[tuple[int, ...], ...]]" = []
+    start = lo
+    if resume_rec is not None:
+        c = resume_rec.counters
+        count = int(c["count"] or 0)
+        eq_count = int(c["eq_count"] or 0)
+        warm = int(c.get("warm") or 0)
+        opt_d, opt_c = c["opt_d"], c["opt_c"]
+        best_d, worst_d = c["best_d"], c["worst_d"]
+        best_c, worst_c = c["best_c"], c["worst_c"]
+        if collect and resume_rec.eq_profiles is not None:
+            eq_profiles = list(resume_rec.eq_profiles)
+        start = resume_rec.next_rank
+
+    def counters() -> "dict[str, int | None]":
+        return {
+            "count": count,
+            "eq_count": eq_count,
+            "opt_d": opt_d,
+            "opt_c": opt_c,
+            "best_d": best_d,
+            "worst_d": worst_d,
+            "best_c": best_c,
+            "worst_c": worst_c,
+            "warm": warm,
+        }
+
+    def part() -> "dict[str, object]":
+        out: "dict[str, object]" = counters()
+        out["eq_profiles"] = eq_profiles if collect else None
+        return out
+
+    def save(next_rank: int, *, done: bool = False) -> None:
+        if ctx is None:
+            return
+        ctx.checkpoint(
+            lo=lo,
+            hi=hi,
+            next_rank=next_rank,
+            counters=counters(),
+            eq_profiles=tuple(eq_profiles) if collect else None,
+            done=done,
+        )
+
+    if start >= hi:
+        if lo <= hi:
+            save(hi, done=True)
+        return part()
+    cursor = start - 1 if resume_rec is not None else lo
+    interval = ctx.interval if ctx is not None else 0
+    next_cp = start + interval if interval else None
     cache: "WeightedDistanceCache | None" = None
     wr = None
     active = None
     for rank, graph, swap in gray_profile_walk(
-        game, start=lo, stop=hi, max_profiles=max_profiles
+        game, start=cursor, stop=hi, max_profiles=max_profiles
     ):
         if cache is None:
-            base_engine = _attach_weighted_snapshot(handle, graph)
-            warm = int(base_engine is not None)
+            base_engine = _attach_weighted_snapshot(
+                _resume_handle(handle, cursor), graph
+            )
+            warm += int(base_engine is not None)
             cache = WeightedDistanceCache(graph, base_engine=base_engine)
             wr = WeightedRealization(graph=graph, weights=w)
             active = wr.active
+        if resume_rec is not None and rank == cursor:
+            continue  # already aggregated by the checkpointed prefix
         count += 1
         D = cache.base().matrix
         d = int(D.max())
@@ -1002,18 +1546,52 @@ def _weighted_census_shard(payload: tuple) -> "dict[str, object]":
                 worst_c = cost
             if collect:
                 eq_profiles.append(graph.profile_key())
-    return {
-        "count": count,
-        "eq_count": eq_count,
-        "opt_d": opt_d,
-        "opt_c": opt_c,
-        "best_d": best_d,
-        "worst_d": worst_d,
-        "best_c": best_c,
-        "worst_c": worst_c,
-        "eq_profiles": eq_profiles if collect else None,
-        "warm": warm,
-    }
+        if ctx is not None:
+            ctx.tick(rank)
+            if next_cp is not None and rank + 1 >= next_cp and rank + 1 < hi:
+                save(rank + 1)
+                next_cp = rank + 1 + interval
+    save(hi, done=True)
+    return part()
+
+
+def _merge_weighted_parts(
+    parts: "list[dict]",
+    *,
+    weights_t: "tuple[int, ...]",
+    total: int,
+    collect: bool,
+    expect_full: bool = True,
+):
+    """Order-independent merge of weighted-census shard partials."""
+    count = sum(p["count"] for p in parts)
+    if expect_full:
+        assert count == total, f"census covered {count} of {total} profiles"
+    eq_count = sum(p["eq_count"] for p in parts)
+
+    def _merge(key, fn):
+        vals = [p[key] for p in parts if p[key] is not None]
+        return fn(vals) if vals else None
+
+    report = WeightedCensusReport(
+        weights=weights_t,
+        num_profiles=count,
+        num_weak_equilibria=eq_count,
+        opt_diameter=_merge("opt_d", min),
+        opt_social_cost=_merge("opt_c", min),
+        best_equilibrium_diameter=_merge("best_d", min),
+        worst_equilibrium_diameter=_merge("worst_d", max),
+        best_equilibrium_social_cost=_merge("best_c", min),
+        worst_equilibrium_social_cost=_merge("worst_c", max),
+    )
+    equilibria = None
+    if collect:
+        merged: list = []
+        for p in parts:
+            if p["eq_profiles"]:
+                merged.extend(p["eq_profiles"])
+        equilibria = tuple(sorted(merged))
+    return report, equilibria
 
 
 def weighted_census_scan(
@@ -1025,6 +1603,11 @@ def weighted_census_scan(
     incremental: bool = True,
     collect_equilibria: bool = False,
     pool: "bool | None" = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    fault_plan=None,
+    shard_count: "int | None" = None,
+    runtime_opts: "dict | None" = None,
 ) -> "tuple[WeightedCensusReport, tuple | None]":
     """Full weighted weak-equilibrium census via the Gray-order kernel.
 
@@ -1046,6 +1629,12 @@ def weighted_census_scan(
     are neither checked for deviations nor legal swap targets (though
     the profile space may still wire arcs to them — give a vertex
     weight 1 if it should remain a live member of the folded graph).
+
+    ``checkpoint_dir`` / ``resume`` / ``fault_plan`` / ``shard_count``
+    / ``runtime_opts`` select the fault-tolerant checkpointed runtime
+    exactly as in :func:`census_scan` (incremental path only). The
+    2-tuple return shape is preserved; a degraded run's incompleteness
+    manifest is published through :data:`LAST_CENSUS_RUNTIME_STATS`.
     """
     from ..analysis.weighted import WeightedRealization, is_weighted_weak_equilibrium
 
@@ -1059,12 +1648,69 @@ def weighted_census_scan(
         raise GameError("census weights must be nonnegative")
     if workers < 1:
         raise GameError(f"workers must be positive, got {workers}")
+    if checkpoint_dir is None and (
+        resume or fault_plan is not None or shard_count is not None
+    ):
+        raise GameError(
+            "resume/fault_plan/shard_count require checkpoint_dir (the "
+            "checkpointed runtime path)"
+        )
+    if checkpoint_dir is not None and not incremental:
+        raise GameError(
+            "the checkpointed runtime requires the incremental census kernel"
+        )
     weights_t = tuple(int(x) for x in w)
     if incremental:
         from ..parallel.executor import contiguous_shards, parallel_map
 
         total = profile_space_size(game)
         budgets = tuple(int(b) for b in game.budgets)
+        if checkpoint_dir is not None:
+            shards_t = _resolve_runtime_shards(
+                checkpoint_dir,
+                resume=resume,
+                kind="weighted_census",
+                budgets=budgets,
+                total=total,
+                shard_count=shard_count,
+                workers=workers,
+                weights=weights_t,
+                collect=collect_equilibria,
+            )
+            use_pool = pool if pool is not None else len(shards_t) > 1
+
+            def payload_for(lo: int, hi: int, handle) -> tuple:
+                return (
+                    budgets,
+                    weights_t,
+                    lo,
+                    hi,
+                    collect_equilibria,
+                    max_profiles,
+                    handle,
+                )
+
+            parts, missing, covered = _run_census_shards(
+                game,
+                _weighted_census_shard,
+                payload_for,
+                _weighted_part_from_record,
+                shards_t,
+                weighted=True,
+                workers=workers,
+                use_pool=use_pool,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
+                fault_plan=fault_plan,
+                runtime_opts=runtime_opts,
+            )
+            return _merge_weighted_parts(
+                parts,
+                weights_t=weights_t,
+                total=total,
+                collect=collect_equilibria,
+                expect_full=not missing,
+            )
         shards = contiguous_shards(total, workers)
         use_pool = pool if pool is not None else len(shards) > 1
         matrix_pool = None
@@ -1086,32 +1732,9 @@ def weighted_census_scan(
         LAST_CENSUS_POOL_STATS["warm_attached"] = sum(
             p.pop("warm", 0) for p in parts
         )
-        count = sum(p["count"] for p in parts)
-        assert count == total, f"census covered {count} of {total} profiles"
-        eq_count = sum(p["eq_count"] for p in parts)
-
-        def _merge(key, fn):
-            vals = [p[key] for p in parts if p[key] is not None]
-            return fn(vals) if vals else None
-
-        report = WeightedCensusReport(
-            weights=weights_t,
-            num_profiles=count,
-            num_weak_equilibria=eq_count,
-            opt_diameter=_merge("opt_d", min),
-            opt_social_cost=_merge("opt_c", min),
-            best_equilibrium_diameter=_merge("best_d", min),
-            worst_equilibrium_diameter=_merge("worst_d", max),
-            best_equilibrium_social_cost=_merge("best_c", min),
-            worst_equilibrium_social_cost=_merge("worst_c", max),
+        return _merge_weighted_parts(
+            parts, weights_t=weights_t, total=total, collect=collect_equilibria
         )
-        equilibria = None
-        if collect_equilibria:
-            merged: list = []
-            for p in parts:
-                merged.extend(p["eq_profiles"])
-            equilibria = tuple(sorted(merged))
-        return report, equilibria
 
     if workers != 1:
         raise GameError("workers require the incremental weighted census kernel")

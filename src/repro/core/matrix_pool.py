@@ -64,6 +64,8 @@ are used in this repo:
 from __future__ import annotations
 
 import atexit
+import itertools
+import os
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -80,6 +82,7 @@ __all__ = [
     "pool_key",
     "attach_views",
     "detach_all",
+    "sweep_orphan_segments",
 ]
 
 #: Default cap on simultaneously live segments per pool.
@@ -87,6 +90,66 @@ DEFAULT_MAX_SEGMENTS: int = 32
 
 #: Field offsets inside a segment are aligned to this many bytes.
 _ALIGN: int = 64
+
+#: Every pool segment is named ``repro_pool_<owner pid>_<seq>`` so a
+#: later process can recognise — and reap — segments whose owner died
+#: before its cleanup (atexit + resource tracker) could run (SIGKILL,
+#: power loss, a fault-injected worker that happened to own a pool).
+_SEGMENT_PREFIX: str = "repro_pool"
+
+#: Process-local monotonically increasing segment sequence number.
+_SEGMENT_SEQ: "itertools.count | None" = None
+
+
+def _next_segment_name() -> str:
+    """Fresh owner-tagged segment name (unique within this process)."""
+    global _SEGMENT_SEQ
+    if _SEGMENT_SEQ is None:
+        _SEGMENT_SEQ = itertools.count()
+    return f"{_SEGMENT_PREFIX}_{os.getpid()}_{next(_SEGMENT_SEQ)}"
+
+
+def sweep_orphan_segments() -> int:
+    """Unlink pool segments whose owning process no longer exists.
+
+    Scans the shared-memory filesystem for ``repro_pool_<pid>_*`` names,
+    probes each owner with ``kill(pid, 0)``, and unlinks segments of
+    dead owners — the cleanup of last resort for runs whose parent was
+    SIGKILLed past every in-process backstop. Invoked at census scan
+    start (and sweep pool warm-up), so leaked segments live at most
+    until the next scan. Returns the number of segments removed; a
+    platform without a scannable segment directory sweeps nothing.
+    """
+    shm_dir = "/dev/shm"
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    me = os.getpid()
+    removed = 0
+    for name in names:
+        if not name.startswith(_SEGMENT_PREFIX + "_"):
+            continue
+        parts = name[len(_SEGMENT_PREFIX) + 1 :].split("_")
+        try:
+            pid = int(parts[0])
+        except (IndexError, ValueError):
+            continue
+        if pid == me:
+            continue  # live segments of this very process
+        try:
+            os.kill(pid, 0)
+            continue  # owner is alive: not an orphan
+        except ProcessLookupError:
+            pass  # owner is gone: reap below
+        except PermissionError:
+            continue  # owner is alive (just not ours to signal)
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+            removed += 1
+        except OSError:  # pragma: no cover - raced with another sweeper
+            pass
+    return removed
 
 #: Process-local cache of attached segments, ``name -> SharedMemory``.
 #: Forked workers inherit the owner's entries (and their mappings), so
@@ -123,7 +186,18 @@ def _unregister_nonowner(shm: shared_memory.SharedMemory) -> None:
     swallowed; anything else is surfaced as a :class:`RuntimeWarning`
     rather than silently discarded — a blanket ``pass`` here once hid
     real bugs in the cleanup path.
+
+    Multiprocessing children (forked or spawned) are skipped entirely:
+    they inherit the *owner's* tracker fd, so an unregister from a
+    worker would erase the owner's own registration — the owner's later
+    unlink then KeyErrors inside the shared tracker process. Their
+    duplicate attach-registration is an idempotent set-add the owner's
+    unlink cleans up anyway.
     """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        return
     try:  # pragma: no cover - depends on interpreter version
         from multiprocessing import resource_tracker
 
@@ -274,7 +348,14 @@ class MatrixPool:
             layout.append((str(fname), arr.dtype.str, tuple(arr.shape), offset))
             prepared.append((arr, offset))
             offset += arr.nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        while True:
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, offset), name=_next_segment_name()
+                )
+                break
+            except FileExistsError:  # pragma: no cover - stale name collision
+                continue  # the counter advances; the next name is fresh
         for arr, off in prepared:
             dst = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
             dst[...] = arr

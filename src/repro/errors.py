@@ -21,6 +21,7 @@ __all__ = [
     "OptimizationError",
     "ExperimentError",
     "PoolError",
+    "CheckpointError",
 ]
 
 
@@ -94,3 +95,12 @@ class ExperimentError(ReproError):
 
 class PoolError(ReproError):
     """Raised for invalid shared-memory matrix-pool operations."""
+
+
+class CheckpointError(ReproError):
+    """Raised for invalid checkpoint journals, manifests or resume requests.
+
+    Torn or corrupt journal *tails* are not errors — replay degrades to
+    the last good record by design. This error covers misuse: resuming
+    against a missing/mismatched manifest, or malformed journal paths.
+    """

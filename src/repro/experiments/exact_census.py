@@ -79,6 +79,12 @@ WEIGHTED_INSTANCES: tuple[tuple[str, tuple[int, ...], tuple[int, ...]], ...] = (
 )
 
 
+def _scan_slug(label: str, version: str) -> str:
+    """Filesystem-safe checkpoint subdirectory name of one scan."""
+    safe = "".join(c if c.isalnum() or c in "-." else "-" for c in label)
+    return f"{safe}-{version}"
+
+
 def exact_census_experiment(
     instances: "tuple[tuple[str, tuple[int, ...]], ...]" = DEFAULT_INSTANCES,
     *,
@@ -88,6 +94,8 @@ def exact_census_experiment(
     extended: bool = False,
     weighted: bool = False,
     pool: "bool | None" = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
 ) -> ExperimentReport:
     """Exhaustive equilibrium census over a battery of tiny games.
 
@@ -104,7 +112,31 @@ def exact_census_experiment(
     ``pool`` (CLI: ``--pool/--no-pool``) forces shared-memory shard
     warm starts on or off; the default (``None``) pools exactly when
     the scan is sharded, and no setting changes a reported number.
+
+    ``checkpoint_dir`` (CLI: ``--checkpoint-dir``) runs every scan on
+    the fault-tolerant checkpointed runtime, journaling each
+    (instance, version) scan into its own subdirectory so an
+    interrupted battery can be rerun with ``resume=True`` (CLI:
+    ``--resume``): finished scans replay from their ``done`` records,
+    the interrupted one continues mid-shard, and the reported numbers
+    are bit-identical to an uninterrupted run.
     """
+    import os
+
+    from ..core.checkpoint import MANIFEST_NAME
+
+    def _scan_kwargs(label: str, version: str) -> dict:
+        if checkpoint_dir is None:
+            return {}
+        subdir = os.path.join(checkpoint_dir, _scan_slug(label, version))
+        # A battery interrupted before reaching this scan has no
+        # manifest here yet: resume it as a fresh run instead of
+        # refusing the whole battery.
+        return {
+            "checkpoint_dir": subdir,
+            "resume": resume and os.path.exists(os.path.join(subdir, MANIFEST_NAME)),
+        }
+
     if extended:
         if tuple(instances) != DEFAULT_INSTANCES:
             raise ExperimentError(
@@ -130,6 +162,7 @@ def exact_census_experiment(
                 symmetry=symmetry,
                 collect_equilibria=True,
                 pool=pool,
+                **_scan_kwargs(label, version),
             )
             census = result.report
             eqs = result.equilibrium_graphs()
@@ -160,7 +193,12 @@ def exact_census_experiment(
         for label, budgets, w in WEIGHTED_INSTANCES:
             game = BoundedBudgetGame(list(budgets))
             wc, _ = weighted_census_scan(
-                game, w, max_profiles=max_profiles, workers=workers, pool=pool
+                game,
+                w,
+                max_profiles=max_profiles,
+                workers=workers,
+                pool=pool,
+                **_scan_kwargs(label, "weak"),
             )
             report.rows.append(
                 {

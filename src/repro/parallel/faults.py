@@ -1,0 +1,158 @@
+"""Deterministic seeded fault injection for the census runtime.
+
+Recovery code that is never exercised is decoration. This module makes
+the failure modes of a long sharded scan *injectable on purpose* — from
+tests and from the ``resume`` bench lane — so the work-stealing
+runtime's checkpoint/retry/quarantine machinery is verified against
+real process deaths, not simulations:
+
+* ``kill`` — the worker ``os._exit``\\ s mid-shard when its Gray walk
+  reaches the fault rank (no cleanup, no final checkpoint: the honest
+  preemption model);
+* ``stall`` — the worker stops heartbeating and sleeps at the fault
+  rank until the supervisor's heartbeat timeout declares it dead and
+  kills it;
+* ``drop_checkpoint`` — the shard's k-th checkpoint write is silently
+  skipped (a lost write: recovery must fall back to the previous
+  record);
+* ``corrupt_checkpoint`` — the k-th checkpoint record is appended with
+  a flipped payload byte (a torn/corrupt record: replay must reject it
+  by checksum and fall back).
+
+Every fault names the ``attempt`` it fires on (default 0, the first
+execution), so a retried shard runs clean and the run always converges.
+:meth:`FaultPlan.random` derives a whole plan deterministically from an
+integer seed — the bench lane and the hypothesis-style sweep tests use
+it to place faults at arbitrary points while staying reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = ["Fault", "FaultPlan", "FAULT_KINDS", "corrupt_frame"]
+
+#: Injectable failure modes, in the order the docstring describes them.
+FAULT_KINDS: "tuple[str, ...]" = (
+    "kill",
+    "stall",
+    "drop_checkpoint",
+    "corrupt_checkpoint",
+)
+
+#: Exit status of a fault-killed worker (distinguishable from crashes).
+KILL_EXIT_CODE: int = 117
+
+
+def corrupt_frame(data: bytes) -> bytes:
+    """Flip one payload byte of an encoded record frame.
+
+    Flips a byte past the frame header so the length field stays
+    plausible and the CRC check — not a short read — is what rejects
+    the record.
+    """
+    pos = min(len(data) - 2, 13)  # inside the JSON payload
+    return data[:pos] + bytes([data[pos] ^ 0xFF]) + data[pos + 1 :]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure, bound to a shard and an attempt.
+
+    ``rank`` triggers ``kill``/``stall`` when the shard's walk reaches
+    it; ``checkpoint_index`` selects the k-th checkpoint write of the
+    attempt for ``drop_checkpoint``/``corrupt_checkpoint``.
+    """
+
+    kind: str
+    shard_id: int
+    rank: "int | None" = None
+    checkpoint_index: "int | None" = None
+    attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind in ("kill", "stall") and self.rank is None:
+            raise ReproError(f"{self.kind} fault needs a trigger rank")
+        if self.kind.endswith("_checkpoint") and self.checkpoint_index is None:
+            raise ReproError(f"{self.kind} fault needs a checkpoint index")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable set of faults shipped to every worker.
+
+    ``stall_seconds`` bounds how long a stalled worker sleeps if the
+    supervisor never kills it (a backstop; in practice the heartbeat
+    timeout fires far earlier).
+    """
+
+    faults: "tuple[Fault, ...]" = ()
+    stall_seconds: float = 30.0
+
+    def shard_faults(self, shard_id: int, attempt: int) -> "tuple[Fault, ...]":
+        """The faults armed for this shard execution."""
+        return tuple(
+            f
+            for f in self.faults
+            if f.shard_id == shard_id and f.attempt == attempt
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        shards: "list[tuple[int, int]] | tuple[tuple[int, int], ...]",
+        *,
+        kinds: "tuple[str, ...]" = FAULT_KINDS,
+        fault_fraction: float = 1.0,
+        stall_seconds: float = 30.0,
+    ) -> "FaultPlan":
+        """Deterministic plan: one fault per selected shard.
+
+        Each selected shard draws a kind from ``kinds`` and a trigger
+        point strictly inside its rank range. Checkpoint-write faults
+        (drop/corrupt) are paired with a later ``kill`` in the same
+        shard — without a subsequent death the damaged journal would
+        never be read, so the pairing is what makes those faults
+        actually exercise recovery. Identical seeds give identical
+        plans on every platform (:class:`random.Random` is stable).
+        """
+        if not 0.0 <= fault_fraction <= 1.0:
+            raise ReproError(
+                f"fault_fraction must be in [0, 1], got {fault_fraction}"
+            )
+        rng = random.Random(seed)
+        faults: "list[Fault]" = []
+        for shard_id, (lo, hi) in enumerate(shards):
+            if hi - lo < 2 or rng.random() >= fault_fraction:
+                continue
+            kind = kinds[rng.randrange(len(kinds))]
+            if kind in ("kill", "stall"):
+                faults.append(
+                    Fault(kind=kind, shard_id=shard_id, rank=rng.randrange(lo + 1, hi))
+                )
+            else:
+                faults.append(
+                    Fault(
+                        kind=kind,
+                        shard_id=shard_id,
+                        checkpoint_index=rng.randrange(2),
+                    )
+                )
+                # The paired kill lands late in the range so at least
+                # one checkpoint write usually precedes it.
+                faults.append(
+                    Fault(
+                        kind="kill",
+                        shard_id=shard_id,
+                        rank=rng.randrange((lo + hi) // 2, hi),
+                    )
+                )
+        return cls(faults=tuple(faults), stall_seconds=stall_seconds)

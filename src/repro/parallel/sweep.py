@@ -123,9 +123,10 @@ def warm_distance_pool(
     """
     import numpy as np
 
-    from ..core.matrix_pool import MatrixPool
+    from ..core.matrix_pool import MatrixPool, sweep_orphan_segments
     from ..graphs.engine import DistanceEngine
 
+    sweep_orphan_segments()
     pool = MatrixPool(max_segments=max(1, len(graphs)))
     handles: "dict[tuple, Any]" = {}
     for graph in graphs:

@@ -13,6 +13,7 @@ from repro.parallel import (
     aggregate_max,
     aggregate_mean,
     clear_distance_caches,
+    contiguous_shards,
     cpu_workers,
     parallel_map,
     run_sweep,
@@ -39,6 +40,34 @@ def test_parallel_map_processes_match_serial():
     serial = parallel_map(_square, tasks, processes=1)
     parallel = parallel_map(_square, tasks, processes=2)
     assert serial == parallel
+
+
+def test_contiguous_shards_cover_exactly():
+    shards = contiguous_shards(10, 3)
+    assert shards == [(0, 4), (4, 7), (7, 10)]
+    assert contiguous_shards(6, 3) == [(0, 2), (2, 4), (4, 6)]
+
+
+def test_contiguous_shards_more_parts_than_items():
+    """Regression guard: requesting more shards than rank-space items
+    must clamp to one item per shard — an empty (lo == hi) shard would
+    checkpoint/journal/merge as a vacuous unit of work downstream."""
+    assert contiguous_shards(3, 8) == [(0, 1), (1, 2), (2, 3)]
+    assert contiguous_shards(1, 4) == [(0, 1)]
+    assert contiguous_shards(0, 4) == []
+    for total, parts in ((3, 8), (1, 4), (5, 5), (2, 7)):
+        shards = contiguous_shards(total, parts)
+        assert all(lo < hi for lo, hi in shards)
+        assert [r for lo, hi in shards for r in range(lo, hi)] == list(
+            range(total)
+        )
+
+
+def test_contiguous_shards_validation():
+    with pytest.raises(ReproError):
+        contiguous_shards(-1, 2)
+    with pytest.raises(ReproError):
+        contiguous_shards(5, 0)
 
 
 def test_cpu_workers():
