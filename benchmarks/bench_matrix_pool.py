@@ -13,6 +13,14 @@ Three claims, each asserted (not just timed):
 * **Pooled sweeps attach.** A sweep whose prototype graphs were
   published by the parent spends zero initial rebuilds in its workers,
   returning the same records as the unpooled run.
+* **Disk attach beats rebuild where it matters.** A *fresh process*
+  cold-starting from the persistent mmap tier (full CRC verification
+  included) beats rebuilding the matrix from scratch at sweep scale
+  (n = 300) — the two-level pool's reason to exist. The n = 6 row is
+  recorded for the trajectory but not asserted: a microsecond-scale
+  rebuild ties the file-I/O floor, and the tier's n = 6 win comes from
+  promotion (one disk attach warms a shm segment the whole shard fleet
+  then attaches for free).
 
 Timings land in ``BENCH_pool.json`` at the repo root so the perf
 trajectory is tracked across PRs.
@@ -22,13 +30,20 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.core import BoundedBudgetGame, MatrixPool, census_scan
+from repro.core import (
+    BoundedBudgetGame,
+    MatrixPool,
+    PoolStore,
+    census_scan,
+    store_digest,
+)
 from repro.core.enumeration import LAST_CENSUS_POOL_STATS
 from repro.graphs import DistanceEngine, OwnedDigraph
 from repro.parallel import (
@@ -173,6 +188,67 @@ def test_warm_vs_cold_unit_n6_census(benchmark):
         },
     )
     assert not _STRICT_TIMING or startup["speedup"] >= 2.0, startup
+
+
+def _time_disk_attach_vs_rebuild(root: str, n: int, p: float, reps: int) -> dict:
+    """Per-call cost of a cold build vs a verified mmap-store attach."""
+    g = _random_graph(n, p)
+    csr = g.undirected_csr()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        engine = DistanceEngine(csr)
+    rebuild_s = (time.perf_counter() - t0) / reps
+    store = PoolStore(root)
+    digest = store_digest("bench-disk", n)
+    store.publish(
+        digest,
+        {"D": engine.matrix, "inf": np.asarray([engine.inf], dtype=np.int64)},
+    )
+    # A fresh PoolStore per attach mimics the fresh-process cold start:
+    # nothing cached, every attach re-verifies the file end to end.
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        views = PoolStore(root).attach(digest)
+        adopted = DistanceEngine.from_snapshot(
+            csr, views["D"], inf=int(views["inf"][0])
+        )
+    attach_s = (time.perf_counter() - t0) / reps
+    assert np.array_equal(adopted.distances(), engine.distances())
+    assert adopted.stats["rebuilds"] == 0
+    return {
+        "n": n,
+        "rebuild_ms": round(rebuild_s * 1e3, 4),
+        "disk_attach_ms": round(attach_s * 1e3, 4),
+        "speedup": round(rebuild_s / attach_s, 1),
+    }
+
+
+@pytest.mark.paper_artifact("matrix pool / disk-tier cold start vs rebuild")
+def test_disk_attach_beats_rebuild(benchmark):
+    """Cold-starting from the persistent mmap tier (verified attach +
+    copy-on-write snapshot adoption in a fresh store object) must beat
+    the from-scratch all-pairs build at sweep scale (n=300); the n=6
+    row rides along unasserted (file-I/O floor vs a microsecond build
+    — the tier's shard-scale win is promotion, measured above)."""
+    with tempfile.TemporaryDirectory() as root:
+        shard_scale = _time_disk_attach_vs_rebuild(root, 6, 0.4, reps=300)
+        sweep_scale = _time_disk_attach_vs_rebuild(root, 300, 0.05, reps=5)
+
+        digest = store_digest("bench-disk", 300)
+        g = _random_graph(300, 0.05)
+        csr = g.undirected_csr()
+
+        def attach_once():
+            views = PoolStore(root).attach(digest)
+            return DistanceEngine.from_snapshot(
+                csr, views["D"], inf=int(views["inf"][0])
+            )
+
+        benchmark.pedantic(attach_once, rounds=3, iterations=5, warmup_rounds=1)
+
+    _record("disk_attach_vs_rebuild_n6", shard_scale)
+    _record("disk_attach_vs_rebuild_n300", sweep_scale)
+    assert not _STRICT_TIMING or sweep_scale["speedup"] >= 10.0, sweep_scale
 
 
 def _pool_sweep_worker(task):

@@ -17,10 +17,16 @@ Subcommands
     exactly when sharded; bit-identical either way);
     ``--checkpoint-dir DIR`` journals census shard progress through the
     fault-tolerant work-stealing runtime and ``--resume`` continues an
-    interrupted run from those journals.
+    interrupted run from those journals; ``--pool-dir DIR`` persists
+    warm-start matrices to an on-disk mmap store so reruns — even in
+    fresh processes — attach instead of rebuilding.
     Flags are forwarded only to experiments whose signature takes them.
 ``all``
     Regenerate everything (the full paper reproduction).
+``pool gc --dir DIR [--budget BYTES]``
+    Maintain a ``--pool-dir`` store: reap temp files of dead writers,
+    quarantine corrupt matrix files, rebuild the LRU index, and enforce
+    the byte budget.
 ``export <spec> --json out.json [--dot out.dot]``
     Build one of the paper's constructions and save it. Specs:
     ``fig1``, ``spider:<k>``, ``binary-tree:<depth>``,
@@ -32,6 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 import warnings
 
 from .errors import ExperimentError
@@ -132,7 +139,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="census: continue an interrupted --checkpoint-dir run from "
         "its journals (bit-identical to an uninterrupted run)",
     )
+    run_p.add_argument(
+        "--pool-dir",
+        dest="pool_dir",
+        default=None,
+        metavar="DIR",
+        help="census: persist warm-start matrices to an on-disk mmap "
+        "store under DIR; reruns (even fresh processes) attach from "
+        "disk instead of rebuilding (bit-identical results)",
+    )
     sub.add_parser("all", help="run every experiment")
+    pool_p = sub.add_parser("pool", help="maintain an on-disk matrix pool store")
+    pool_sub = pool_p.add_subparsers(dest="pool_command", required=True)
+    gc_p = pool_sub.add_parser(
+        "gc",
+        help="reap dead writers' temp files, quarantine corrupt matrix "
+        "files, rebuild the index, enforce the byte budget",
+    )
+    gc_p.add_argument(
+        "--dir",
+        dest="pool_dir",
+        required=True,
+        metavar="DIR",
+        help="the pool store directory (as passed to run --pool-dir)",
+    )
+    gc_p.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="byte budget to enforce (default: the store's default budget)",
+    )
     exp_p = sub.add_parser("export", help="build a construction and save it")
     exp_p.add_argument("spec", help="fig1 | spider:<k> | binary-tree:<d> | overlap:<t>,<k> | thm2.3:<b,...>")
     exp_p.add_argument("--json", dest="json_path", help="write the realization as JSON")
@@ -145,6 +182,10 @@ def _run_and_print(experiment_id: str, **overrides) -> int:
     try:
         report = run_experiment(experiment_id, **overrides)
     except Exception as exc:  # surface the failure but keep going in batches
+        # The full traceback, not just str(exc): batch runs (`run a b c`,
+        # `all`) keep going after a failure, and a bare message masks
+        # which layer actually raised.
+        traceback.print_exc(file=sys.stderr)
         print(f"!! {experiment_id} failed: {exc}", file=sys.stderr)
         return 1
     elapsed = time.perf_counter() - start
@@ -183,11 +224,34 @@ def main(argv: "list[str] | None" = None) -> int:
                 pool=args.pool,
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
+                pool_dir=args.pool_dir,
             )
             for i in args.ids
         )
     if args.command == "all":
         return max(_run_and_print(key) for key in REGISTRY)
+    if args.command == "pool":
+        from .core.pool_store import PoolStore
+        from .errors import PoolError
+
+        try:
+            store = (
+                PoolStore(args.pool_dir)
+                if args.budget is None
+                else PoolStore(args.pool_dir, byte_budget=args.budget)
+            )
+            stats = store.gc(byte_budget=args.budget)
+        except (PoolError, OSError) as exc:
+            print(f"!! pool gc failed: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"pool {args.pool_dir}: {stats['files']} files, "
+            f"{stats['bytes']} bytes after gc "
+            f"(reaped {stats['removed_tmp']} temp, "
+            f"quarantined {stats['removed_corrupt']} corrupt, "
+            f"evicted {stats['evicted']})"
+        )
+        return 0
     if args.command == "export":
         try:
             graph = build_construction(args.spec)

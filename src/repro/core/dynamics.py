@@ -19,7 +19,12 @@ from ..errors import DynamicsError
 from ..graphs.digraph import OwnedDigraph
 from ..rng import as_generator
 from .costs import Version, social_cost
-from .deviations import Method, best_response_for, satisfies_lemma_2_2
+from .deviations import (
+    Method,
+    best_response_for,
+    deviation_improves,
+    satisfies_lemma_2_2,
+)
 from .distance_cache import DistanceCache
 from .game import BoundedBudgetGame
 
@@ -112,6 +117,7 @@ def best_response_dynamics(
     record_moves: bool = True,
     use_engine: bool = True,
     cache: DistanceCache | None = None,
+    rows: "str | None" = None,
     **kwargs,
 ) -> DynamicsResult:
     """Run best-response dynamics from ``initial`` until stable.
@@ -157,6 +163,13 @@ def best_response_dynamics(
         Reuse an existing :class:`DistanceCache` (e.g. across sweep
         tasks); it is rebound to this run's working graph. Implies
         ``use_engine``.
+    rows:
+        Row policy for an internally built cache (ignored when
+        ``cache`` is passed): ``"lazy"`` starts every engine in
+        row-on-demand mode, so a long run on a cold instance
+        materialises only the rows its queries actually touch instead
+        of paying full all-pairs builds up front. The trajectory is
+        bit-identical to the eager path.
     """
     version = Version.coerce(version)
     if schedule not in ("round_robin", "random"):
@@ -169,7 +182,7 @@ def best_response_dynamics(
     if cache is not None:
         cache.rebind(graph)
     elif use_engine:
-        cache = DistanceCache(graph)
+        cache = DistanceCache(graph) if rows is None else DistanceCache(graph, rows=rows)
     seen: set[tuple[tuple[int, ...], ...]] = set()
     result = DynamicsResult(graph=graph, converged=False, cycled=False, rounds=0)
     if detect_cycles:
@@ -193,6 +206,10 @@ def best_response_dynamics(
             if use_lemma:
                 if cache is None:
                     lemma_engine = None
+                elif cache.lazy_rows:
+                    # Lazy engines make the screen a row read, never a
+                    # full build — always worth syncing.
+                    lemma_engine = cache.base()
                 elif prev_round_moves is not None and prev_round_moves <= eager_base_cap:
                     lemma_engine = cache.base()
                 else:
@@ -200,7 +217,20 @@ def best_response_dynamics(
                 if satisfies_lemma_2_2(graph, u, engine=lemma_engine):
                     continue
             br = best_response_for(graph, u, version, method, cache=cache, **kwargs)
-            if not br.is_improving:
+            # The executed-move verdict goes through the same
+            # single-deviation predicate the analysis layer uses: on a
+            # cached run both costs come from the one shared player
+            # environment (no extra builds), so the decision is
+            # bit-identical to ``br.is_improving`` while keeping the
+            # whole per-step path on the cache — with ``rows="lazy"``
+            # a cold instance never pays a full all-pairs build.
+            if cache is not None:
+                improving = deviation_improves(
+                    graph, u, br.strategy, version, cache=cache, use_lemma=False
+                )
+            else:
+                improving = br.is_improving
+            if not improving:
                 continue
             old = tuple(int(v) for v in graph.out_neighbors(u))
             graph.set_strategy(u, br.strategy)

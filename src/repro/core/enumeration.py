@@ -521,6 +521,51 @@ def _attach_unit_snapshot(handle, graph: OwnedDigraph) -> "object | None":
 #: Gray swaps per vectorised orbit-key block of the symmetry census.
 _ORBIT_BLOCK: int = 2048
 
+#: Process-local cache of per-directory :class:`PoolStore` objects used
+#: by shard workers to persist checkpoint-rank matrices.
+_WORKER_STORES: "dict[str, object]" = {}
+
+
+def _checkpoint_store(store_dir: str):
+    store = _WORKER_STORES.get(store_dir)
+    if store is None:
+        from .pool_store import PoolStore
+
+        store = PoolStore(store_dir)
+        _WORKER_STORES[store_dir] = store
+    return store
+
+
+def _persist_checkpoint_matrix(
+    store_dir: "str | None", graph: OwnedDigraph, engine, *, weighted: bool
+) -> None:
+    """Best-effort publish of the current ``U(G)`` matrix to the disk tier.
+
+    Called at shard checkpoint boundaries when the scan runs with
+    ``pool_dir=``: the engine's matrix (synced to exactly this graph
+    state) lands in the store under the graph's content digest, so a
+    fresh process resuming at this cursor re-attaches from disk instead
+    of rebuilding the resume-rank matrix. Persistence is strictly
+    additive — any store failure is swallowed and the run proceeds as
+    if the tier did not exist.
+    """
+    if store_dir is None or engine is None:
+        return
+    from ..errors import PoolError
+    from .pool_store import census_graph_digest
+
+    try:
+        store = _checkpoint_store(store_dir)
+        store.publish(
+            census_graph_digest(graph, weighted=weighted),
+            {
+                "D": engine.matrix,
+                "inf": np.asarray([engine.inf], dtype=np.int64),
+            },
+        )
+    except (PoolError, OSError):
+        pass
+
 
 def _resume_handle(handle, cursor: int):
     """Unwrap a rank-tagged pool handle; stale tags degrade to cold.
@@ -562,7 +607,17 @@ def _census_shard(payload: tuple, ctx=None) -> "dict[str, object]":
     plain :func:`~repro.parallel.executor.parallel_map` path,
     bit-identical to the checkpointed one.
     """
-    budgets, version_value, lo, hi, symmetry, collect, max_profiles, handle = payload
+    (
+        budgets,
+        version_value,
+        lo,
+        hi,
+        symmetry,
+        collect,
+        max_profiles,
+        store_dir,
+        handle,
+    ) = payload
     game = BoundedBudgetGame(list(budgets))
     version = Version.coerce(version_value)
     n = game.n
@@ -609,6 +664,10 @@ def _census_shard(payload: tuple, ctx=None) -> "dict[str, object]":
     def save(next_rank: int, *, done: bool = False) -> None:
         if ctx is None:
             return
+        if not done and cache is not None:
+            _persist_checkpoint_matrix(
+                store_dir, graph, cache.base(), weighted=False
+            )
         ctx.checkpoint(
             lo=lo,
             hi=hi,
@@ -804,9 +863,30 @@ class CensusResult:
 
 
 #: Observability side-channel of the last pooled census run:
-#: ``{"shards": int, "warm_attached": int}``. Kept out of the reports so
-#: pooled and unpooled results stay bit-identical.
-LAST_CENSUS_POOL_STATS: "dict[str, int]" = {"shards": 0, "warm_attached": 0}
+#: ``{"shards": int, "warm_attached": int, "disk_attached": int,
+#: "parent_builds": int}``. ``disk_attached`` counts shard start-rank
+#: matrices promoted from the mmap tier (zero builds) and
+#: ``parent_builds`` the matrices the parent actually had to compute.
+#: Kept out of the reports so pooled and unpooled results stay
+#: bit-identical.
+LAST_CENSUS_POOL_STATS: "dict[str, int]" = {
+    "shards": 0,
+    "warm_attached": 0,
+    "disk_attached": 0,
+    "parent_builds": 0,
+}
+
+
+def _export_pool_disk_stats(matrix_pool) -> None:
+    """Mirror a pool's two-level counters into the side-channel."""
+    if matrix_pool is not None:
+        LAST_CENSUS_POOL_STATS["disk_attached"] = matrix_pool.stats["disk_hits"]
+        LAST_CENSUS_POOL_STATS["parent_builds"] = (
+            matrix_pool.stats["published"] - matrix_pool.stats["promotions"]
+        )
+    else:
+        LAST_CENSUS_POOL_STATS["disk_attached"] = 0
+        LAST_CENSUS_POOL_STATS["parent_builds"] = 0
 
 #: Observability side-channel of the last *checkpointed* census run:
 #: the runtime's supervision stats (workers spawned, crashes, stalls,
@@ -824,6 +904,7 @@ def _warm_start_shards(
     *,
     weighted: bool,
     slack: int = 0,
+    store=None,
 ):
     """Publish each shard's start-rank engine state into a fresh pool.
 
@@ -838,6 +919,12 @@ def _warm_start_shards(
     resume-rank matrix per retry and must not evict live shard
     segments. Scan start is also when orphaned segments of previously
     killed owner processes are swept from the system.
+
+    ``store`` (a :class:`~repro.core.pool_store.PoolStore`) makes the
+    pool two-level: a shard whose start-rank matrix is already on disk
+    — published by an earlier run or a dead process — is *promoted*
+    into shared memory with zero builds, and every matrix built here is
+    written through so the next fresh process attaches instead.
     """
     from ..graphs.engine import DistanceEngine
     from ..graphs.weighted_engine import WeightedDistanceEngine, weighted_csr_from_csr
@@ -846,13 +933,25 @@ def _warm_start_shards(
     sweep_orphan_segments()
     n = game.n
     combos, radices, rests = _profile_tables(game)
-    pool = MatrixPool(max_segments=max(1, len(shards)) + max(0, int(slack)))
+    pool = MatrixPool(
+        max_segments=max(1, len(shards)) + max(0, int(slack)), store=store
+    )
     handles = []
     for lo, hi in shards:
         digits = _gray_digits(lo, radices, rests)
         graph = OwnedDigraph.from_strategies(
             [combos[u][digits[u]] for u in range(n)], n
         )
+        key = ("census-shard", lo, hi, weighted)
+        digest = None
+        if store is not None:
+            from .pool_store import census_graph_digest
+
+            digest = census_graph_digest(graph, weighted=weighted)
+            handle = pool.fetch(key, digest=digest)
+            if handle is not None:
+                handles.append(handle)
+                continue
         if weighted:
             engine = WeightedDistanceEngine(
                 weighted_csr_from_csr(graph.undirected_csr())
@@ -861,11 +960,12 @@ def _warm_start_shards(
             engine = DistanceEngine(graph.undirected_csr())
         handles.append(
             pool.publish(
-                ("census-shard", lo, hi, weighted),
+                key,
                 {
                     "D": engine.matrix,
                     "inf": np.asarray([engine.inf], dtype=np.int64),
                 },
+                digest=digest,
             )
         )
     return pool, handles
@@ -958,11 +1058,18 @@ def _make_resume_payload(game: BoundedBudgetGame, matrix_pool, *, weighted: bool
     matrix into the live pool, and swaps a rank-tagged handle into the
     payload so the retry re-attaches instead of rebuilding. Any pool
     failure degrades to a cold (handle-free) retry.
+
+    With a disk-tier pool (``store=`` / ``pool_dir=``) the hook goes
+    through :meth:`MatrixPool.fetch` first: shards persist their
+    checkpoint-rank matrices under content digests, so a resume — in
+    this process or a completely fresh one — re-attaches the
+    resume-rank matrix from the mmap tier instead of rebuilding it.
     """
     from ..errors import PoolError
 
     n = game.n
     combos, radices, rests = _profile_tables(game)
+    has_store = matrix_pool.store is not None
 
     def hook(payload: tuple, record) -> tuple:
         cursor = record.next_rank - 1
@@ -972,32 +1079,42 @@ def _make_resume_payload(game: BoundedBudgetGame, matrix_pool, *, weighted: bool
         graph = OwnedDigraph.from_strategies(
             [combos[u][digits[u]] for u in range(n)], n
         )
-        if weighted:
-            from ..graphs.weighted_engine import (
-                WeightedDistanceEngine,
-                weighted_csr_from_csr,
-            )
-
-            engine = WeightedDistanceEngine(
-                weighted_csr_from_csr(graph.undirected_csr())
-            )
-        else:
-            from ..graphs.engine import DistanceEngine
-
-            engine = DistanceEngine(graph.undirected_csr())
+        key = (
+            "census-shard-resume",
+            record.shard_id,
+            cursor,
+            weighted,
+            record.attempt,
+        )
+        digest = None
         try:
+            if has_store:
+                from .pool_store import census_graph_digest
+
+                digest = census_graph_digest(graph, weighted=weighted)
+                handle = matrix_pool.fetch(key, digest=digest)
+                if handle is not None:
+                    return payload[:-1] + ((cursor, handle),)
+            if weighted:
+                from ..graphs.weighted_engine import (
+                    WeightedDistanceEngine,
+                    weighted_csr_from_csr,
+                )
+
+                engine = WeightedDistanceEngine(
+                    weighted_csr_from_csr(graph.undirected_csr())
+                )
+            else:
+                from ..graphs.engine import DistanceEngine
+
+                engine = DistanceEngine(graph.undirected_csr())
             handle = matrix_pool.publish(
-                (
-                    "census-shard-resume",
-                    record.shard_id,
-                    cursor,
-                    weighted,
-                    record.attempt,
-                ),
+                key,
                 {
                     "D": engine.matrix,
                     "inf": np.asarray([engine.inf], dtype=np.int64),
                 },
+                digest=digest,
             )
         except PoolError:
             return payload[:-1] + (None,)
@@ -1082,6 +1199,7 @@ def _run_census_shards(
     resume: bool,
     fault_plan,
     runtime_opts: "dict | None",
+    store=None,
 ):
     """Shared checkpointed-execution core of both census kinds.
 
@@ -1098,7 +1216,11 @@ def _run_census_shards(
     resume_hook = None
     if use_pool and shards:
         matrix_pool, handles = _warm_start_shards(
-            game, list(shards), weighted=weighted, slack=4 * len(shards) + 4
+            game,
+            list(shards),
+            weighted=weighted,
+            slack=4 * len(shards) + 4,
+            store=store,
         )
         resume_hook = _make_resume_payload(game, matrix_pool, weighted=weighted)
     else:
@@ -1137,6 +1259,7 @@ def _run_census_shards(
             missing.append((outcome.shard_id, lo, hi))
     LAST_CENSUS_POOL_STATS["shards"] = len(shards)
     LAST_CENSUS_POOL_STATS["warm_attached"] = sum(p.pop("warm", 0) for p in parts)
+    _export_pool_disk_stats(matrix_pool)
     covered = sum(p["count"] for p in parts)
     stats: "dict[str, object]" = dict(rt.stats)
     stats["shards"] = len(shards)
@@ -1161,6 +1284,7 @@ def census_scan(
     fault_plan=None,
     shard_count: "int | None" = None,
     runtime_opts: "dict | None" = None,
+    pool_dir: "str | None" = None,
 ) -> CensusResult:
     """Full equilibrium census via the incremental Gray-order kernel.
 
@@ -1184,6 +1308,13 @@ def census_scan(
     supervisor's tuning knobs. Checkpointed results are bit-identical
     to the static path; only a run that quarantines poison shards
     degrades — explicitly, via :attr:`CensusResult.incomplete`.
+
+    ``pool_dir`` adds the persistent mmap tier
+    (:class:`~repro.core.pool_store.PoolStore`): shard start-rank (and,
+    on checkpointed runs, checkpoint-rank) matrices are written through
+    to disk under content digests, so a fresh process pointed at the
+    same directory attaches them with zero rebuilds. Results stay
+    bit-identical; the tier only changes where warm matrices come from.
     """
     from ..parallel.executor import contiguous_shards, parallel_map
 
@@ -1205,6 +1336,11 @@ def census_scan(
         )
     total = profile_space_size(game)
     budgets = tuple(int(b) for b in game.budgets)
+    store = None
+    if pool_dir is not None:
+        from .pool_store import PoolStore
+
+        store = PoolStore(pool_dir)
 
     if checkpoint_dir is not None:
         shards_t = _resolve_runtime_shards(
@@ -1219,7 +1355,11 @@ def census_scan(
             symmetry=symmetry,
             collect=collect_equilibria,
         )
-        use_pool = pool if pool is not None else len(shards_t) > 1
+        use_pool = (
+            pool
+            if pool is not None
+            else (len(shards_t) > 1 or store is not None)
+        )
 
         def payload_for(lo: int, hi: int, handle) -> tuple:
             return (
@@ -1230,6 +1370,7 @@ def census_scan(
                 symmetry,
                 collect_equilibria,
                 max_profiles,
+                pool_dir,
                 handle,
             )
 
@@ -1246,6 +1387,7 @@ def census_scan(
             resume=resume,
             fault_plan=fault_plan,
             runtime_opts=runtime_opts,
+            store=store,
         )
         report, equilibria = _merge_unit_parts(
             parts,
@@ -1264,11 +1406,13 @@ def census_scan(
         )
 
     shards = contiguous_shards(total, workers)
-    use_pool = pool if pool is not None else len(shards) > 1
+    use_pool = pool if pool is not None else (len(shards) > 1 or store is not None)
     matrix_pool = None
     handles: "list" = [None] * len(shards)
     if use_pool and shards:
-        matrix_pool, handles = _warm_start_shards(game, shards, weighted=False)
+        matrix_pool, handles = _warm_start_shards(
+            game, shards, weighted=False, store=store
+        )
     try:
         payloads = [
             (
@@ -1279,6 +1423,7 @@ def census_scan(
                 symmetry,
                 collect_equilibria,
                 max_profiles,
+                pool_dir,
                 handle,
             )
             for (lo, hi), handle in zip(shards, handles)
@@ -1289,6 +1434,7 @@ def census_scan(
             matrix_pool.close()
     LAST_CENSUS_POOL_STATS["shards"] = len(shards)
     LAST_CENSUS_POOL_STATS["warm_attached"] = sum(p.pop("warm", 0) for p in parts)
+    _export_pool_disk_stats(matrix_pool)
     report, equilibria = _merge_unit_parts(
         parts, version=version, total=total, collect=collect_equilibria
     )
@@ -1447,7 +1593,7 @@ def _weighted_census_shard(payload: tuple, ctx=None) -> "dict[str, object]":
     from ..analysis.weighted import WeightedRealization, is_weighted_weak_equilibrium
     from .distance_cache import WeightedDistanceCache
 
-    budgets, weights, lo, hi, collect, max_profiles, handle = payload
+    budgets, weights, lo, hi, collect, max_profiles, store_dir, handle = payload
     game = BoundedBudgetGame(list(budgets))
     w = np.asarray(weights, dtype=np.int64)
     resume_rec = ctx.resume_state if ctx is not None else None
@@ -1494,6 +1640,10 @@ def _weighted_census_shard(payload: tuple, ctx=None) -> "dict[str, object]":
     def save(next_rank: int, *, done: bool = False) -> None:
         if ctx is None:
             return
+        if not done and cache is not None:
+            _persist_checkpoint_matrix(
+                store_dir, graph, cache.base(), weighted=True
+            )
         ctx.checkpoint(
             lo=lo,
             hi=hi,
@@ -1608,6 +1758,7 @@ def weighted_census_scan(
     fault_plan=None,
     shard_count: "int | None" = None,
     runtime_opts: "dict | None" = None,
+    pool_dir: "str | None" = None,
 ) -> "tuple[WeightedCensusReport, tuple | None]":
     """Full weighted weak-equilibrium census via the Gray-order kernel.
 
@@ -1635,6 +1786,8 @@ def weighted_census_scan(
     exactly as in :func:`census_scan` (incremental path only). The
     2-tuple return shape is preserved; a degraded run's incompleteness
     manifest is published through :data:`LAST_CENSUS_RUNTIME_STATS`.
+    ``pool_dir`` adds the persistent mmap warm-start tier, also exactly
+    as in :func:`census_scan` (incremental path only).
     """
     from ..analysis.weighted import WeightedRealization, is_weighted_weak_equilibrium
 
@@ -1659,12 +1812,21 @@ def weighted_census_scan(
         raise GameError(
             "the checkpointed runtime requires the incremental census kernel"
         )
+    if pool_dir is not None and not incremental:
+        raise GameError(
+            "pool_dir requires the incremental weighted census kernel"
+        )
     weights_t = tuple(int(x) for x in w)
     if incremental:
         from ..parallel.executor import contiguous_shards, parallel_map
 
         total = profile_space_size(game)
         budgets = tuple(int(b) for b in game.budgets)
+        store = None
+        if pool_dir is not None:
+            from .pool_store import PoolStore
+
+            store = PoolStore(pool_dir)
         if checkpoint_dir is not None:
             shards_t = _resolve_runtime_shards(
                 checkpoint_dir,
@@ -1677,7 +1839,11 @@ def weighted_census_scan(
                 weights=weights_t,
                 collect=collect_equilibria,
             )
-            use_pool = pool if pool is not None else len(shards_t) > 1
+            use_pool = (
+                pool
+                if pool is not None
+                else (len(shards_t) > 1 or store is not None)
+            )
 
             def payload_for(lo: int, hi: int, handle) -> tuple:
                 return (
@@ -1687,6 +1853,7 @@ def weighted_census_scan(
                     hi,
                     collect_equilibria,
                     max_profiles,
+                    pool_dir,
                     handle,
                 )
 
@@ -1703,6 +1870,7 @@ def weighted_census_scan(
                 resume=resume,
                 fault_plan=fault_plan,
                 runtime_opts=runtime_opts,
+                store=store,
             )
             return _merge_weighted_parts(
                 parts,
@@ -1712,14 +1880,27 @@ def weighted_census_scan(
                 expect_full=not missing,
             )
         shards = contiguous_shards(total, workers)
-        use_pool = pool if pool is not None else len(shards) > 1
+        use_pool = (
+            pool if pool is not None else (len(shards) > 1 or store is not None)
+        )
         matrix_pool = None
         handles: "list" = [None] * len(shards)
         if use_pool and shards:
-            matrix_pool, handles = _warm_start_shards(game, shards, weighted=True)
+            matrix_pool, handles = _warm_start_shards(
+                game, shards, weighted=True, store=store
+            )
         try:
             payloads = [
-                (budgets, weights_t, lo, hi, collect_equilibria, max_profiles, handle)
+                (
+                    budgets,
+                    weights_t,
+                    lo,
+                    hi,
+                    collect_equilibria,
+                    max_profiles,
+                    pool_dir,
+                    handle,
+                )
                 for (lo, hi), handle in zip(shards, handles)
             ]
             parts = parallel_map(
@@ -1732,6 +1913,7 @@ def weighted_census_scan(
         LAST_CENSUS_POOL_STATS["warm_attached"] = sum(
             p.pop("warm", 0) for p in parts
         )
+        _export_pool_disk_stats(matrix_pool)
         return _merge_weighted_parts(
             parts, weights_t=weights_t, total=total, collect=collect_equilibria
         )

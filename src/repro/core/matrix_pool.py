@@ -59,6 +59,38 @@ are used in this repo:
 * content keys — e.g. ``(n, profile_key)`` — when independently built
   graphs in different processes must find the same entry (sweep
   warm-start prototypes).
+
+Disk tier (two-level cache)
+---------------------------
+A pool constructed with ``store=`` (a
+:class:`~repro.core.pool_store.PoolStore`) gains a persistent mmap tier
+below the shm tier, turning :meth:`MatrixPool.fetch` into a two-level
+lookup: **shm hit** (a live segment under the key) → **mmap hit** (a
+store file under the *content digest*, promoted into a fresh shm
+segment so later attaches are zero-syscall) → **miss** (the caller
+builds, then :meth:`publish` with ``digest=`` writes through to both
+tiers). The tiers use different key schemes on purpose:
+
+* shm keys may embed process-local state (instance ids, shard ranks) —
+  segments die with their owner, so process-unique names are safe;
+* store keys are **content digests** (:func:`~repro.core.pool_store.
+  store_digest` over graph arcs, weights and kind tags), because the
+  whole point of the disk tier is that a *fresh process* — which has
+  different instance ids — must find the matrices a dead one published.
+
+Store files live under the store directory as ``<digest>.mat``: a
+CRC-framed header (field layout, data-region CRC32) plus 64-byte
+aligned payloads, published atomically (pid-unique temp file + fsync +
+``os.replace``) and re-verified end to end on every attach — torn or
+bit-flipped files degrade to a rebuild-and-republish miss, never a
+wrong matrix. The store is LRU-bounded by a byte budget tracked in an
+``INDEX.json`` manifest; crash cleanup is
+:meth:`~repro.core.pool_store.PoolStore.gc` (CLI: ``repro-bbncg pool
+gc``), which reaps dead writers' temp files, quarantines corrupt
+entries, rebuilds the index from the self-describing files and
+re-enforces the budget. Store write-throughs are best-effort: a full
+disk degrades the pool to shm-only (counted in
+``stats["store_errors"]``), it never fails a publish.
 """
 
 from __future__ import annotations
@@ -283,6 +315,11 @@ class MatrixPool:
     max_segments:
         Live-segment cap; publishing beyond it unlinks the least
         recently used segment (attached readers keep their mappings).
+    store:
+        Optional :class:`~repro.core.pool_store.PoolStore` enabling the
+        persistent mmap tier (see *Disk tier* in the module docstring):
+        :meth:`fetch` falls back to — and promotes from — the store,
+        and :meth:`publish` with ``digest=`` writes through to it.
 
     Notes
     -----
@@ -291,7 +328,9 @@ class MatrixPool:
     docstring for the full lifecycle/ownership contract.
     """
 
-    def __init__(self, *, max_segments: int = DEFAULT_MAX_SEGMENTS) -> None:
+    def __init__(
+        self, *, max_segments: int = DEFAULT_MAX_SEGMENTS, store=None
+    ) -> None:
         if max_segments < 1:
             raise PoolError(f"max_segments must be positive, got {max_segments}")
         self._max_segments = int(max_segments)
@@ -300,7 +339,17 @@ class MatrixPool:
         )
         self._epoch = 0
         self._closed = False
-        self.stats = {"published": 0, "hits": 0, "misses": 0, "evictions": 0}
+        self._store = store
+        self.stats = {
+            "published": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "disk_hits": 0,
+            "disk_misses": 0,
+            "promotions": 0,
+            "store_errors": 0,
+        }
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -308,6 +357,11 @@ class MatrixPool:
     def epoch(self) -> int:
         """Counter bumped on every publish (segment generation stamp)."""
         return self._epoch
+
+    @property
+    def store(self):
+        """The persistent mmap tier, or ``None`` for an shm-only pool."""
+        return self._store
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -321,7 +375,11 @@ class MatrixPool:
 
     # ------------------------------------------------------------------
     def publish(
-        self, key: tuple, arrays: "Mapping[str, np.ndarray]"
+        self,
+        key: tuple,
+        arrays: "Mapping[str, np.ndarray]",
+        *,
+        digest: "str | None" = None,
     ) -> SegmentHandle:
         """Copy ``arrays`` into a fresh segment registered under ``key``.
 
@@ -330,11 +388,18 @@ class MatrixPool:
         published content through the pool). The copy is the only time
         the data is ever written; every later consumer reads the same
         physical pages.
+
+        ``digest`` (with a ``store=`` pool) additionally writes the
+        bundle through to the persistent mmap tier under that content
+        digest — best-effort: a store failure is counted in
+        ``stats["store_errors"]`` and the shm publish stands.
         """
         if self._closed:
             raise PoolError("pool is closed")
         if not arrays:
             raise PoolError("cannot publish an empty array bundle")
+        if digest is not None:
+            self._store_publish(digest, arrays)
         existing = self._segments.get(key)
         if existing is not None:
             self._segments.move_to_end(key)
@@ -389,6 +454,50 @@ class MatrixPool:
         self._segments.move_to_end(key)
         self.stats["hits"] += 1
         return entry[0]
+
+    def fetch(
+        self, key: tuple, *, digest: "str | None" = None
+    ) -> "SegmentHandle | None":
+        """Two-level lookup: shm hit → mmap hit (promoted) → ``None``.
+
+        The shm tier is probed under ``key``; on a miss, a ``store=``
+        pool probes the persistent tier under the content ``digest``
+        and *promotes* a hit — the verified read-only mmap views are
+        republished as a fresh shm segment under ``key``, so every
+        later consumer attaches shared memory as if the matrix had been
+        built here. ``None`` means both tiers missed (or the store copy
+        failed verification and was quarantined): build, then
+        :meth:`publish` with the same ``digest`` to fill both tiers.
+        """
+        handle = self.lookup(key)
+        if handle is not None:
+            return handle
+        if self._store is None or digest is None:
+            return None
+        views = self._store.attach(digest)
+        if views is None:
+            self.stats["disk_misses"] += 1
+            return None
+        self.stats["disk_hits"] += 1
+        self.stats["promotions"] += 1
+        return self.publish(key, views)
+
+    def _store_publish(
+        self, digest: str, arrays: "Mapping[str, np.ndarray]"
+    ) -> None:
+        """Best-effort write-through to the persistent tier."""
+        if self._store is None:
+            return
+        try:
+            self._store.publish(digest, arrays)
+        except (PoolError, OSError) as exc:
+            self.stats["store_errors"] += 1
+            warnings.warn(
+                f"matrix pool could not persist digest {digest!r}: {exc!r}; "
+                f"continuing shm-only",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def attach(self, key: tuple) -> "dict[str, np.ndarray] | None":
         """Owner-side convenience: :meth:`lookup` + attach in one call."""

@@ -96,6 +96,7 @@ def exact_census_experiment(
     pool: "bool | None" = None,
     checkpoint_dir: "str | None" = None,
     resume: bool = False,
+    pool_dir: "str | None" = None,
 ) -> ExperimentReport:
     """Exhaustive equilibrium census over a battery of tiny games.
 
@@ -120,6 +121,12 @@ def exact_census_experiment(
     ``--resume``): finished scans replay from their ``done`` records,
     the interrupted one continues mid-shard, and the reported numbers
     are bit-identical to an uninterrupted run.
+
+    ``pool_dir`` (CLI: ``--pool-dir``) adds the persistent mmap matrix
+    tier: all scans share one content-addressed store directory (keys
+    digest graph content, so scans can never collide), and a rerun of
+    the battery — even in a fresh process — attaches its shard warm
+    starts from disk instead of rebuilding them.
     """
     import os
 
@@ -162,6 +169,7 @@ def exact_census_experiment(
                 symmetry=symmetry,
                 collect_equilibria=True,
                 pool=pool,
+                pool_dir=pool_dir,
                 **_scan_kwargs(label, version),
             )
             census = result.report
@@ -198,6 +206,7 @@ def exact_census_experiment(
                 max_profiles=max_profiles,
                 workers=workers,
                 pool=pool,
+                pool_dir=pool_dir,
                 **_scan_kwargs(label, "weak"),
             )
             report.rows.append(

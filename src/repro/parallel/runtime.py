@@ -224,7 +224,13 @@ def _worker_main(
             )
             try:
                 result = fn(payload, ctx)
-            except Exception:
+            except KeyboardInterrupt:
+                raise  # teardown: handled by the outer except
+            except BaseException:
+                # Not just Exception: a shard fn raising SystemExit (or
+                # any other BaseException) must surface as an error
+                # event too — otherwise the worker dies silently and the
+                # shard waits out a full heartbeat-timeout reclamation.
                 event_q.put(("error", widx, shard_id, traceback.format_exc()))
                 continue
             event_q.put(("done", widx, shard_id, result))

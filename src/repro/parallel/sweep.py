@@ -103,6 +103,7 @@ def warm_distance_pool(
     graphs: "Sequence[OwnedDigraph]",
     *,
     players: "Sequence[int] | str | None" = None,
+    store=None,
     **engine_kwargs,
 ):
     """Publish ``U(G)`` matrices of prototype graphs for worker attach.
@@ -120,6 +121,14 @@ def warm_distance_pool(
     punctured all-pairs BFS on first touch. Workers adopt them through
     :class:`~repro.core.distance_cache.DistanceCache`'s
     ``player_engines=`` path, copy-on-write like the base matrix.
+
+    ``store`` (a :class:`~repro.core.pool_store.PoolStore`) makes the
+    pool two-level: a prototype whose bundle is already on disk —
+    published by an earlier sweep, even in a dead process — is promoted
+    into shared memory with zero builds, and every bundle built here is
+    written through for the next run. The disk key digests the graph
+    content plus the warmed player set, so a sweep asking for a
+    different ``players`` shape never attaches a partial bundle.
     """
     import numpy as np
 
@@ -127,9 +136,27 @@ def warm_distance_pool(
     from ..graphs.engine import DistanceEngine
 
     sweep_orphan_segments()
-    pool = MatrixPool(max_segments=max(1, len(graphs)))
+    pool = MatrixPool(max_segments=max(1, len(graphs)), store=store)
     handles: "dict[tuple, Any]" = {}
+    if players is None:
+        players_tag = None
+    elif players == "all":
+        players_tag = "all"
+    else:
+        players_tag = tuple(sorted(int(u) for u in players))
     for graph in graphs:
+        key = sweep_pool_key(graph)
+        digest = None
+        if store is not None:
+            from ..core.pool_store import store_digest
+
+            digest = store_digest(
+                "sweep", graph.n, graph.profile_key(), players_tag
+            )
+            handle = pool.fetch(key, digest=digest)
+            if handle is not None:
+                handles[key] = handle
+                continue
         engine = DistanceEngine(graph.undirected_csr(), **engine_kwargs)
         arrays: "dict[str, Any]" = {
             "D": engine.matrix,
@@ -142,8 +169,7 @@ def warm_distance_pool(
                     graph.undirected_csr_without(int(u)), **engine_kwargs
                 )
                 arrays[f"P{int(u)}"] = player_engine.matrix
-        key = sweep_pool_key(graph)
-        handles[key] = pool.publish(key, arrays)
+        handles[key] = pool.publish(key, arrays, digest=digest)
     install_pool_handles(handles)
     return pool
 
@@ -291,6 +317,7 @@ def run_sweep(
     processes: "int | None" = 1,
     warm_graphs: "Sequence[OwnedDigraph] | None" = None,
     warm_players: "Sequence[int] | str | None" = None,
+    pool_dir: "str | None" = None,
 ) -> list[dict[str, Any]]:
     """Execute a sweep and return one record per grid point.
 
@@ -308,13 +335,23 @@ def run_sweep(
     first-touch BFS per evaluated player too. Results are bit-identical
     with or without warming — the pool only replaces initial builds,
     never the answers.
+
+    ``pool_dir`` persists the warm bundles to a
+    :class:`~repro.core.pool_store.PoolStore` directory and attaches
+    matching bundles published by earlier runs, so repeated sweeps over
+    the same prototypes skip the parent's all-pairs builds entirely.
     """
     tasks = spec.tasks()
     pool = None
     initializer = None
     initargs: tuple = ()
     if warm_graphs:
-        pool = warm_distance_pool(warm_graphs, players=warm_players)
+        store = None
+        if pool_dir is not None:
+            from ..core.pool_store import PoolStore
+
+            store = PoolStore(pool_dir)
+        pool = warm_distance_pool(warm_graphs, players=warm_players, store=store)
         initializer = install_pool_handles
         initargs = (dict(_POOL_HANDLES),)
     try:

@@ -129,3 +129,52 @@ def test_connectivity_restored_by_dynamics():
     res = best_response_dynamics(game, start, "sum", max_rounds=100)
     assert res.converged
     assert is_connected(res.graph)
+
+
+def _trajectory(res):
+    return (
+        res.graph.profile_key(),
+        res.converged,
+        res.cycled,
+        res.rounds,
+        res.social_costs,
+        [
+            (m.round_index, m.player, m.old_strategy, m.new_strategy,
+             m.old_cost, m.new_cost)
+            for m in res.moves
+        ],
+    )
+
+
+@pytest.mark.parametrize("version", ["sum", "max"])
+@pytest.mark.parametrize("schedule", ["round_robin", "random"])
+def test_trajectory_bit_identical_across_engine_modes(version, schedule):
+    # The per-step verdict routes through deviations.deviation_improves
+    # on cached runs; every engine mode (no engine, eager cache, lazy
+    # row-on-demand cache) must walk the exact same trajectory.
+    game = BoundedBudgetGame([2, 1, 1, 1, 1, 0])
+    for seed in (0, 5):
+        start = game.random_realization(seed=seed)
+        base = best_response_dynamics(
+            game, start, version, schedule=schedule, seed=11,
+            max_rounds=60, use_engine=False,
+        )
+        for kwargs in ({}, {"rows": "lazy"}):
+            res = best_response_dynamics(
+                game, start, version, schedule=schedule, seed=11,
+                max_rounds=60, **kwargs,
+            )
+            assert _trajectory(res) == _trajectory(base)
+
+
+def test_lazy_rows_cold_run_avoids_full_builds():
+    # A cold instance run with rows="lazy" converges without a single
+    # full all-pairs rebuild: lemma screens and best-response queries
+    # materialise rows on demand.
+    game = BoundedBudgetGame(unit_budgets(8))
+    start = game.random_realization(seed=4)
+    res = best_response_dynamics(game, start, "sum", rows="lazy", max_rounds=100)
+    assert res.converged
+    assert res.engine_stats is not None
+    assert res.engine_stats["rebuilds"] == 0
+    assert res.engine_stats["lazy_rows"] > 0

@@ -197,6 +197,18 @@ def test_cli_run_unknown(capsys):
     assert "failed" in capsys.readouterr().err
 
 
+def test_cli_run_failure_surfaces_traceback(capsys):
+    # Regression: batch runs printed only str(exc), masking which layer
+    # raised — the full traceback must reach stderr.
+    from repro.cli import main
+
+    assert main(["run", "NOPE"]) == 1
+    err = capsys.readouterr().err
+    assert "Traceback (most recent call last)" in err
+    assert "ExperimentError" in err
+    assert "!! NOPE failed" in err
+
+
 def test_cli_extended_flag_warns_deprecated(capsys):
     from repro.cli import main
 

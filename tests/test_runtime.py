@@ -69,7 +69,7 @@ _EXPECT = [
 ]
 
 
-def _run(tmp_path, payloads=_SHARDS, **kwargs):
+def _run(tmp_path, payloads=_SHARDS, shard_fn=_sum_shard, **kwargs):
     opts = dict(
         checkpoint_dir=tmp_path,
         workers=2,
@@ -78,7 +78,7 @@ def _run(tmp_path, payloads=_SHARDS, **kwargs):
         timeout=120.0,
     )
     opts.update(kwargs)
-    return run_shards(_sum_shard, payloads, **opts)
+    return run_shards(shard_fn, payloads, **opts)
 
 
 def test_run_shards_clean(tmp_path):
@@ -143,6 +143,35 @@ def test_run_shards_worker_exception_retries(tmp_path):
     assert report.results() == _EXPECT
     assert report.stats["worker_errors"] == 2
     assert report.outcomes[2].attempts == 2
+
+
+def _sysexit_shard(payload, ctx=None):
+    """Like ``_sum_shard`` but poisoned attempts raise SystemExit."""
+    lo, hi, poison_attempts = payload
+    if ctx is not None and ctx.attempt < poison_attempts:
+        raise SystemExit(3)
+    return _sum_shard((lo, hi, 0), ctx)
+
+
+def test_run_shards_systemexit_reported_as_error_event(tmp_path):
+    # Regression: the worker loop used to catch only Exception, so a
+    # SystemExit inside a shard fn killed the worker with no "error"
+    # event and the shard waited out a full heartbeat-timeout
+    # reclamation. It must surface as a fast error-event retry instead.
+    payloads = list(_SHARDS)
+    payloads[1] = (100, 200, 2)  # SystemExit on attempts 0 and 1
+    report = _run(
+        tmp_path,
+        payloads=payloads,
+        shard_fn=_sysexit_shard,
+        heartbeat_timeout=600.0,  # reclamation would blow the timeout
+        timeout=60.0,
+    )
+    assert report.results() == _EXPECT
+    assert report.stats["worker_errors"] == 2
+    assert report.stats["crashes"] == 0
+    assert report.stats["stalls"] == 0
+    assert report.outcomes[1].attempts == 2
 
 
 def test_run_shards_quarantines_poison_shard(tmp_path):
