@@ -31,6 +31,16 @@ Subcommands
     Build one of the paper's constructions and save it. Specs:
     ``fig1``, ``spider:<k>``, ``binary-tree:<depth>``,
     ``overlap:<t>,<k>``, or ``thm2.3:<b1,b2,...>``.
+``serve [--port N | --stdio] [--instance NAME=SPEC ...] [--pool-dir DIR]``
+    Long-lived equilibrium query service (newline-delimited JSON over
+    TCP or stdio; see :mod:`repro.serve`). Serves distance /
+    social-cost / deviation-verdict / best-response / weighted-swap /
+    PoA queries over shared instances built from ``export``-style
+    specs (default: one ``fig1`` instance). Concurrent same-instance
+    requests coalesce for ``--batch-window-ms`` into one batched
+    multi-source sweep; every answer is bit-identical to the direct
+    library call. ``--pool-dir`` cold-starts instances by attaching
+    persisted distance matrices (zero rebuilds) when present.
 """
 
 from __future__ import annotations
@@ -170,6 +180,66 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES",
         help="byte budget to enforce (default: the store's default budget)",
     )
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve equilibrium queries over shared instances (NDJSON over "
+        "TCP or stdio; batched, bit-identical to direct library calls)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 picks an ephemeral port and prints it (default 0)",
+    )
+    serve_p.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve newline-delimited JSON over stdin/stdout instead of TCP",
+    )
+    serve_p.add_argument(
+        "--instance",
+        dest="instances",
+        action="append",
+        default=None,
+        metavar="NAME=SPEC",
+        help="serve this construction under NAME (export-style SPEC; "
+        "repeatable; a bare SPEC names itself; default: fig1)",
+    )
+    serve_p.add_argument(
+        "--pool-dir",
+        dest="pool_dir",
+        default=None,
+        metavar="DIR",
+        help="cold-start instances by attaching persisted distance matrices "
+        "from this on-disk pool store when present (zero rebuilds)",
+    )
+    serve_p.add_argument(
+        "--batch-window-ms",
+        dest="batch_window_ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="micro-batching window: concurrent same-instance requests "
+        "arriving within MS coalesce into one batched sweep (default 2.0)",
+    )
+    serve_p.add_argument(
+        "--max-batch",
+        dest="max_batch",
+        type=int,
+        default=64,
+        metavar="K",
+        help="cap on requests coalesced into one batch (default 64)",
+    )
+    serve_p.add_argument(
+        "--version",
+        choices=("sum", "max"),
+        default="sum",
+        help="default cost version for deviation/best-response queries "
+        "(per-request 'version' field overrides; default sum)",
+    )
     exp_p = sub.add_parser("export", help="build a construction and save it")
     exp_p.add_argument("spec", help="fig1 | spider:<k> | binary-tree:<d> | overlap:<t>,<k> | thm2.3:<b,...>")
     exp_p.add_argument("--json", dest="json_path", help="write the realization as JSON")
@@ -231,9 +301,19 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.command == "all":
         return max(_run_and_print(key) for key in REGISTRY)
     if args.command == "pool":
+        import os
+
         from .core.pool_store import PoolStore
         from .errors import PoolError
 
+        if not os.path.isdir(args.pool_dir):
+            # PoolStore would happily create the directory, turning a
+            # typo'd --dir into a "successful" gc of an empty store.
+            print(
+                f"!! pool gc failed: no store directory at {args.pool_dir!r}",
+                file=sys.stderr,
+            )
+            return 1
         try:
             store = (
                 PoolStore(args.pool_dir)
@@ -252,6 +332,10 @@ def main(argv: "list[str] | None" = None) -> int:
             f"evicted {stats['evicted']})"
         )
         return 0
+    if args.command == "serve":
+        from .serve import run_cli as serve_run_cli
+
+        return serve_run_cli(args)
     if args.command == "export":
         try:
             graph = build_construction(args.spec)

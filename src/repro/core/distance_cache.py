@@ -31,6 +31,7 @@ cost, never worse.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -187,6 +188,7 @@ class DistanceCache:
         self._seen_revision: "int | None" = None
         self._steps = _StepHistory(self._MAX_STEP_HISTORY)
         self._base_token = -1
+        self._lock = threading.RLock()
         self.evictions = 0
         self.env_hits = 0
         self.step_forwards = 0
@@ -367,6 +369,64 @@ class DistanceCache:
         from ..graphs.query import point_to_point
 
         return point_to_point(csr, u, v, inf=cinf(csr.n))
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """Reentrant lock serialising engine access across threads.
+
+        The cache's engines are single-threaded state machines; an
+        asyncio server hands them between the event loop and its
+        per-instance compute thread. :meth:`batch_query` takes this
+        lock itself; callers composing multi-call sequences (sync +
+        environment + evaluate) hold it around the whole sequence —
+        reentrancy makes nesting with :meth:`batch_query` safe.
+        """
+        return self._lock
+
+    def batch_query(self, pairs: "np.ndarray | list[tuple[int, int]]") -> np.ndarray:
+        """Distances for many ``(u, v)`` pairs in ``U(G)`` — one sweep.
+
+        The thread-safe batched entry the serve layer's micro-batching
+        dispatcher coalesces concurrent requests into: ``k >= 2`` pairs
+        materialise the union of needed rows with **one** batched
+        flat-frontier sweep on the base engine (cold full-mode caches
+        route through
+        :func:`~repro.graphs.query.batched_pair_distances`, same single
+        sweep without building an engine), while a singleton batch
+        falls back to :meth:`query`'s bidirectional point kernel.
+        Returns an ``int64`` array, each entry bit-identical to the
+        corresponding :meth:`query` call.
+        """
+        with self._lock:
+            p = np.asarray(pairs, dtype=np.int64)
+            if p.ndim != 2 or p.shape[1] != 2:
+                raise GraphError(
+                    f"pairs must be a (k, 2) array of (u, v) endpoints, "
+                    f"got shape {p.shape}"
+                )
+            n = self._graph.n
+            if p.size and (p.min() < 0 or p.max() >= n):
+                bad = int(p.min()) if p.min() < 0 else int(p.max())
+                raise VertexError(bad, n)
+            k = p.shape[0]
+            if k == 0:
+                return np.empty(0, dtype=np.int64)
+            if k == 1:
+                return np.asarray(
+                    [self.query(int(p[0, 0]), int(p[0, 1]))], dtype=np.int64
+                )
+            csr = self._sync()
+            if self._lazy_rows or (
+                self._base is not None and self._base_token == self._steps.token
+            ):
+                engine = self.base()
+                engine.ensure_rows(np.unique(p[:, 0]))
+                return np.asarray(
+                    [engine.query(int(u), int(v)) for u, v in p], dtype=np.int64
+                )
+            from ..graphs.query import batched_pair_distances
+
+            return batched_pair_distances(csr, p, inf=cinf(csr.n))
 
     def query_punctured(self, player: int, u: int, v: int) -> int:
         """Single ``dist(u, v)`` in the punctured ``U(G - player)``.
@@ -599,6 +659,7 @@ class WeightedDistanceCache:
         # history keeps the last few steps so engines that skipped a
         # profile (screened players) still catch up by replay.
         self._steps = _StepHistory(self._MAX_STEP_HISTORY)
+        self._lock = threading.RLock()
         self.evictions = 0
         self.step_forwards = 0
         if base_engine is not None:
@@ -781,6 +842,54 @@ class WeightedDistanceCache:
         from ..graphs.query import point_to_point
 
         return point_to_point(wcsr, u, v, inf=self._query_inf())
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """Reentrant lock serialising engine access across threads.
+
+        Same contract as :attr:`DistanceCache.lock` — the serve layer
+        holds it around every compute-thread touch of this cache.
+        """
+        return self._lock
+
+    def batch_query(self, pairs: "np.ndarray | list[tuple[int, int]]") -> np.ndarray:
+        """Weighted distances for many ``(u, v)`` pairs — one sweep.
+
+        The weighted sibling of :meth:`DistanceCache.batch_query`:
+        thread-safe, one batched sweep (Dial-bucket for true weights)
+        for ``k >= 2`` pairs, the bidirectional point kernel for a
+        singleton, every entry bit-identical to :meth:`query`.
+        """
+        with self._lock:
+            p = np.asarray(pairs, dtype=np.int64)
+            if p.ndim != 2 or p.shape[1] != 2:
+                raise GraphError(
+                    f"pairs must be a (k, 2) array of (u, v) endpoints, "
+                    f"got shape {p.shape}"
+                )
+            n = self._graph.n
+            if p.size and (p.min() < 0 or p.max() >= n):
+                bad = int(p.min()) if p.min() < 0 else int(p.max())
+                raise VertexError(bad, n)
+            k = p.shape[0]
+            if k == 0:
+                return np.empty(0, dtype=np.int64)
+            if k == 1:
+                return np.asarray(
+                    [self.query(int(p[0, 0]), int(p[0, 1]))], dtype=np.int64
+                )
+            wcsr = self._sync()
+            if self._lazy_rows or (
+                self._base is not None and self._base_token == self._steps.token
+            ):
+                engine = self.base()
+                engine.ensure_rows(np.unique(p[:, 0]))
+                return np.asarray(
+                    [engine.query(int(u), int(v)) for u, v in p], dtype=np.int64
+                )
+            from ..graphs.query import batched_pair_distances
+
+            return batched_pair_distances(wcsr, p, inf=self._query_inf())
 
     def query_punctured(self, player: int, u: int, v: int) -> int:
         """Single weighted ``dist(u, v)`` in the punctured ``U(G - player)``.

@@ -81,6 +81,8 @@ __all__ = [
     "exact_prices",
     "WeightedCensusReport",
     "weighted_census_scan",
+    "last_census_pool_stats",
+    "last_census_runtime_stats",
 ]
 
 #: Symmetry pruning packs the ownership adjacency into one 64-bit key
@@ -546,25 +548,48 @@ def _persist_checkpoint_matrix(
     state) lands in the store under the graph's content digest, so a
     fresh process resuming at this cursor re-attaches from disk instead
     of rebuilding the resume-rank matrix. Persistence is strictly
-    additive — any store failure is swallowed and the run proceeds as
-    if the tier did not exist.
+    additive — a store failure never fails the scan, but it is *not*
+    silent: the failure is counted in the store's
+    ``stats["store_errors"]`` and surfaced as a ``RuntimeWarning``
+    (matching :class:`~repro.core.matrix_pool.MatrixPool`'s write-
+    through contract), so a dead ``pool_dir`` doesn't quietly disable
+    checkpoint-matrix persistence.
     """
     if store_dir is None or engine is None:
         return
+    import warnings
+
     from ..errors import PoolError
     from .pool_store import census_graph_digest
 
+    digest = census_graph_digest(graph, weighted=weighted)
     try:
         store = _checkpoint_store(store_dir)
+    except (PoolError, OSError) as exc:
+        warnings.warn(
+            f"checkpoint matrix store {store_dir!r} is unusable: {exc!r}; "
+            f"resume will rebuild instead of attaching",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return
+    try:
         store.publish(
-            census_graph_digest(graph, weighted=weighted),
+            digest,
             {
                 "D": engine.matrix,
                 "inf": np.asarray([engine.inf], dtype=np.int64),
             },
         )
-    except (PoolError, OSError):
-        pass
+    except (PoolError, OSError) as exc:
+        store.stats["store_errors"] += 1
+        warnings.warn(
+            f"could not persist checkpoint matrix {digest!r} to "
+            f"{store_dir!r}: {exc!r}; resume will rebuild instead of "
+            f"attaching",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
 
 def _resume_handle(handle, cursor: int):
@@ -868,7 +893,10 @@ class CensusResult:
 #: matrices promoted from the mmap tier (zero builds) and
 #: ``parent_builds`` the matrices the parent actually had to compute.
 #: Kept out of the reports so pooled and unpooled results stay
-#: bit-identical.
+#: bit-identical. Every key is zeroed at scan entry
+#: (:func:`_reset_census_stats`), so an unpooled scan — or one that
+#: raises — reports zeros rather than the previous run's numbers; read
+#: through :func:`last_census_pool_stats` for a consistent snapshot.
 LAST_CENSUS_POOL_STATS: "dict[str, int]" = {
     "shards": 0,
     "warm_attached": 0,
@@ -893,9 +921,45 @@ def _export_pool_disk_stats(matrix_pool) -> None:
 #: retries, quarantines, shards resumed/skipped) plus coverage
 #: (``covered``/``total``/``missing``). A side-channel because
 #: :func:`weighted_census_scan` returns a fixed 2-tuple whose shape the
-#: incompleteness manifest must not change; cleared and rewritten per
-#: runtime scan.
+#: incompleteness manifest must not change; cleared at every scan entry
+#: and rewritten per runtime scan (so a non-checkpointed scan reads as
+#: ``{}``, never as the previous run's supervision numbers).
 LAST_CENSUS_RUNTIME_STATS: "dict[str, object]" = {}
+
+
+def _reset_census_stats() -> None:
+    """Zero both observability side-channels at scan entry.
+
+    ``shards``/``warm_attached`` used to be rewritten only on the
+    pooled path and nothing reset either dict when a scan ran unpooled
+    or raised — a later reader (the serve layer's ``stats`` op, a
+    benchmark) saw the *previous* run's numbers. Resetting up front
+    makes every scan's side-channel self-describing: zeros / empty
+    until this run publishes its own counters.
+    """
+    for key in LAST_CENSUS_POOL_STATS:
+        LAST_CENSUS_POOL_STATS[key] = 0
+    LAST_CENSUS_RUNTIME_STATS.clear()
+
+
+def last_census_pool_stats() -> "dict[str, int]":
+    """Per-run snapshot of the pool side-channel (always all keys).
+
+    A copy — safe to hold across a later scan — with zeros when the
+    last scan was unpooled (or raised before sharding). This is the
+    accessor the serve layer reads; prefer it to poking
+    :data:`LAST_CENSUS_POOL_STATS` directly.
+    """
+    return dict(LAST_CENSUS_POOL_STATS)
+
+
+def last_census_runtime_stats() -> "dict[str, object]":
+    """Per-run snapshot of the runtime side-channel.
+
+    A copy; empty when the last scan did not run through the
+    checkpointed work-stealing runtime (or raised before reaching it).
+    """
+    return dict(LAST_CENSUS_RUNTIME_STATS)
 
 
 def _warm_start_shards(
@@ -1257,9 +1321,14 @@ def _run_census_shards(
             missing.append((outcome.shard_id, outcome.last_record.next_rank, hi))
         else:
             missing.append((outcome.shard_id, lo, hi))
-    LAST_CENSUS_POOL_STATS["shards"] = len(shards)
-    LAST_CENSUS_POOL_STATS["warm_attached"] = sum(p.pop("warm", 0) for p in parts)
-    _export_pool_disk_stats(matrix_pool)
+    # Pop "warm" unconditionally so parts stay merge-clean, but only record
+    # pool stats for runs that actually attached a pool: unpooled scans must
+    # leave the reset zeros in place (stale-stats regression).
+    warm = sum(p.pop("warm", 0) for p in parts)
+    if matrix_pool is not None:
+        LAST_CENSUS_POOL_STATS["shards"] = len(shards)
+        LAST_CENSUS_POOL_STATS["warm_attached"] = warm
+        _export_pool_disk_stats(matrix_pool)
     covered = sum(p["count"] for p in parts)
     stats: "dict[str, object]" = dict(rt.stats)
     stats["shards"] = len(shards)
@@ -1318,6 +1387,7 @@ def census_scan(
     """
     from ..parallel.executor import contiguous_shards, parallel_map
 
+    _reset_census_stats()
     version = Version.coerce(version)
     _check_cap(game, max_profiles)
     if workers < 1:
@@ -1432,9 +1502,13 @@ def census_scan(
     finally:
         if matrix_pool is not None:
             matrix_pool.close()
-    LAST_CENSUS_POOL_STATS["shards"] = len(shards)
-    LAST_CENSUS_POOL_STATS["warm_attached"] = sum(p.pop("warm", 0) for p in parts)
-    _export_pool_disk_stats(matrix_pool)
+    # Pop "warm" unconditionally (shards always report it) but only record
+    # pool stats when a pool was attached, so unpooled scans report zeros.
+    warm = sum(p.pop("warm", 0) for p in parts)
+    if matrix_pool is not None:
+        LAST_CENSUS_POOL_STATS["shards"] = len(shards)
+        LAST_CENSUS_POOL_STATS["warm_attached"] = warm
+        _export_pool_disk_stats(matrix_pool)
     report, equilibria = _merge_unit_parts(
         parts, version=version, total=total, collect=collect_equilibria
     )
@@ -1791,6 +1865,7 @@ def weighted_census_scan(
     """
     from ..analysis.weighted import WeightedRealization, is_weighted_weak_equilibrium
 
+    _reset_census_stats()
     _check_cap(game, max_profiles)
     w = np.asarray(weights, dtype=np.int64)
     if w.shape != (game.n,):
@@ -1909,11 +1984,12 @@ def weighted_census_scan(
         finally:
             if matrix_pool is not None:
                 matrix_pool.close()
-        LAST_CENSUS_POOL_STATS["shards"] = len(shards)
-        LAST_CENSUS_POOL_STATS["warm_attached"] = sum(
-            p.pop("warm", 0) for p in parts
-        )
-        _export_pool_disk_stats(matrix_pool)
+        # Same gating as the unit path: unpooled scans keep the reset zeros.
+        warm = sum(p.pop("warm", 0) for p in parts)
+        if matrix_pool is not None:
+            LAST_CENSUS_POOL_STATS["shards"] = len(shards)
+            LAST_CENSUS_POOL_STATS["warm_attached"] = warm
+            _export_pool_disk_stats(matrix_pool)
         return _merge_weighted_parts(
             parts, weights_t=weights_t, total=total, collect=collect_equilibria
         )

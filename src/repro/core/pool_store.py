@@ -311,6 +311,7 @@ class PoolStore:
             "misses": 0,
             "evictions": 0,
             "corrupt": 0,
+            "store_errors": 0,
         }
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from .digraph import OwnedDigraph
 from .engine import DistanceEngine, LazyRowGather
 from .query import (
     QueryStats,
+    batched_pair_distances,
     multi_source_distances,
     point_to_point,
     single_source_distances,
@@ -125,6 +126,7 @@ __all__ = [
     "multi_source_distances",
     "num_components",
     "pairwise_distance",
+    "batched_pair_distances",
     "point_to_point",
     "single_source_distances",
     "path_realization",

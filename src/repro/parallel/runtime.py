@@ -238,6 +238,30 @@ def _worker_main(
         pass
 
 
+def _drain_pending_events(event_q, handle_event) -> int:
+    """Apply every event still queued; returns how many were applied.
+
+    The shutdown half of the scheduler's drain: workers that finished a
+    shard during teardown (they beat the sentinel, or raced the
+    deadline) have already put their final ``done``/``error`` event on
+    the queue, and closing it without this pass silently drops them —
+    a completed shard would read as incomplete and a worker error would
+    go uncounted. Runs strictly after the workers are joined, so
+    everything a worker ever sent is either applied here or was applied
+    by the main loop; ``Empty`` means genuinely empty, not in-flight.
+    """
+    drained = 0
+    while True:
+        try:
+            msg = event_q.get_nowait()
+        except Empty:
+            return drained
+        except (EOFError, OSError):  # pragma: no cover - torn queue write
+            return drained
+        handle_event(msg)
+        drained += 1
+
+
 # Shard lifecycle states.
 _PENDING, _RUNNING, _DONE, _QUARANTINED = "pending", "running", "done", "quarantined"
 
@@ -330,6 +354,10 @@ def run_shards(
     ``timeout`` bounds the whole run (wall clock); on expiry remaining
     workers are killed and a :class:`~repro.errors.CheckpointError` is
     raised — the journals remain valid for a later ``resume=True``.
+    Final events already in flight at shutdown are drained before the
+    event queue closes, so a shard whose ``done`` merely raced the
+    deadline still counts (the run then returns normally) and worker
+    errors emitted during teardown are never silently dropped.
     """
     import multiprocessing as mp
 
@@ -475,15 +503,16 @@ def run_shards(
             if s.status == _RUNNING:
                 reclaim(s, f"worker error: {body.strip().splitlines()[-1]}")
 
+    timed_out = False
     try:
         target_workers = max(1, min(workers, len(shards)))
         while incomplete_count() > 0:
             if deadline is not None and time.monotonic() > deadline:
-                raise CheckpointError(
-                    f"runtime exceeded its {timeout:.1f}s budget with "
-                    f"{incomplete_count()} shard(s) incomplete; journals are "
-                    f"intact — rerun with resume=True"
-                )
+                # Don't raise yet: the shutdown drain below may apply a
+                # final "done" that was already in flight, in which case
+                # the run actually completed and the report is valid.
+                timed_out = True
+                break
             while len(live) < min(target_workers, incomplete_count()):
                 spawn_worker()
             # Dispatch: idle workers steal the next runnable shard.
@@ -540,8 +569,20 @@ def run_shards(
                 info["proc"].kill()
                 info["proc"].join(timeout=5.0)
             info["q"].close()
+        # Workers are joined (or killed): whatever they managed to send
+        # is fully flushed into the queue. Apply it before closing —
+        # a "done"/"error" event racing the scheduler's exit used to be
+        # silently lost here (undercounted worker_errors; a shard that
+        # completed during teardown read as incomplete).
+        _drain_pending_events(event_q, handle_event)
         event_q.close()
         event_q.join_thread()
+    if timed_out and incomplete_count() > 0:
+        raise CheckpointError(
+            f"runtime exceeded its {timeout:.1f}s budget with "
+            f"{incomplete_count()} shard(s) incomplete; journals are "
+            f"intact — rerun with resume=True"
+        )
 
     outcomes = tuple(
         ShardOutcome(

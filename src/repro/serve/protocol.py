@@ -1,0 +1,125 @@
+"""NDJSON wire protocol: request parsing and response encoding.
+
+One JSON object per line in both directions (see the package
+docstring for the full contract).  Parsing is strict — unknown
+operations, non-object payloads, and malformed JSON all map to typed
+:class:`ProtocolError` codes so clients can distinguish their own
+mistakes from server-side query failures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from ..errors import ReproError
+
+__all__ = [
+    "CONTROL_OPS",
+    "PROTOCOL_VERSION",
+    "QUERY_OPS",
+    "ProtocolError",
+    "Request",
+    "encode_response",
+    "error_response",
+    "fraction_str",
+    "ok_response",
+    "parse_request",
+]
+
+PROTOCOL_VERSION = 1
+
+CONTROL_OPS = frozenset({"ping", "instances", "stats", "shutdown"})
+QUERY_OPS = frozenset(
+    {
+        "distance",
+        "social_cost",
+        "deviation",
+        "best_response",
+        "weighted_swap",
+        "poa",
+    }
+)
+_RESERVED_KEYS = frozenset({"id", "op", "instance", "version"})
+
+
+class ProtocolError(ReproError):
+    """A request the server could parse enough to reject, with a stable code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request line."""
+
+    id: object
+    op: str
+    instance: "str | None"
+    version: "str | None"
+    params: dict = field(default_factory=dict)
+
+
+def parse_request(line: "str | bytes") -> Request:
+    """Parse one NDJSON request line; raises :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad-json", f"request is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            "bad-request", f"request must be a JSON object, got {type(obj).__name__}"
+        )
+    op = obj.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request", "request is missing a string 'op' field")
+    if op not in CONTROL_OPS and op not in QUERY_OPS:
+        known = ", ".join(sorted(CONTROL_OPS | QUERY_OPS))
+        raise ProtocolError("unknown-op", f"unknown op {op!r}; known ops: {known}")
+    instance = obj.get("instance")
+    if instance is not None and not isinstance(instance, str):
+        raise ProtocolError("bad-request", "'instance' must be a string when present")
+    version = obj.get("version")
+    if version is not None and not isinstance(version, str):
+        raise ProtocolError("bad-request", "'version' must be a string when present")
+    params = {k: v for k, v in obj.items() if k not in _RESERVED_KEYS}
+    return Request(
+        id=obj.get("id"), op=op, instance=instance, version=version, params=params
+    )
+
+
+def ok_response(request_id: object, result: dict, meta: "dict | None" = None) -> dict:
+    """A success envelope; ``meta`` carries per-request observability."""
+    resp: dict = {"id": request_id, "ok": True, "result": result}
+    if meta is not None:
+        resp["meta"] = meta
+    return resp
+
+
+def error_response(request_id: object, code: str, message: str) -> dict:
+    """A failure envelope with a stable machine-readable ``code``."""
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+
+
+def fraction_str(value: Fraction) -> str:
+    """Encode an exact fraction as ``"p/q"`` (never a lossy float)."""
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _json_default(obj):
+    # numpy scalars leak out of engine answers; fractions out of PoA math.
+    if isinstance(obj, Fraction):
+        return fraction_str(obj)
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def encode_response(response: dict) -> bytes:
+    """Serialize one response envelope to a single NDJSON line."""
+    return (json.dumps(response, default=_json_default) + "\n").encode("utf-8")

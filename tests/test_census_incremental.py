@@ -436,3 +436,54 @@ def test_promoted_unit_n6_knob_invariance(version):
             game, version, symmetry=True, max_profiles=20_000, **kwargs
         )
         assert got == reference, kwargs
+
+
+# ----------------------------------------------------------------------
+# Stale census stats (regression): counters must describe the LAST run
+# ----------------------------------------------------------------------
+def test_unpooled_scan_reports_zero_pool_stats():
+    # Regression: an unpooled scan after a pooled one used to keep (or
+    # partially overwrite) the pooled run's counters, so dashboards and
+    # the serve layer reported phantom warm attaches.
+    from repro.core import last_census_pool_stats, last_census_runtime_stats
+
+    game = BoundedBudgetGame([1] * 5)
+    census_scan(game, "sum", workers=4, pool=True)
+    pooled = last_census_pool_stats()
+    assert pooled["shards"] == 4 and pooled["warm_attached"] == 4
+    census_scan(game, "sum", workers=1, pool=False)
+    assert all(v == 0 for v in last_census_pool_stats().values())
+    assert last_census_runtime_stats() == {}
+
+
+def test_weighted_unpooled_scan_reports_zero_pool_stats():
+    from repro.core import last_census_pool_stats, weighted_census_scan
+    from repro.experiments.exact_census import WEIGHTED_INSTANCES
+
+    _, budgets, w = WEIGHTED_INSTANCES[0]
+    census_scan(BoundedBudgetGame([1] * 5), "sum", workers=4, pool=True)
+    assert last_census_pool_stats()["shards"] == 4
+    weighted_census_scan(BoundedBudgetGame(list(budgets)), w, workers=1, pool=False)
+    assert all(v == 0 for v in last_census_pool_stats().values())
+
+
+def test_raising_scan_does_not_leak_prior_stats():
+    from repro.core import last_census_pool_stats
+
+    game = BoundedBudgetGame([1] * 5)
+    census_scan(game, "sum", workers=4, pool=True)
+    assert last_census_pool_stats()["warm_attached"] == 4
+    with pytest.raises(GameError):
+        census_scan(game, "no-such-version", workers=1)
+    # The failed scan reset the side-channel at entry: nothing stale.
+    assert all(v == 0 for v in last_census_pool_stats().values())
+
+
+def test_census_stats_accessors_return_copies():
+    from repro.core import last_census_pool_stats
+    from repro.core.enumeration import LAST_CENSUS_POOL_STATS
+
+    snap = last_census_pool_stats()
+    assert snap is not LAST_CENSUS_POOL_STATS
+    snap["shards"] = snap["shards"] + 777
+    assert last_census_pool_stats()["shards"] != snap["shards"]

@@ -225,3 +225,42 @@ def test_cli_run_without_extended_does_not_warn(capsys, recwarn):
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
         assert main(["run", "FIG-2"]) == 0
+
+
+def test_cli_resume_without_checkpoint_dir_exits_2(capsys):
+    from repro.cli import main
+
+    assert main(["run", "FIG-2", "--resume"]) == 2
+    err = capsys.readouterr().err
+    assert "--resume requires --checkpoint-dir" in err
+
+
+def test_cli_pool_gc_missing_dir_exits_1(tmp_path, capsys):
+    from repro.cli import main
+
+    missing = str(tmp_path / "no-such-store")
+    assert main(["pool", "gc", "--dir", missing]) == 1
+    assert "!! pool gc failed" in capsys.readouterr().err
+    # The failed gc must not have conjured the directory into existence.
+    assert not (tmp_path / "no-such-store").exists()
+
+
+def test_cli_pool_gc_non_store_path_exits_1(tmp_path, capsys):
+    from repro.cli import main
+
+    plain = tmp_path / "plainfile"
+    plain.write_text("not a store")
+    assert main(["pool", "gc", "--dir", str(plain)]) == 1
+    assert "!! pool gc failed" in capsys.readouterr().err
+
+
+def test_cli_batch_run_keeps_going_after_middle_failure(capsys):
+    # `run a b c` with a failing middle id: the batch finishes (both
+    # healthy experiments print reports) and the exit code is 1.
+    from repro.cli import main
+
+    assert main(["run", "FIG-2", "NOPE", "FIG-3"]) == 1
+    captured = capsys.readouterr()
+    assert "FIG-2" in captured.out
+    assert "FIG-3" in captured.out
+    assert "!! NOPE failed" in captured.err

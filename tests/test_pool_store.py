@@ -272,6 +272,7 @@ def test_matrices_survive_hard_killed_publisher(tmp_path):
         "misses": 0,
         "evictions": 0,
         "corrupt": 0,
+        "store_errors": 0,
     }
 
 
@@ -478,3 +479,51 @@ def test_cli_run_pool_dir_attaches_on_rerun(tmp_path, capsys):
     # The second run's final scan warm-started entirely from disk.
     assert en.LAST_CENSUS_POOL_STATS["disk_attached"] > 0
     assert en.LAST_CENSUS_POOL_STATS["parent_builds"] == 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-matrix persistence failures must warn, not vanish
+# ----------------------------------------------------------------------
+def test_persist_checkpoint_matrix_failure_warns_and_counts(tmp_path, monkeypatch):
+    # Regression: a failing publish was swallowed with a bare `pass`,
+    # silently disabling disk warm-starts for every later resume.
+    import pytest as _pytest
+
+    from repro.core import enumeration as en
+    from repro.errors import PoolError
+    from repro.graphs import DistanceEngine
+    from repro.graphs.digraph import OwnedDigraph
+
+    g = OwnedDigraph.from_strategies([[1], [2], [0]])
+    engine = DistanceEngine(g.undirected_csr())
+    store_dir = str(tmp_path / "store")
+    store = PoolStore(store_dir)
+
+    def boom(digest, arrays):
+        raise PoolError("disk on fire")
+
+    monkeypatch.setattr(store, "publish", boom)
+    monkeypatch.setitem(en._WORKER_STORES, store_dir, store)
+    before = store.stats["store_errors"]
+    with _pytest.warns(RuntimeWarning, match="could not persist checkpoint matrix"):
+        en._persist_checkpoint_matrix(store_dir, g, engine, weighted=False)
+    assert store.stats["store_errors"] == before + 1
+
+
+def test_persist_checkpoint_matrix_unusable_store_warns(tmp_path, monkeypatch):
+    import pytest as _pytest
+
+    from repro.core import enumeration as en
+    from repro.errors import PoolError
+    from repro.graphs import DistanceEngine
+    from repro.graphs.digraph import OwnedDigraph
+
+    g = OwnedDigraph.from_strategies([[1], [2], [0]])
+    engine = DistanceEngine(g.undirected_csr())
+
+    def unusable(store_dir):
+        raise PoolError("store directory is not writable")
+
+    monkeypatch.setattr(en, "_checkpoint_store", unusable)
+    with _pytest.warns(RuntimeWarning, match="is unusable"):
+        en._persist_checkpoint_matrix(str(tmp_path / "s"), g, engine, weighted=False)

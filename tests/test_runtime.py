@@ -488,3 +488,60 @@ def test_census_scan_start_sweeps_leaked_segments(tmp_path):
             os.unlink(leaked)
         except FileNotFoundError:
             pass
+
+
+# ----------------------------------------------------------------------
+# Shutdown event drain (regression): events queued at teardown apply
+# ----------------------------------------------------------------------
+def _slow_finish_shard(payload, ctx=None):
+    """Heartbeats, then deliberately outlives the runtime deadline."""
+    lo, hi, _ = payload
+    if ctx is not None:
+        ctx.tick(lo)
+    time.sleep(0.6)
+    total = sum(r * r for r in range(lo, hi))
+    if ctx is not None:
+        ctx.checkpoint(
+            lo=lo, hi=hi, next_rank=hi, counters={"total": total}, done=True
+        )
+    return {"lo": lo, "total": total}
+
+
+def test_drain_pending_events_applies_backlog():
+    from queue import Empty
+
+    from repro.parallel.runtime import _drain_pending_events
+
+    class _FakeQueue:
+        def __init__(self, items):
+            self.items = list(items)
+
+        def get_nowait(self):
+            if not self.items:
+                raise Empty
+            return self.items.pop(0)
+
+    seen = []
+    q = _FakeQueue([("hb", 0, 0, None), ("done", 0, 1, {"total": 1})])
+    assert _drain_pending_events(q, seen.append) == 2
+    assert seen == [("hb", 0, 0, None), ("done", 0, 1, {"total": 1})]
+    assert _drain_pending_events(q, seen.append) == 0
+
+
+def test_shutdown_drain_applies_late_done(tmp_path):
+    # Regression: a "done" event emitted while the scheduler was tearing
+    # down (here: forced by a deadline shorter than the shard) was
+    # silently dropped — the run raised timeout despite the shard having
+    # completed and journaled. The shutdown drain must apply it and
+    # return a complete report instead.
+    report = _run(
+        tmp_path,
+        payloads=[(0, 50, 0)],
+        shard_fn=_slow_finish_shard,
+        workers=1,
+        timeout=0.25,
+    )
+    assert report.results() == [
+        {"lo": 0, "total": sum(r * r for r in range(0, 50))}
+    ]
+    assert report.incomplete() == []
