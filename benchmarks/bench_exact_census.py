@@ -1,6 +1,6 @@
 """Incremental exact census vs rebuild-per-profile brute force.
 
-Five claims, each asserted (not just timed):
+Seven claims, each asserted (not just timed):
 
 * the Gray-order incremental kernel with symmetry pruning beats the
   brute-force census on the unit n=5 instance by >= 5x, with a
@@ -14,6 +14,15 @@ Five claims, each asserted (not just timed):
   vectorised block advance), with its exact counts pinned (they were
   cross-validated once against the unpruned sharded walk, which takes
   ~10 minutes);
+* unit n=8 — 5764801 profiles, group order 40320 — completes in well
+  under two minutes on the stabilizer-chain canonical walk (128-bit
+  orbit keys), and a Gray-rank window of the pruned run's collected
+  equilibria matches an unpruned shard walked over the same window
+  exactly (the cross-validation is a subrange because the full
+  unpruned space measures ~70 minutes);
+* the Monte Carlo sampled census covers the known exact equilibrium
+  counts at n=6 and n=7 within its stated confidence intervals, in a
+  small fraction of the exhaustive walk's time;
 * a tree-like fold/dynamics workload repairs the unit engine with
   **zero full rebuilds and zero whole-row recomputes** — every
   deletion resolves in the pendant or affected-region tier.
@@ -33,7 +42,13 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.core import BoundedBudgetGame, census_scan, exact_prices
+from repro.core import (
+    BoundedBudgetGame,
+    census_scan,
+    exact_prices,
+    sampled_census_scan,
+)
+from repro.core.enumeration import _census_shard, _gray_rank, _profile_tables
 from repro.graphs import DistanceEngine, OwnedDigraph
 
 #: Wall-clock comparisons are meaningful on a quiet machine; on shared
@@ -180,6 +195,156 @@ def test_unit_n7_census_single_digit_seconds(benchmark):
     assert not _STRICT_TIMING or elapsed < 10.0, (
         f"unit n=7 sum+max census took {elapsed:.1f} s; the canonical-rep "
         f"walk should land it in single-digit seconds"
+    )
+
+
+#: The n=8 census (~20 s for sum+max on one core) runs by default on a
+#: developer machine but is opt-in under CI: the ``census-n8`` lane
+#: (workflow_dispatch / nightly) sets ``RUN_N8=1``; the push/PR smoke
+#: lanes skip it to stay fast.
+_RUN_N8 = os.environ.get("RUN_N8") == "1" or not os.environ.get("CI")
+
+
+@pytest.mark.skipif(
+    not _RUN_N8, reason="n=8 census is opt-in under CI (set RUN_N8=1)"
+)
+@pytest.mark.paper_artifact("exact census / unit n=8 unlocked")
+def test_unit_n8_census_cross_validated(benchmark):
+    """Unit n=8: 5764801 profiles under the S8 budget symmetry group
+    (order 40320). The stabilizer-chain canonical walk with two-word
+    128-bit orbit keys lands sum+max well under the 'minutes' bar; the
+    counts are pinned and cross-validated in-test: every collected
+    equilibrium of the pruned run that unranks into a 20000-rank Gray
+    window must be found — and nothing else — by an unpruned shard
+    walked over exactly that window (the full unpruned space measures
+    ~70 minutes, hence the subrange)."""
+    game = BoundedBudgetGame([1] * 8)
+    budgets = tuple(int(b) for b in game.budgets)
+
+    def run():
+        return {
+            v: census_scan(
+                game,
+                v,
+                symmetry=True,
+                max_profiles=6_000_000,
+                collect_equilibria=(v == "max"),
+            )
+            for v in ("sum", "max")
+        }
+
+    t0 = time.perf_counter()
+    results = run()
+    elapsed = time.perf_counter() - t0
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    reports = {v: r.report for v, r in results.items()}
+    assert reports["sum"].num_profiles == reports["max"].num_profiles == 7**8
+    assert reports["sum"].num_equilibria == 336
+    assert reports["sum"].poa == Fraction(1)
+    assert reports["max"].num_equilibria == 65632
+    assert reports["max"].opt_diameter == 2
+    assert reports["max"].worst_equilibrium_diameter == 3
+    assert reports["max"].poa == Fraction(3, 2)
+
+    # Cross-validation: unrank every collected max-equilibrium into its
+    # Gray rank, centre a window on the median so it is guaranteed
+    # non-empty, and replay that window with symmetry pruning OFF.
+    combos, _, rests = _profile_tables(game)
+    index = [{c: i for i, c in enumerate(cu)} for cu in combos]
+    eq_ranks = sorted(
+        _gray_rank([index[u][p[u]] for u in range(8)], rests)
+        for p in results["max"].equilibria
+    )
+    assert len(eq_ranks) == 65632
+    window = 20_000
+    mid = eq_ranks[len(eq_ranks) // 2]
+    lo = max(0, min(mid - window // 2, 7**8 - window))
+    hi = lo + window
+    in_window = sum(1 for r in eq_ranks if lo <= r < hi)
+    assert in_window > 0
+    t0 = time.perf_counter()
+    part = _census_shard(
+        (budgets, "max", lo, hi, False, False, 6_000_000, None, None)
+    )
+    unpruned_s = time.perf_counter() - t0
+    assert part["count"] == window
+    assert part["eq_count"] == in_window
+    assert part["opt"] >= reports["max"].opt_diameter
+
+    _record(
+        "unit_n8",
+        {
+            "profiles": 7**8,
+            "group_order": 40320,
+            "equilibria": {"sum": 336, "max": 65632},
+            "incremental_symmetry_s": round(elapsed, 4),
+            "bruteforce_s": None,  # unpruned full space measures ~70 min
+            "crossval_window": [lo, hi],
+            "crossval_window_eq": int(part["eq_count"]),
+            "crossval_unpruned_s": round(unpruned_s, 4),
+        },
+    )
+    assert not _STRICT_TIMING or elapsed < 120.0, (
+        f"unit n=8 sum+max census took {elapsed:.1f} s; the stabilizer-"
+        f"chain walk should land it well under two minutes"
+    )
+
+
+@pytest.mark.paper_artifact("sampled census / CI coverage at arbitrated sizes")
+def test_sampled_census_covers_exact_counts(benchmark):
+    """Monte Carlo sampled census at the sizes where the exhaustive
+    census can arbitrate: the Wilson interval on the equilibrium count
+    must cover the known exact values (n=6: 120 sum / 480 max; n=7:
+    210 sum / 10212 max) while evaluating only a few hundred of the
+    15625 / 279936 profiles. Estimates are seed-deterministic, so the
+    coverage asserts are stable regressions, not flaky statistics."""
+    cases = [
+        # (n, version, samples, exact equilibria)
+        (6, "sum", 400, 120),
+        (6, "max", 400, 480),
+        (7, "sum", 500, 210),
+        (7, "max", 500, 10212),
+    ]
+
+    def run():
+        out = {}
+        for n, version, samples, _ in cases:
+            game = BoundedBudgetGame([1] * n)
+            out[(n, version)] = sampled_census_scan(
+                game, version, samples=samples, seed=11, method="stratified"
+            )
+        return out
+
+    t0 = time.perf_counter()
+    reports = run()
+    elapsed = time.perf_counter() - t0
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    payload = {"elapsed_s": round(elapsed, 4), "seed": 11, "cases": {}}
+    for n, version, samples, exact in cases:
+        rep = reports[(n, version)]
+        lo, hi = rep.eq_count_ci
+        assert rep.samples_evaluated == samples
+        assert lo <= exact <= hi, (
+            f"unit n={n} {version}: sampled CI [{lo:.0f}, {hi:.0f}] "
+            f"misses the exact count {exact}"
+        )
+        payload["cases"][f"unit_n{n}_{version}"] = {
+            "samples": samples,
+            "total_profiles": rep.total_profiles,
+            "exact_equilibria": exact,
+            "eq_count_estimate": round(rep.eq_count_estimate, 1),
+            "eq_count_ci": [round(lo, 1), round(hi, 1)],
+            "poa_estimate": (
+                str(rep.poa_estimate) if rep.poa_estimate is not None else None
+            ),
+        }
+    _record("sampled_census", payload)
+    # 1800 evaluated profiles across four instances: the sampled scan
+    # must stay far below the exhaustive walks it stands in for.
+    assert not _STRICT_TIMING or elapsed < 30.0, (
+        f"sampled census sweep took {elapsed:.1f} s for 1800 samples"
     )
 
 

@@ -19,7 +19,10 @@ Subcommands
     fault-tolerant work-stealing runtime and ``--resume`` continues an
     interrupted run from those journals; ``--pool-dir DIR`` persists
     warm-start matrices to an on-disk mmap store so reruns — even in
-    fresh processes — attach instead of rebuilding.
+    fresh processes — attach instead of rebuilding; ``--sample N``
+    (with ``--seed S`` and ``--confidence C``) appends a Monte Carlo
+    sampled census per census instance — equilibrium-count and PoA
+    estimates with Wilson / bootstrap confidence intervals.
     Flags are forwarded only to experiments whose signature takes them.
 ``all``
     Regenerate everything (the full paper reproduction).
@@ -158,6 +161,32 @@ def build_parser() -> argparse.ArgumentParser:
         "store under DIR; reruns (even fresh processes) attach from "
         "disk instead of rebuilding (bit-identical results)",
     )
+    run_p.add_argument(
+        "--sample",
+        dest="samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="census: append a Monte Carlo sampled census of N profiles "
+        "per instance/version (stratified rank draws; equilibrium-count "
+        "and PoA estimates with confidence intervals)",
+    )
+    run_p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="seed of the --sample rank draws and bootstrap resamples "
+        "(default 0; same seed => bit-identical estimates at any "
+        "worker count)",
+    )
+    run_p.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        metavar="C",
+        help="confidence level of the --sample intervals (default 0.95)",
+    )
     sub.add_parser("all", help="run every experiment")
     pool_p = sub.add_parser("pool", help="maintain an on-disk matrix pool store")
     pool_sub = pool_p.add_subparsers(dest="pool_command", required=True)
@@ -295,6 +324,9 @@ def main(argv: "list[str] | None" = None) -> int:
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
                 pool_dir=args.pool_dir,
+                samples=args.samples,
+                seed=args.seed,
+                confidence=args.confidence,
             )
             for i in args.ids
         )

@@ -119,6 +119,13 @@ class ShardCheckpoint:
     collecting); ``orbit_vals`` the symmetry walk's probe-key vector at
     rank ``next_rank - 1`` (``None`` for unpruned/weighted walks). The
     record is self-describing — decoding never needs the game.
+
+    ``orbit_key_format`` versions the ``orbit_vals`` encoding: format
+    ``1`` is the historical one-``uint64``-per-probe row-major packing,
+    format ``2`` (written by this code) interleaves the two 64-bit
+    words of each 128-bit key as ``(hi, lo)`` pairs. Journals written
+    before the field existed decode as format ``1``; the resuming walk
+    migrates them when ``n^2 <= 64`` and fails loudly otherwise.
     """
 
     shard_id: int
@@ -130,6 +137,7 @@ class ShardCheckpoint:
     counters: "Mapping[str, int | None]" = field(default_factory=dict)
     eq_profiles: "tuple[_ProfileKey, ...] | None" = None
     orbit_vals: "tuple[int, ...] | None" = None
+    orbit_key_format: int = 2
 
     def __post_init__(self) -> None:
         if not self.lo <= self.next_rank <= self.hi:
@@ -154,6 +162,7 @@ def encode_record(record: ShardCheckpoint) -> bytes:
             "orbit_vals": None
             if record.orbit_vals is None
             else [int(v) for v in record.orbit_vals],
+            "orbit_key_format": int(record.orbit_key_format),
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -211,6 +220,9 @@ def _decode_at(data: bytes, offset: int) -> "tuple[ShardCheckpoint | None, int]"
             orbit_vals=None
             if obj["orbit_vals"] is None
             else tuple(int(v) for v in obj["orbit_vals"]),
+            # Journals written before the format field existed carry
+            # v1 (64-bit row-major) orbit keys.
+            orbit_key_format=int(obj.get("orbit_key_format", 1)),
         )
     except (ValueError, KeyError, TypeError, CheckpointError):
         return None, offset
@@ -311,11 +323,16 @@ class RunManifest:
     """Atomic, run-level description of one checkpointed scan.
 
     Pins everything a resume must agree on: the census ``kind``
-    (``"census"`` / ``"weighted_census"``), the game, the cost version
-    or weight vector, the total rank space, and the exact shard
-    decomposition. :func:`read_manifest` + an equality check against
-    the caller's expectation is the whole resume handshake — journals
-    are only trusted once the manifest matches.
+    (``"census"`` / ``"weighted_census"`` / ``"sampled_census"``), the
+    game, the cost version or weight vector, the total rank space, and
+    the exact shard decomposition. :func:`read_manifest` + an equality
+    check against the caller's expectation is the whole resume
+    handshake — journals are only trusted once the manifest matches.
+
+    ``seed`` and ``sample_method`` pin a sampled census's draw (the
+    shards re-derive the sampled rank list deterministically from
+    them); both stay ``None`` for exact scans, and manifests written
+    before the fields existed read back as ``None``.
     """
 
     kind: str
@@ -326,6 +343,8 @@ class RunManifest:
     weights: "tuple[int, ...] | None" = None
     symmetry: bool = False
     collect: bool = False
+    seed: "int | None" = None
+    sample_method: "str | None" = None
 
 
 def write_manifest(directory: "str | os.PathLike", manifest: RunManifest) -> Path:
@@ -345,6 +364,8 @@ def write_manifest(directory: "str | os.PathLike", manifest: RunManifest) -> Pat
             else list(manifest.weights),
             "symmetry": manifest.symmetry,
             "collect": manifest.collect,
+            "seed": manifest.seed,
+            "sample_method": manifest.sample_method,
         },
         sort_keys=True,
         indent=2,
@@ -369,6 +390,10 @@ def read_manifest(directory: "str | os.PathLike") -> RunManifest:
             else tuple(int(w) for w in obj["weights"]),
             symmetry=bool(obj["symmetry"]),
             collect=bool(obj["collect"]),
+            seed=None if obj.get("seed") is None else int(obj["seed"]),
+            sample_method=None
+            if obj.get("sample_method") is None
+            else str(obj["sample_method"]),
         )
     except FileNotFoundError:
         raise CheckpointError(

@@ -45,8 +45,29 @@ through :func:`~repro.parallel.executor.parallel_map`; each worker owns
 its own mutable graph and engine pool, and the merge of shard partials
 is order-independent, so reports are identical for any worker count.
 
-Everything is still guarded by profile caps; the sampling/dynamics
-pipeline covers larger sizes.
+**Key format**: with symmetry pruning each relabeled profile is packed
+into a **two-word (128-bit) key** — cell ``(a, b)`` occupies the bit
+position :func:`~repro.core.isomorphism.chain_cell_positions` assigns
+it, word ``position >> 6``, bit ``position & 63`` — so ``n^2 <= 128``
+(``n <= 11``) works. The cell order is chain-aligned: cells the
+stabilizer-chain descent reveals first are most significant, so the
+incremental probe stage and the exact
+:class:`~repro.core.isomorphism.BudgetStabilizerChain` recheck decide
+minimality under the same total order. Checkpoint journals record the
+key format version; v1 (single-word row-major) journals migrate on
+resume when ``n^2 <= 64`` and fail loudly otherwise.
+
+**Sampled census** (:func:`sampled_census_scan`): beyond exhaustive
+reach, a seeded Monte Carlo draw of Gray ranks rides the same
+unranking / engine-repair / shard / checkpoint machinery and reports
+equilibrium-density and price-of-anarchy *estimates* with Wilson and
+bootstrap confidence intervals. The ``"orbit"`` method canonicalises
+each sampled profile through the stabilizer chain and memoises
+verdicts per orbit — bit-identical histograms to ``"stratified"``,
+cheaper when samples collide in orbit space.
+
+Everything else is still guarded by profile caps; the sampling and
+dynamics pipelines cover larger sizes.
 """
 
 from __future__ import annotations
@@ -81,13 +102,35 @@ __all__ = [
     "exact_prices",
     "WeightedCensusReport",
     "weighted_census_scan",
+    "SampledCensusReport",
+    "sampled_census_scan",
     "last_census_pool_stats",
     "last_census_runtime_stats",
 ]
 
-#: Symmetry pruning packs the ownership adjacency into one 64-bit key
-#: per group element, which needs ``n^2 <= 64``.
-_MAX_SYMMETRY_N: int = 8
+#: Symmetry pruning packs the ownership adjacency into a two-word
+#: (128-bit) key per group element, which needs ``n^2 <= 128``.
+_MAX_SYMMETRY_N: int = 11
+
+#: Exact-stage survivor rechecks run through the stabilizer chain in
+#: batches this large — the chain's per-key cost is lowest on modest
+#: frontier sizes, so huge survivor sets are chunked, not one-shot.
+_EXACT_CHUNK: int = 512
+
+
+def _check_symmetry_cap(n: int) -> None:
+    """Single source of the symmetry-pruning size cap (and its message).
+
+    Both entry points — :func:`census_scan` up front and
+    :class:`_OrbitKeys` at construction — raise through here, so the
+    limit and its wording can never drift apart again.
+    """
+    if n > _MAX_SYMMETRY_N:
+        raise GameError(
+            f"symmetry pruning packs profiles into two-word 128-bit keys "
+            f"and is capped at n = {_MAX_SYMMETRY_N} (n^2 <= 128), "
+            f"got n = {n}"
+        )
 
 
 def profile_space_size(game: BoundedBudgetGame) -> int:
@@ -169,6 +212,25 @@ def _gray_digits(rank: int, radices: Sequence[int], rests: Sequence[int]) -> lis
         if d & 1:
             r = rest - 1 - r  # odd digit: the suffix block is reversed
     return digits
+
+
+def _gray_rank(digits: Sequence[int], rests: Sequence[int]) -> int:
+    """Inverse of :func:`_gray_digits`: the rank of an MSB-first vector.
+
+    Reconstructs backward through the reflection — at each level the
+    suffix remainder is un-reflected when the digit is odd, then scaled
+    back in — so ``_gray_rank(_gray_digits(r, radices, rests), rests)
+    == r`` for every rank. Used to map collected profiles back into
+    Gray-rank windows (the n = 8 cross-validation bench filters a
+    pruned census's equilibria to an unpruned subrange this way).
+    """
+    r = 0
+    for i in range(len(digits) - 1, -1, -1):
+        d = int(digits[i])
+        rest = rests[i + 1]
+        inner = rest - 1 - r if d & 1 else r
+        r = d * rest + inner
+    return r
 
 
 def _profile_tables(
@@ -299,19 +361,33 @@ class _OrbitKeys:
     """Incrementally maintained canonical keys of one evolving profile.
 
     For a group element the ownership adjacency of the relabeled
-    profile is packed into a single ``uint64`` bit key (bit ``a*n + b``
-    set iff arc ``a -> b``). A profile is canonical iff its own key
-    (the identity element) is the orbit minimum; the orbit size follows
-    from the stabilizer count. Keys are injective on directed graphs
-    with ``n^2 <= 64``, so equal keys mean equal relabeled profiles.
+    profile is packed into a **two-word (128-bit) key**: cell ``(a, b)``
+    occupies bit position :func:`~repro.core.isomorphism.chain_cell_positions`
+    ``[a, b]`` — word ``position >> 6``, bit ``position & 63`` — so
+    ``n^2 <= 128`` works. Each present arc sets exactly one bit of one
+    word, hence per-word ``uint64`` addition/subtraction (and the block
+    cumulative sums below) stay exact with no cross-word carries; keys
+    compare lexicographically as ``(hi, lo)``. A profile is canonical
+    iff its own key (the identity element) is the orbit minimum; the
+    orbit size follows from the stabilizer count. Keys are injective on
+    directed graphs, so equal keys mean equal relabeled profiles.
+
+    The cell order is the *chain-aligned* one — cells revealed early by
+    the stabilizer-chain descent are most significant — shared verbatim
+    with :class:`~repro.core.isomorphism.BudgetStabilizerChain`, so the
+    probe stage and the exact stage decide minimality under the same
+    total order.
 
     Two-stage evaluation keeps the per-profile cost sublinear in the
     group order: only a small **probe** subset — the identity plus
     every within-class transposition — is maintained incrementally
     (two gathers per Gray step). A probe key below the identity key
-    certainly refutes canonicity; the rare survivors get an exact
-    from-scratch scan over the *full* group, reconstructing the arc
-    list from the identity key's bits (no graph needed). When the
+    certainly refutes canonicity; the rare survivors are collected
+    across a whole Gray block and settled in one batched
+    stabilizer-chain descent (:meth:`_exact_orbit_sizes`), whose cost
+    tracks the profiles' automorphisms instead of the group order —
+    the former whole-group gather (40320 rows at n = 8) survives only
+    as the test reference :meth:`_reference_orbit_size`. When the
     group is no larger than the probe set the full group simply *is*
     the probe set and the exact stage is skipped. Both stages decide
     "is the identity key the orbit minimum" exactly, so the pruning
@@ -319,31 +395,64 @@ class _OrbitKeys:
     maintain-everything implementation it replaces.
 
     :meth:`advance_block` amortises the walk further: a whole block of
-    Gray swaps becomes one ``(block, probes)`` cumulative-sum pass, so
-    the per-profile Python and scan cost that used to dominate the
-    n = 7 census collapses into a handful of vectorised passes.
+    Gray swaps becomes one ``(block, probes)`` cumulative-sum pass per
+    word, so the per-profile Python and scan cost that used to dominate
+    the n = 7 census collapses into a handful of vectorised passes.
     """
 
-    __slots__ = ("_n", "_g", "_slot", "_probe_slot", "_weight", "_vals", "_exact")
+    __slots__ = (
+        "_n",
+        "_g",
+        "_perms",
+        "_probe_slot",
+        "_cellpos",
+        "_pos_heads",
+        "_pos_tails",
+        "_w_hi",
+        "_w_lo",
+        "_vals_hi",
+        "_vals_lo",
+        "_exact",
+        "_chain",
+    )
 
     def __init__(self, n: int, perms: np.ndarray) -> None:
-        if n * n > 64:
-            raise GameError(
-                f"symmetry pruning packs profiles into 64-bit keys and is "
-                f"capped at n = {_MAX_SYMMETRY_N}, got n = {n}"
-            )
-        from .isomorphism import budget_class_transpositions
+        _check_symmetry_cap(n)
+        from .isomorphism import (
+            BudgetStabilizerChain,
+            budget_class_transpositions,
+            chain_cell_positions,
+        )
+
+        cellpos = chain_cell_positions(n)
 
         def slots(p: np.ndarray) -> np.ndarray:
             # slot[k, i, j]: bit position of arc (i, j) after relabeling
-            # by p[k] — the arc lands at (perm[i], perm[j]), so reading
-            # it back from position (a, b) needs the inverse images.
+            # by p[k] — the arc lands at cell (inv[i], inv[j]) of the
+            # relabeled adjacency, whose bit is cellpos there.
             inv = np.argsort(p, axis=1)
-            return (inv[:, :, None] * n + inv[:, None, :]).astype(np.int64)
+            return cellpos[inv[:, :, None], inv[:, None, :]]
 
         self._n = int(n)
         self._g = int(perms.shape[0])
-        self._slot = slots(perms)
+        self._perms = perms
+        self._cellpos = cellpos
+        # position -> cell maps, for rebuilding adjacencies from keys.
+        flat = cellpos.ravel()
+        self._pos_heads = np.empty(n * n, dtype=np.int64)
+        self._pos_tails = np.empty(n * n, dtype=np.int64)
+        self._pos_heads[flat] = np.repeat(np.arange(n, dtype=np.int64), n)
+        self._pos_tails[flat] = np.tile(np.arange(n, dtype=np.int64), n)
+        # Per-word weights of each bit position (exactly one is nonzero
+        # per position, so per-word arithmetic never carries across).
+        self._w_hi = np.zeros(n * n, dtype=np.uint64)
+        self._w_lo = np.zeros(n * n, dtype=np.uint64)
+        pos = np.arange(n * n)
+        lo_mask = pos < 64
+        self._w_lo[lo_mask] = np.uint64(1) << pos[lo_mask].astype(np.uint64)
+        self._w_hi[~lo_mask] = np.uint64(1) << (
+            pos[~lo_mask].astype(np.uint64) - np.uint64(64)
+        )
         # Budgets are recoverable from any group: every permutation in
         # ∏ Sym(class) preserves them, so the classes are the orbits of
         # the group's own action on players. Cheaper: the caller's
@@ -352,14 +461,18 @@ class _OrbitKeys:
         orbits = self._point_orbit_labels(perms)
         probes = budget_class_transpositions(orbits)
         if self._g <= probes.shape[0] + 1:
-            self._probe_slot = self._slot  # tiny group: probes = group
+            self._probe_slot = slots(perms)  # tiny group: probes = group
             self._exact = False
+            self._chain = None
         else:
             identity = np.arange(n, dtype=np.int64)[None, :]
             self._probe_slot = slots(np.concatenate([identity, probes], axis=0))
             self._exact = True
-        self._vals = np.zeros(self._probe_slot.shape[0], dtype=np.uint64)
-        self._weight = np.uint64(1) << np.arange(n * n, dtype=np.uint64)
+            self._chain = BudgetStabilizerChain(orbits)
+            assert self._chain.order == self._g
+        p_count = self._probe_slot.shape[0]
+        self._vals_hi = np.zeros(p_count, dtype=np.uint64)
+        self._vals_lo = np.zeros(p_count, dtype=np.uint64)
 
     @staticmethod
     def _point_orbit_labels(perms: np.ndarray) -> np.ndarray:
@@ -380,69 +493,188 @@ class _OrbitKeys:
             nxt += 1
         return labels
 
-    def _arcs_from_key(self, key: np.uint64) -> "tuple[np.ndarray, np.ndarray]":
-        """Arc endpoint arrays recovered from an identity bit key."""
+    def _adjs_from_keys(
+        self, his: np.ndarray, los: np.ndarray
+    ) -> np.ndarray:
+        """Ownership adjacencies ``(K, n, n)`` rebuilt from identity keys."""
         n = self._n
-        bits = np.flatnonzero(
-            (np.uint64(key) >> np.arange(n * n, dtype=np.uint64)) & np.uint64(1)
-        )
-        return bits // n, bits % n
+        shifts = np.arange(64, dtype=np.uint64)
+        lo_bits = (los[:, None] >> shifts[None, :]) & np.uint64(1)
+        hi_bits = (his[:, None] >> shifts[None, :]) & np.uint64(1)
+        bits = np.concatenate([lo_bits, hi_bits], axis=1)[:, : n * n] != 0
+        adjs = np.zeros((his.size, n, n), dtype=bool)
+        adjs[:, self._pos_heads, self._pos_tails] = bits
+        return adjs
 
-    def _exact_orbit_size(self, key: np.uint64) -> "int | None":
-        """Full-group decision for one probe-stage survivor.
+    def _exact_orbit_sizes(
+        self, his: np.ndarray, los: np.ndarray
+    ) -> np.ndarray:
+        """Batched stabilizer-chain decision for probe-stage survivors.
 
-        Recomputes every group element's key from scratch off the arc
-        list encoded in ``key`` — ``O(g * m)`` gathers, paid only for
-        profiles the probes could not refute.
+        Rebuilds each survivor's adjacency from its identity key and
+        descends the chain once for the whole batch (chunked at
+        ``_EXACT_CHUNK``): a survivor is canonical iff the chain's
+        orbit-minimal key equals its own, and its orbit size is
+        ``|G| / |stabilizer|``. Returns ``int64`` sizes with ``0`` for
+        refuted (non-canonical) survivors.
         """
-        heads, tails = self._arcs_from_key(key)
+        sizes = np.zeros(his.size, dtype=np.int64)
+        for s in range(0, his.size, _EXACT_CHUNK):
+            chunk_hi = his[s : s + _EXACT_CHUNK]
+            chunk_lo = los[s : s + _EXACT_CHUNK]
+            adjs = self._adjs_from_keys(chunk_hi, chunk_lo)
+            min_hi, min_lo, stab = self._chain.minimal_images(adjs)
+            canon = (min_hi == chunk_hi) & (min_lo == chunk_lo)
+            out = np.zeros(chunk_hi.size, dtype=np.int64)
+            out[canon] = self._g // stab[canon]
+            sizes[s : s + chunk_hi.size] = out
+        return sizes
+
+    def _reference_orbit_size(self, key_hi: int, key_lo: int) -> "int | None":
+        """Whole-group gather decision for one survivor (test reference).
+
+        The pre-chain implementation of the exact stage: rebuild the
+        arc list from the identity key and gather every group element's
+        key — ``O(g * m)``. Kept (lazily, off the stored ``perms``)
+        so the suites can pit the chain against it; the census itself
+        never calls this.
+        """
+        key_hi = np.uint64(key_hi)
+        key_lo = np.uint64(key_lo)
+        adj = self._adjs_from_keys(
+            np.asarray([key_hi]), np.asarray([key_lo])
+        )[0]
+        heads, tails = (idx.astype(np.int64) for idx in np.nonzero(adj))
+        inv = np.argsort(self._perms, axis=1)
         if heads.size:
-            vals = self._weight[self._slot[:, heads, tails]].sum(
-                axis=1, dtype=np.uint64
-            )
+            slot = self._cellpos[inv[:, heads], inv[:, tails]]
+            vals_hi = self._w_hi[slot].sum(axis=1, dtype=np.uint64)
+            vals_lo = self._w_lo[slot].sum(axis=1, dtype=np.uint64)
         else:
-            vals = np.zeros(self._g, dtype=np.uint64)
-        if vals.min() < key:
+            vals_hi = np.zeros(self._g, dtype=np.uint64)
+            vals_lo = np.zeros(self._g, dtype=np.uint64)
+        lt = (vals_hi < key_hi) | ((vals_hi == key_hi) & (vals_lo < key_lo))
+        if lt.any():
             return None
-        return self._g // int((vals == key).sum())
+        eq = (vals_hi == key_hi) & (vals_lo == key_lo)
+        return self._g // int(eq.sum())
 
     def export_state(self) -> "tuple[int, ...]":
         """Probe-key vector as JSON-safe ints (checkpoint payload).
 
-        The vector is a pure function of the current profile (each
-        present arc contributes one weight per probe), so a resumed
-        walk could equally recompute it from the rebuilt graph —
-        storing it verbatim keeps the checkpoint self-contained and the
-        restore O(probes).
+        Format 2 (the current one): the two words of each probe key,
+        interleaved ``(hi, lo)`` per probe — tuple length is twice the
+        probe count. The vector is a pure function of the current
+        profile (each present arc contributes one weight per probe), so
+        a resumed walk could equally recompute it from the rebuilt
+        graph — storing it verbatim keeps the checkpoint self-contained
+        and the restore O(probes).
         """
-        return tuple(int(v) for v in self._vals)
+        out = []
+        for hi, lo in zip(self._vals_hi, self._vals_lo):
+            out.append(int(hi))
+            out.append(int(lo))
+        return tuple(out)
 
-    def restore_state(self, vals: "Sequence[int]") -> None:
-        """Adopt a probe-key vector exported by :meth:`export_state`."""
-        arr = np.asarray([int(v) for v in vals], dtype=np.uint64)
-        if arr.shape != self._vals.shape:
-            raise CheckpointError(
-                f"orbit state has {arr.shape[0]} probe keys, walk "
-                f"maintains {self._vals.shape[0]}"
+    def _migrate_v1_key(self, key: int) -> "tuple[int, int]":
+        """Re-encode one v1 (row-major uint64) key as ``(hi, lo)``.
+
+        v1 keys put arc ``(a, b)`` at bit ``a*n + b``; the two-word
+        format puts it at the chain cell position. Only meaningful when
+        every cell fits a v1 key, i.e. ``n^2 <= 64`` — the caller
+        guards.
+        """
+        n = self._n
+        hi = lo = 0
+        for p_old in range(n * n):
+            if (key >> p_old) & 1:
+                a, b = divmod(p_old, n)
+                p = int(self._cellpos[a, b])
+                if p >= 64:
+                    hi |= 1 << (p - 64)
+                else:
+                    lo |= 1 << p
+        return hi, lo
+
+    def restore_state(
+        self, vals: "Sequence[int]", *, key_format: int = 2
+    ) -> None:
+        """Adopt a probe-key vector exported by :meth:`export_state`.
+
+        ``key_format=2`` expects the interleaved two-word vector this
+        code writes. ``key_format=1`` migrates a 64-bit (row-major)
+        vector journalled by the pre-128-bit code — valid only when
+        ``n^2 <= 64``; otherwise (or for an unknown format) the resume
+        fails loudly rather than silently miscounting.
+        """
+        p_count = self._vals_hi.shape[0]
+        ints = [int(v) for v in vals]
+        if key_format == 2:
+            if len(ints) != 2 * p_count:
+                raise CheckpointError(
+                    f"orbit state has {len(ints)} words, walk maintains "
+                    f"{p_count} probe keys ({2 * p_count} words)"
+                )
+            arr = np.asarray(ints, dtype=np.uint64)
+            self._vals_hi = arr[0::2].copy()
+            self._vals_lo = arr[1::2].copy()
+            return
+        if key_format == 1:
+            if self._n * self._n > 64:
+                raise CheckpointError(
+                    f"checkpoint carries v1 (64-bit) orbit keys but "
+                    f"n = {self._n} needs the two-word format; this "
+                    f"journal cannot have been written for this game — "
+                    f"delete the checkpoint directory and rerun"
+                )
+            if len(ints) != p_count:
+                raise CheckpointError(
+                    f"v1 orbit state has {len(ints)} probe keys, walk "
+                    f"maintains {p_count}"
+                )
+            pairs = [self._migrate_v1_key(v) for v in ints]
+            self._vals_hi = np.asarray(
+                [hi for hi, _ in pairs], dtype=np.uint64
             )
-        self._vals = arr
+            self._vals_lo = np.asarray(
+                [lo for _, lo in pairs], dtype=np.uint64
+            )
+            return
+        raise CheckpointError(
+            f"unknown orbit key format {key_format!r} (this build reads "
+            f"formats 1 and 2)"
+        )
 
     def toggle(self, i: int, j: int, present: bool) -> None:
         """Record that arc ``i -> j`` was added (or removed)."""
-        delta = self._weight[self._probe_slot[:, i, j]]
+        slot = self._probe_slot[:, i, j]
+        delta_hi = self._w_hi[slot]
+        delta_lo = self._w_lo[slot]
         if present:
-            self._vals += delta
+            self._vals_hi += delta_hi
+            self._vals_lo += delta_lo
         else:
-            self._vals -= delta
+            self._vals_hi -= delta_hi
+            self._vals_lo -= delta_lo
 
     def canonical_orbit_size(self) -> "int | None":
         """Orbit size if the current profile is canonical, else ``None``."""
-        key = self._vals[0]  # identity relabeling = the profile itself
-        if self._vals.min() < key:
+        key_hi = self._vals_hi[0]  # identity relabeling = the profile
+        key_lo = self._vals_lo[0]
+        lt = (self._vals_hi < key_hi) | (
+            (self._vals_hi == key_hi) & (self._vals_lo < key_lo)
+        )
+        if lt.any():
             return None
         if not self._exact:
-            return self._g // int((self._vals == key).sum())
-        return self._exact_orbit_size(key)
+            eq = (self._vals_hi == key_hi) & (self._vals_lo == key_lo)
+            return self._g // int(eq.sum())
+        size = int(
+            self._exact_orbit_sizes(
+                np.asarray([key_hi]), np.asarray([key_lo])
+            )[0]
+        )
+        return size if size else None
 
     def advance_block(
         self, js: np.ndarray, drops: np.ndarray, adds: np.ndarray
@@ -452,30 +684,38 @@ class _OrbitKeys:
         Step ``t`` replaces arc ``js[t] -> drops[t]`` with
         ``js[t] -> adds[t]``. Returns an ``int64`` array with the orbit
         size at each post-swap profile for canonical profiles and ``0``
-        for non-canonical ones. One cumulative-sum pass maintains every
-        probe key across the whole block (``uint64`` wrap-around is
-        exact: all true partial sums are valid keys); survivors of the
-        probe minimum test get the exact full-group scan.
+        for non-canonical ones. One cumulative-sum pass per word
+        maintains every probe key across the whole block (``uint64``
+        wrap-around is exact: all true partial sums are valid keys);
+        survivors of the probe minimum test are settled together in one
+        batched stabilizer-chain recheck, so the exact-stage cost stops
+        scaling with the group order.
         """
-        deltas = (
-            self._weight[self._probe_slot[:, js, adds]]
-            - self._weight[self._probe_slot[:, js, drops]]
-        ).T  # (block, probes)
-        block = self._vals[None, :] + np.cumsum(deltas, axis=0)
-        self._vals = block[-1].copy()
-        keys = block[:, 0]
-        candidates = block.min(axis=1) >= keys
+        slot_adds = self._probe_slot[:, js, adds]
+        slot_drops = self._probe_slot[:, js, drops]
+        deltas_hi = (self._w_hi[slot_adds] - self._w_hi[slot_drops]).T
+        deltas_lo = (self._w_lo[slot_adds] - self._w_lo[slot_drops]).T
+        block_hi = self._vals_hi[None, :] + np.cumsum(deltas_hi, axis=0)
+        block_lo = self._vals_lo[None, :] + np.cumsum(deltas_lo, axis=0)
+        self._vals_hi = block_hi[-1].copy()
+        self._vals_lo = block_lo[-1].copy()
+        keys_hi = block_hi[:, 0]
+        keys_lo = block_lo[:, 0]
+        lt = (block_hi < keys_hi[:, None]) | (
+            (block_hi == keys_hi[:, None]) & (block_lo < keys_lo[:, None])
+        )
+        candidates = ~lt.any(axis=1)
         sizes = np.zeros(js.size, dtype=np.int64)
-        if not self._exact:
-            hits = np.flatnonzero(candidates)
-            if hits.size:
-                stab = (block[hits] == keys[hits, None]).sum(axis=1)
-                sizes[hits] = self._g // stab
+        hits = np.flatnonzero(candidates)
+        if not hits.size:
             return sizes
-        for t in np.flatnonzero(candidates):
-            size = self._exact_orbit_size(keys[t])
-            if size is not None:
-                sizes[t] = size
+        if not self._exact:
+            eq = (block_hi[hits] == keys_hi[hits, None]) & (
+                block_lo[hits] == keys_lo[hits, None]
+            )
+            sizes[hits] = self._g // eq.sum(axis=1)
+            return sizes
+        sizes[hits] = self._exact_orbit_sizes(keys_hi[hits], keys_lo[hits])
         return sizes
 
 
@@ -719,7 +959,10 @@ def _census_shard(payload: tuple, ctx=None) -> "dict[str, object]":
     cache = DistanceCache(graph, dirty_fraction="adaptive", base_engine=base_engine)
     if orbit is not None:
         if resume_rec is not None and resume_rec.orbit_vals is not None:
-            orbit.restore_state(resume_rec.orbit_vals)
+            orbit.restore_state(
+                resume_rec.orbit_vals,
+                key_format=resume_rec.orbit_key_format,
+            )
         else:
             for a, b in graph.arcs():
                 orbit.toggle(a, b, True)
@@ -1200,6 +1443,8 @@ def _resolve_runtime_shards(
     weights: "tuple[int, ...] | None" = None,
     symmetry: bool = False,
     collect: bool = False,
+    seed: "int | None" = None,
+    sample_method: "str | None" = None,
 ) -> "tuple[tuple[int, int], ...]":
     """Manifest handshake: pin (fresh) or verify (resume) the run shape.
 
@@ -1222,6 +1467,8 @@ def _resolve_runtime_shards(
             weights=weights,
             symmetry=symmetry,
             collect=collect,
+            seed=seed,
+            sample_method=sample_method,
         )
         if manifest != expected:
             raise CheckpointError(
@@ -1244,6 +1491,8 @@ def _resolve_runtime_shards(
             weights=weights,
             symmetry=symmetry,
             collect=collect,
+            seed=seed,
+            sample_method=sample_method,
         ),
     )
     return shards
@@ -1389,14 +1638,11 @@ def census_scan(
 
     _reset_census_stats()
     version = Version.coerce(version)
+    if symmetry:
+        _check_symmetry_cap(game.n)
     _check_cap(game, max_profiles)
     if workers < 1:
         raise GameError(f"workers must be positive, got {workers}")
-    if symmetry and game.n > _MAX_SYMMETRY_N:
-        raise GameError(
-            f"symmetry pruning is capped at n = {_MAX_SYMMETRY_N} "
-            f"(64-bit profile keys), got n = {game.n}"
-        )
     if checkpoint_dir is None and (
         resume or fault_plan is not None or shard_count is not None
     ):
@@ -2035,6 +2281,557 @@ def weighted_census_scan(
     )
     equilibria = tuple(sorted(eq_profiles)) if collect_equilibria else None
     return report, equilibria
+
+
+# ----------------------------------------------------------------------
+# Monte Carlo sampled census
+# ----------------------------------------------------------------------
+
+#: ``derive_seed`` domain tags: the rank draws and the bootstrap
+#: resampler must be independent streams of the same user seed.
+_SAMPLED_DRAW_TAG: int = 1101
+_SAMPLED_BOOT_TAG: int = 1102
+
+#: The sampling methods :func:`sampled_census_scan` accepts.
+_SAMPLE_METHODS: "tuple[str, ...]" = ("uniform", "stratified", "orbit")
+
+
+def _sampled_ranks(
+    total: int, samples: int, seed: int, method: str
+) -> "list[int]":
+    """The deterministic sorted Gray-rank draw of one sampled run.
+
+    Shared verbatim by the parent and every shard — a shard re-derives
+    the full list and evaluates its slice of *sample indices*, which is
+    what makes the estimate worker-count invariant. ``"uniform"`` draws
+    ``samples`` i.i.d. ranks (with replacement); ``"stratified"`` and
+    ``"orbit"`` draw one rank per contiguous stratum of the rank space
+    — deliberately from the *same* stream, so the orbit method's
+    memoised estimator is bit-identical to the stratified one. Draws go
+    through :class:`random.Random` (not numpy) because profile spaces
+    overflow 64 bits long before they overflow Python ints.
+    """
+    import random
+
+    from ..parallel.executor import contiguous_shards
+    from ..rng import derive_seed
+
+    strat = method != "uniform"
+    rng = random.Random(
+        derive_seed(seed, _SAMPLED_DRAW_TAG, samples, int(strat))
+    )
+    if strat:
+        return [
+            lo + rng.randrange(hi - lo)
+            for lo, hi in contiguous_shards(total, samples)
+        ]
+    return sorted(rng.randrange(total) for _ in range(samples))
+
+
+def _sampled_census_shard(payload: tuple, ctx=None) -> "dict[str, object]":
+    """One contiguous range of *sample indices* (worker function).
+
+    Bounds are indices into the run's deterministic rank draw, **not**
+    Gray ranks — which is why the sampled checkpointed path never
+    engages the rank-tagged matrix-pool machinery (a numeric tag match
+    there would attach the wrong profile's matrix). Each sample is one
+    O(n) unranking plus a strategy diff against the previous sample's
+    graph, repaired by the engine delta machinery; verdicts accumulate
+    into a ``(diameter, is_eq)`` histogram that the merge turns into
+    density / PoA estimates. The ``"orbit"`` method canonicalises every
+    sample through the stabilizer chain first and memoises verdicts per
+    orbit key, skipping the graph entirely on a hit.
+    """
+    (
+        budgets,
+        version_value,
+        lo,
+        hi,
+        samples,
+        seed,
+        method,
+        handle,
+    ) = payload
+    game = BoundedBudgetGame(list(budgets))
+    version = Version.coerce(version_value)
+    n = game.n
+    total = profile_space_size(game)
+    ranks = _sampled_ranks(total, samples, seed, method)
+    resume_rec = ctx.resume_state if ctx is not None else None
+    if resume_rec is not None and resume_rec.next_rank <= lo:
+        resume_rec = None  # vacuous progress: run the shard fresh
+    count = 0
+    eq_count = 0
+    warm = 0
+    hist: "dict[str, int]" = {}
+    start = lo
+    if resume_rec is not None:
+        c = resume_rec.counters
+        count = int(c["count"] or 0)
+        eq_count = int(c["eq_count"] or 0)
+        warm = int(c.get("warm") or 0)
+        for k, v in c.items():
+            if k.startswith("d:"):
+                hist[k] = int(v or 0)
+        start = resume_rec.next_rank
+
+    def counters() -> "dict[str, int | None]":
+        out: "dict[str, int | None]" = {
+            "count": count,
+            "eq_count": eq_count,
+            "warm": warm,
+        }
+        out.update(hist)
+        return out
+
+    def part() -> "dict[str, object]":
+        return dict(counters())
+
+    def save(next_index: int, *, done: bool = False) -> None:
+        if ctx is None:
+            return
+        ctx.checkpoint(
+            lo=lo, hi=hi, next_rank=next_index, counters=counters(), done=done
+        )
+
+    if start >= hi:
+        if lo <= hi:
+            save(hi, done=True)
+        return part()
+    combos, radices, rests = _profile_tables(game)
+    digits = _gray_digits(ranks[start], radices, rests)
+    graph = OwnedDigraph.from_strategies(
+        [combos[u][digits[u]] for u in range(n)], n
+    )
+    # The warm-start handle (static path only) was published for the
+    # graph at ranks[lo]; attach only when that is the graph we built.
+    base_engine = _attach_unit_snapshot(handle, graph) if start == lo else None
+    warm += int(base_engine is not None)
+    if base_engine is not None:
+        cache = DistanceCache(
+            graph, dirty_fraction="adaptive", base_engine=base_engine
+        )
+    else:
+        # Cold starts recycle retired matrix buffers process-locally:
+        # serial batteries re-scan same-sized games back to back, and
+        # the shared cache's rebind path skips their reallocations.
+        from ..parallel.sweep import shared_distance_cache
+
+        cache = shared_distance_cache(graph, dirty_fraction="adaptive")
+    gdigits = list(digits)
+
+    chain = None
+    memo: "dict[tuple[int, int], tuple[int, bool]]" = {}
+    if method == "orbit":
+        from .isomorphism import BudgetStabilizerChain
+
+        chain = BudgetStabilizerChain(budgets)
+
+    def ownership_adj(pdigits: "list[int]") -> np.ndarray:
+        adj = np.zeros((n, n), dtype=bool)
+        for u in range(n):
+            adj[u, list(combos[u][pdigits[u]])] = True
+        return adj
+
+    def evaluate(pdigits: "list[int]") -> "tuple[int, bool]":
+        for j in range(n):
+            if gdigits[j] != pdigits[j]:
+                graph.set_strategy(j, combos[j][pdigits[j]])
+                gdigits[j] = pdigits[j]
+        d = int(cache.base().matrix.max()) if n > 1 else 0
+        return d, bool(is_equilibrium(graph, version, cache=cache))
+
+    interval = ctx.interval if ctx is not None else 0
+    next_cp = start + interval if interval else None
+    for i in range(start, hi):
+        pdigits = (
+            digits if i == start else _gray_digits(ranks[i], radices, rests)
+        )
+        verdict = None
+        if chain is not None:
+            min_hi, min_lo, _ = chain.minimal_images(
+                ownership_adj(pdigits)[None, :, :]
+            )
+            ckey = (int(min_hi[0]), int(min_lo[0]))
+            verdict = memo.get(ckey)
+        if verdict is None:
+            verdict = evaluate(pdigits)
+            if chain is not None:
+                memo[ckey] = verdict
+        d, eq = verdict
+        count += 1
+        eq_count += int(eq)
+        hkey = f"d:{d}:{int(eq)}"
+        hist[hkey] = hist.get(hkey, 0) + 1
+        if ctx is not None:
+            ctx.tick(i)
+            if next_cp is not None and i + 1 >= next_cp and i + 1 < hi:
+                save(i + 1)
+                next_cp = i + 1 + interval
+    save(hi, done=True)
+    return part()
+
+
+def _sampled_part_from_record(record) -> "dict[str, object]":
+    part: "dict[str, object]" = {
+        k: int(v or 0)
+        for k, v in record.counters.items()
+        if k.startswith("d:") or k in ("count", "eq_count")
+    }
+    part.setdefault("count", 0)
+    part.setdefault("eq_count", 0)
+    part["warm"] = int(record.counters.get("warm") or 0)
+    return part
+
+
+def _merge_sampled_parts(
+    parts: "list[dict]",
+) -> "tuple[int, int, dict[tuple[int, int], int]]":
+    """Order-independent merge: ``(count, eq_count, histogram)``.
+
+    Histogram keys are ``(diameter, is_eq)`` pairs decoded from the
+    shards' ``"d:<diameter>:<0|1>"`` counter keys.
+    """
+    count = 0
+    eq_count = 0
+    hist: "dict[tuple[int, int], int]" = {}
+    for p in parts:
+        count += int(p.get("count") or 0)
+        eq_count += int(p.get("eq_count") or 0)
+        for k, v in p.items():
+            if isinstance(k, str) and k.startswith("d:"):
+                _, d, eq = k.split(":")
+                key = (int(d), int(eq))
+                hist[key] = hist.get(key, 0) + int(v or 0)
+    return count, eq_count, hist
+
+
+def _wilson_interval(
+    successes: int, trials: int, confidence: float
+) -> "tuple[float, float]":
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the Wald interval it never collapses to a point at 0 or 1
+    successes — exactly the regime a rare-equilibrium census sits in.
+    """
+    if trials == 0:
+        return (0.0, 1.0)
+    from statistics import NormalDist
+
+    z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    nt = float(trials)
+    k = float(successes)
+    denom = nt + z * z
+    center = (k + z * z / 2.0) / denom
+    half = (z / denom) * math.sqrt(k * (nt - k) / nt + z * z / 4.0)
+    # Exact endpoints at the degenerate counts (float noise otherwise
+    # leaves a ~1e-18 residue that breaks "0 successes => bound is 0").
+    lo = 0.0 if successes == 0 else max(0.0, center - half)
+    hi = 1.0 if successes == trials else min(1.0, center + half)
+    return (lo, hi)
+
+
+def _bootstrap_poa_ci(
+    hist: "dict[tuple[int, int], int]",
+    trials: int,
+    seed: int,
+    confidence: float,
+    resamples: int = 1000,
+) -> "tuple[float, float] | None":
+    """Percentile-bootstrap interval for the sampled PoA ratio.
+
+    Resamples the ``(diameter, is_eq)`` histogram multinomially and
+    recomputes ``worst sampled equilibrium diameter / best sampled
+    diameter`` per replicate; replicates whose resample holds no
+    equilibrium cell are skipped. Deterministic for a given seed
+    (category order is sorted, the generator is derived). Returns
+    ``None`` when no equilibrium was sampled at all.
+    """
+    from ..rng import derive_seed
+
+    cats = sorted(hist.items())
+    if trials == 0 or not any(eq for (_, eq), _ in cats):
+        return None
+    counts = np.asarray([c for _, c in cats], dtype=np.float64)
+    probs = counts / counts.sum()
+    diams = np.asarray([d for (d, _), _ in cats], dtype=np.int64)
+    eqs = np.asarray([bool(e) for (_, e), _ in cats], dtype=bool)
+    rng = np.random.default_rng(
+        derive_seed(seed, _SAMPLED_BOOT_TAG, trials, resamples)
+    )
+    draws = rng.multinomial(trials, probs, size=resamples)
+    ratios: "list[float]" = []
+    for row in draws:
+        present = row > 0
+        if not (present & eqs).any():
+            continue
+        opt = int(diams[present].min())
+        worst = int(diams[present & eqs].max())
+        ratios.append(1.0 if opt <= 0 else worst / opt)
+    if not ratios:
+        return None
+    ratios.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_i = int(alpha * (len(ratios) - 1))
+    hi_i = int(math.ceil((1.0 - alpha) * (len(ratios) - 1)))
+    return (float(ratios[lo_i]), float(ratios[hi_i]))
+
+
+@dataclass(frozen=True)
+class SampledCensusReport:
+    """Monte Carlo census estimates with their uncertainty.
+
+    Estimator methodology
+    ---------------------
+    ``eq_density`` is the sample fraction of equilibrium profiles —
+    unbiased for the population fraction under both the i.i.d.
+    (``"uniform"``) and one-draw-per-stratum (``"stratified"`` /
+    ``"orbit"``) designs. ``eq_density_ci`` is the Wilson score
+    interval at ``confidence`` (computed as if i.i.d.; under the
+    stratified design it is mildly conservative). ``eq_count_estimate``
+    and ``eq_count_ci`` scale those by ``total_profiles``.
+
+    ``poa_estimate`` is ``worst_equilibrium_diameter_seen /
+    opt_diameter_seen`` — a ratio of sample extrema, so it is a *lower
+    bound* estimate of the exact PoA (extrema can only be missed, never
+    overshot). ``poa_ci`` is the percentile bootstrap over multinomial
+    resamples of the ``(diameter, is_eq)`` histogram; ``None`` when no
+    equilibrium was sampled. ``samples_evaluated < samples`` only when
+    a checkpointed run quarantined poison shards.
+    """
+
+    version: Version
+    method: str
+    seed: int
+    samples: int
+    samples_evaluated: int
+    total_profiles: int
+    eq_samples: int
+    confidence: float
+    eq_density: float
+    eq_density_ci: "tuple[float, float]"
+    eq_count_estimate: float
+    eq_count_ci: "tuple[float, float]"
+    opt_diameter_seen: "int | None"
+    best_equilibrium_diameter_seen: "int | None"
+    worst_equilibrium_diameter_seen: "int | None"
+    poa_estimate: "Fraction | None"
+    poa_ci: "tuple[float, float] | None"
+    histogram: "tuple[tuple[int, int, int], ...]"
+
+
+def _sampled_report(
+    *,
+    version: Version,
+    method: str,
+    seed: int,
+    samples: int,
+    confidence: float,
+    total: int,
+    count: int,
+    eq_count: int,
+    hist: "dict[tuple[int, int], int]",
+) -> SampledCensusReport:
+    density = eq_count / count if count else 0.0
+    ci = _wilson_interval(eq_count, count, confidence)
+    try:
+        ftotal = float(total)
+    except OverflowError:
+        ftotal = math.inf  # the estimate is still a density; count is not finite
+    cells = sorted(hist)
+    opt_seen = min((d for d, _ in cells), default=None)
+    eq_diams = [d for d, e in cells if e]
+    best = min(eq_diams, default=None)
+    worst = max(eq_diams, default=None)
+    poa = None
+    if worst is not None and opt_seen is not None:
+        poa = Fraction(worst, opt_seen) if opt_seen > 0 else Fraction(1)
+    return SampledCensusReport(
+        version=version,
+        method=method,
+        seed=seed,
+        samples=samples,
+        samples_evaluated=count,
+        total_profiles=total,
+        eq_samples=eq_count,
+        confidence=confidence,
+        eq_density=density,
+        eq_density_ci=ci,
+        eq_count_estimate=density * ftotal,
+        eq_count_ci=(ci[0] * ftotal, ci[1] * ftotal),
+        opt_diameter_seen=opt_seen,
+        best_equilibrium_diameter_seen=best,
+        worst_equilibrium_diameter_seen=worst,
+        poa_estimate=poa,
+        poa_ci=_bootstrap_poa_ci(hist, count, seed, confidence),
+        histogram=tuple((d, e, hist[(d, e)]) for d, e in cells),
+    )
+
+
+def sampled_census_scan(
+    game: BoundedBudgetGame,
+    version: "Version | str",
+    *,
+    samples: int,
+    seed: int = 0,
+    method: str = "uniform",
+    confidence: float = 0.95,
+    workers: int = 1,
+    pool: "bool | None" = None,
+    checkpoint_dir: "str | None" = None,
+    resume: bool = False,
+    fault_plan=None,
+    shard_count: "int | None" = None,
+    runtime_opts: "dict | None" = None,
+    pool_dir: "str | None" = None,
+) -> SampledCensusReport:
+    """Monte Carlo census: equilibrium density and PoA with intervals.
+
+    Draws ``samples`` profile ranks deterministically from ``seed``
+    (``method="uniform"``: i.i.d. with replacement; ``"stratified"``:
+    one per contiguous rank stratum; ``"orbit"``: the stratified draw,
+    with each sample canonicalised through the stabilizer chain and
+    verdicts memoised per orbit — bit-identical estimates, fewer graph
+    evaluations when samples collide in orbit space) and evaluates them
+    through the Gray unranking + engine-repair kernel. No profile cap:
+    sampling is exactly the regime past exhaustive reach. The estimate
+    is invariant under ``workers`` / ``shard_count`` — shards split the
+    *sample index* space and every shard re-derives the same rank draw.
+
+    ``checkpoint_dir`` / ``resume`` / ``fault_plan`` / ``runtime_opts``
+    run the scan on the fault-tolerant checkpointed runtime exactly as
+    in :func:`census_scan` (manifests additionally pin ``seed`` and
+    ``method``); the sampled path never attaches the rank-tagged matrix
+    pool there, because its shard bounds are sample indices, not Gray
+    ranks. The static path warm-starts shards from their first sampled
+    rank's matrix (``pool`` / ``pool_dir`` as in :func:`census_scan`).
+
+    See :class:`SampledCensusReport` for the estimator and confidence
+    interval methodology.
+    """
+    from ..parallel.executor import contiguous_shards, parallel_map
+
+    _reset_census_stats()
+    version = Version.coerce(version)
+    if samples < 1:
+        raise GameError(f"samples must be positive, got {samples}")
+    if method not in _SAMPLE_METHODS:
+        raise GameError(
+            f"unknown sampling method {method!r}; use one of {_SAMPLE_METHODS}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise GameError(f"confidence must be in (0, 1), got {confidence}")
+    if workers < 1:
+        raise GameError(f"workers must be positive, got {workers}")
+    if method == "orbit":
+        _check_symmetry_cap(game.n)
+    if checkpoint_dir is None and (
+        resume or fault_plan is not None or shard_count is not None
+    ):
+        raise GameError(
+            "resume/fault_plan/shard_count require checkpoint_dir (the "
+            "checkpointed runtime path)"
+        )
+    total = profile_space_size(game)
+    if method != "uniform" and samples > total:
+        raise GameError(
+            f"{method!r} sampling draws one rank per stratum and needs "
+            f"samples <= profile space ({samples} > {total})"
+        )
+    budgets = tuple(int(b) for b in game.budgets)
+
+    def payload_for(lo: int, hi: int, handle) -> tuple:
+        return (budgets, version.value, lo, hi, samples, seed, method, handle)
+
+    if checkpoint_dir is not None:
+        shards_t = _resolve_runtime_shards(
+            checkpoint_dir,
+            resume=resume,
+            kind="sampled_census",
+            budgets=budgets,
+            total=samples,
+            shard_count=shard_count,
+            workers=workers,
+            version=version.value,
+            seed=seed,
+            sample_method=method,
+        )
+        parts, missing, covered = _run_census_shards(
+            game,
+            _sampled_census_shard,
+            payload_for,
+            _sampled_part_from_record,
+            shards_t,
+            weighted=False,
+            workers=workers,
+            # Sampled shard bounds are sample indices, not Gray ranks:
+            # the pool's rank-tagged warm-start/resume machinery would
+            # numerically "match" them and attach the wrong profile's
+            # matrix, so it must never engage on this path.
+            use_pool=False,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            fault_plan=fault_plan,
+            runtime_opts=runtime_opts,
+            store=None,
+        )
+        count, eq_count, hist = _merge_sampled_parts(parts)
+        return _sampled_report(
+            version=version,
+            method=method,
+            seed=seed,
+            samples=samples,
+            confidence=confidence,
+            total=total,
+            count=count,
+            eq_count=eq_count,
+            hist=hist,
+        )
+
+    store = None
+    if pool_dir is not None:
+        from .pool_store import PoolStore
+
+        store = PoolStore(pool_dir)
+    shards = contiguous_shards(samples, workers)
+    use_pool = pool if pool is not None else (len(shards) > 1 or store is not None)
+    matrix_pool = None
+    handles: "list" = [None] * len(shards)
+    if use_pool and shards:
+        # Pseudo rank-ranges: each shard's warm start is the matrix of
+        # its *first sampled rank* (contiguous_shards never emits empty
+        # shards, so ranks[lo] always exists).
+        ranks = _sampled_ranks(total, samples, seed, method)
+        pseudo = [(ranks[lo], ranks[hi - 1] + 1) for lo, hi in shards]
+        matrix_pool, handles = _warm_start_shards(
+            game, pseudo, weighted=False, store=store
+        )
+    try:
+        payloads = [
+            payload_for(lo, hi, handle)
+            for (lo, hi), handle in zip(shards, handles)
+        ]
+        parts = parallel_map(_sampled_census_shard, payloads, processes=workers)
+    finally:
+        if matrix_pool is not None:
+            matrix_pool.close()
+    warm = sum(p.pop("warm", 0) for p in parts)
+    if matrix_pool is not None:
+        LAST_CENSUS_POOL_STATS["shards"] = len(shards)
+        LAST_CENSUS_POOL_STATS["warm_attached"] = warm
+        _export_pool_disk_stats(matrix_pool)
+    count, eq_count, hist = _merge_sampled_parts(parts)
+    return _sampled_report(
+        version=version,
+        method=method,
+        seed=seed,
+        samples=samples,
+        confidence=confidence,
+        total=total,
+        count=count,
+        eq_count=eq_count,
+        hist=hist,
+    )
 
 
 def exact_prices(

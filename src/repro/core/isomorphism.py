@@ -22,7 +22,9 @@ Only meant for the tiny-n enumeration pipeline (capped at ``n = 9``).
 from __future__ import annotations
 
 import itertools
+import math
 from collections import Counter
+from functools import lru_cache
 
 import numpy as np
 
@@ -33,7 +35,9 @@ from ..graphs.distances import distance_matrix
 __all__ = [
     "are_isomorphic",
     "budget_class_transpositions",
+    "BudgetStabilizerChain",
     "canonical_form",
+    "chain_cell_positions",
     "isomorphism_invariant",
     "refined_vertex_colors",
     "count_isomorphism_classes",
@@ -78,6 +82,206 @@ def budget_class_transpositions(budgets) -> np.ndarray:
     if not perms:
         return np.empty((0, n), dtype=np.int64)
     return np.stack(perms)
+
+
+@lru_cache(maxsize=None)
+def chain_cell_positions(n: int) -> np.ndarray:
+    """Chain-aligned bit significance of every adjacency cell, ``(n, n)``.
+
+    The stabilizer-chain canonical walk fixes player images in
+    *descending* base-point order ``n-1, n-2, ..., 0``; after level
+    ``β`` exactly the cells ``(a, b)`` with ``min(a, b) >= β`` are
+    determined. Packing cell ``(a, b)`` at bit position
+    ``positions[a, b]`` — off-diagonal cells sorted by
+    ``(min(a, b), a*n + b)`` *descending*, most significant first, the
+    (always-zero) diagonal last — makes the revelation order of the
+    chain descent monotone in significance, so branch-and-bound pruning
+    on the newly determined cells is exact. Any fixed cell order yields
+    a valid orbit-canonical key; this one is shared by the census probe
+    keys (:class:`repro.core.enumeration._OrbitKeys`) and the chain's
+    exact survivor recheck so both stages decide minimality under the
+    *same* total order.
+
+    Positions run ``0 .. n*n - 1`` with higher = more significant; the
+    array is read-only (cached).
+    """
+    cells = [(a, b) for a in range(n) for b in range(n) if a != b]
+    cells.sort(key=lambda ab: (min(ab), ab[0] * n + ab[1]), reverse=True)
+    positions = np.empty((n, n), dtype=np.int64)
+    p = n * n - 1
+    for a, b in cells:
+        positions[a, b] = p
+        p -= 1
+    for d in range(n):
+        positions[d, d] = p
+        p -= 1
+    positions.setflags(write=False)
+    return positions
+
+
+class BudgetStabilizerChain:
+    """Schreier–Sims-style stabilizer chain of ``∏ Sym(budget class)``.
+
+    The budget symmetry group is a direct product of symmetric groups on
+    the equal-budget classes, so its stabilizer chain is available in
+    closed form: with base points ``n-1, n-2, ..., 0``, the basic orbit
+    of ``β`` under the stabilizer of all later points is exactly the
+    *not yet used* members of ``β``'s class, and the transversal
+    elements are the corresponding transpositions. The chain supports
+    the census's exact survivor recheck without ever materialising the
+    group: :meth:`minimal_images` finds the orbit-minimal adjacency key
+    (under the :func:`chain_cell_positions` bit order) by descending the
+    chain level by level, carrying only the partial images that are
+    still tied for the minimum — cost bounded by the automorphisms of
+    the profile, not the group order.
+
+    ``labels`` is any per-player class labelling (budgets work; so do
+    the point-orbit labels the census derives from a permutation
+    matrix). Players with equal labels may be exchanged; others are
+    fixed.
+    """
+
+    __slots__ = ("_n", "_labels", "_classes", "_order", "cell_positions")
+
+    def __init__(self, labels) -> None:
+        labels = [int(x) for x in labels]
+        n = len(labels)
+        if n * n > 128:
+            raise GameError(
+                f"stabilizer-chain keys are two 64-bit words (n^2 <= 128); "
+                f"got n = {n}"
+            )
+        self._n = n
+        self._labels = labels
+        classes: "dict[int, list[int]]" = {}
+        for i, lab in enumerate(labels):
+            classes.setdefault(lab, []).append(i)
+        self._classes = {
+            lab: np.asarray(members, dtype=np.int64)
+            for lab, members in classes.items()
+        }
+        order = 1
+        for members in classes.values():
+            order *= math.factorial(len(members))
+        self._order = order
+        self.cell_positions = chain_cell_positions(n)
+
+    @property
+    def order(self) -> int:
+        """Group order: the product of the class factorials."""
+        return self._order
+
+    def key_of(self, adj: np.ndarray) -> "tuple[int, int]":
+        """``(hi, lo)`` two-word key of one adjacency under the cell order."""
+        pos = self.cell_positions[np.asarray(adj, dtype=bool)]
+        hi = lo = 0
+        for p in pos:
+            p = int(p)
+            if p >= 64:
+                hi |= 1 << (p - 64)
+            else:
+                lo |= 1 << p
+        return hi, lo
+
+    def minimal_images(
+        self, adjs: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Orbit-minimal keys and stabilizer orders of a key batch.
+
+        ``adjs`` is ``(K, n, n)`` boolean ownership adjacencies. Returns
+        ``(min_hi, min_lo, stab)`` — per key the minimal two-word
+        relabeled-adjacency key over the whole group (under the
+        :func:`chain_cell_positions` order) and the number of group
+        elements achieving it (``= |Aut|``, so the orbit size is
+        ``order // stab``). The whole batch descends the chain together:
+        one vectorised expansion + prune pass per level over every
+        key's surviving frontier, never a per-group-element gather.
+
+        The frontier invariant: after level ``β`` each key holds the
+        set of partial images (assignments of ``β..n-1``) whose
+        determined cells are jointly minimal; since all frontier
+        members of a key agree on previously determined cells and the
+        cell order reveals strictly less significant bits at each later
+        level, pruning on the newly determined cells alone is exact.
+        """
+        n = self._n
+        adjs = np.ascontiguousarray(np.asarray(adjs, dtype=bool))
+        if adjs.ndim != 3 or adjs.shape[1:] != (n, n):
+            raise GameError(
+                f"expected adjacency batch of shape (K, {n}, {n}), "
+                f"got {adjs.shape}"
+            )
+        k_count = adjs.shape[0]
+        if k_count == 0:
+            empty = np.zeros(0, dtype=np.uint64)
+            return empty, empty.copy(), np.zeros(0, dtype=np.int64)
+        # Frontier: per surviving partial assignment one row of images
+        # (unassigned = -1), a used-target mask, and its owning key id.
+        images = np.full((k_count, n), -1, dtype=np.int64)
+        used = np.zeros((k_count, n), dtype=bool)
+        kid = np.arange(k_count, dtype=np.int64)
+        assigned: "list[int]" = []  # base points so far, descending
+        level_best: "list[tuple[int, np.ndarray]]" = []  # (width, best vals)
+        for beta in range(n - 1, -1, -1):
+            members = self._classes[self._labels[beta]]
+            # Expand: every frontier row × every unused class member.
+            # Every row expands (beta's own class always has an unused
+            # member left for it), so src_kid stays sorted with every
+            # key present — segmented reduceat minima below rely on it.
+            cand = ~used[:, members]  # (rows, class size)
+            rows_idx, tgt_idx = np.nonzero(cand)
+            targets = members[tgt_idx]
+            src_kid = kid[rows_idx]
+            if assigned:
+                # Newly determined cells, most significant first:
+                # (s, beta) for s descending, then (beta, s) — exactly
+                # the chain_cell_positions order within this level.
+                s_desc = np.asarray(assigned, dtype=np.int64)
+                pi_s = images[rows_idx[:, None], s_desc[None, :]]
+                col = adjs[src_kid[:, None], pi_s, targets[:, None]]
+                row = adjs[src_kid[:, None], targets[:, None], pi_s]
+                bits = np.concatenate([col, row], axis=1)
+                # Pack (<= 2n <= 22 bits) for one lexicographic compare.
+                weights = np.uint64(1) << np.arange(bits.shape[1])[
+                    ::-1
+                ].astype(np.uint64)
+                vals = bits.astype(np.uint64) @ weights
+                starts = np.flatnonzero(
+                    np.r_[True, src_kid[1:] != src_kid[:-1]]
+                )
+                best = np.minimum.reduceat(vals, starts)
+                keep = vals == best[src_kid]
+                rows_idx = rows_idx[keep]
+                targets = targets[keep]
+                kid = src_kid[keep]
+                level_best.append((bits.shape[1], best))
+            else:
+                kid = src_kid
+            # Materialize only the surviving rows.
+            images = images[rows_idx]
+            images[:, beta] = targets
+            used = used[rows_idx]
+            used[np.arange(targets.size), targets] = True
+            assigned.append(beta)  # beta descends, so this stays sorted desc
+        stab = np.bincount(kid, minlength=k_count).astype(np.int64)
+        assert (stab > 0).all()
+        # Under chain_cell_positions each level's newly revealed cells
+        # occupy one contiguous run of the key, most significant level
+        # first — so the minimal key is just the concatenation of the
+        # per-level minima, no relabeled-adjacency gather needed.
+        min_hi = np.zeros(k_count, dtype=np.uint64)
+        min_lo = np.zeros(k_count, dtype=np.uint64)
+        top = n * n  # next unplaced bit position (exclusive)
+        for width, best in level_best:
+            top -= width
+            if top >= 64:
+                min_hi |= best << np.uint64(top - 64)
+            elif top + width <= 64:
+                min_lo |= best << np.uint64(top)
+            else:  # run straddles the word boundary
+                min_lo |= best << np.uint64(top)  # high bits drop off
+                min_hi |= best >> np.uint64(64 - top)
+        return min_hi, min_lo, stab
 
 
 def refined_vertex_colors(graph: OwnedDigraph) -> list[int]:

@@ -25,7 +25,12 @@ from __future__ import annotations
 from repro.analysis.structure import check_unit_structure
 
 from ..errors import ExperimentError
-from ..core.enumeration import census_scan, profile_space_size, weighted_census_scan
+from ..core.enumeration import (
+    census_scan,
+    profile_space_size,
+    sampled_census_scan,
+    weighted_census_scan,
+)
 from ..core.game import BoundedBudgetGame
 from ..core.isomorphism import count_isomorphism_classes
 from .table1 import ExperimentReport
@@ -97,6 +102,10 @@ def exact_census_experiment(
     checkpoint_dir: "str | None" = None,
     resume: bool = False,
     pool_dir: "str | None" = None,
+    samples: "int | None" = None,
+    seed: int = 0,
+    sample_method: str = "stratified",
+    confidence: float = 0.95,
 ) -> ExperimentReport:
     """Exhaustive equilibrium census over a battery of tiny games.
 
@@ -127,6 +136,13 @@ def exact_census_experiment(
     digest graph content, so scans can never collide), and a rerun of
     the battery — even in a fresh process — attaches its shard warm
     starts from disk instead of rebuilding them.
+
+    ``samples`` (CLI: ``--sample N``) appends a **Monte Carlo sampled
+    census** row per (instance, version): ``N`` profiles drawn per
+    ``sample_method`` from ``seed`` (CLI: ``--seed``), reporting the
+    estimated equilibrium count and PoA with ``confidence``-level
+    (CLI: ``--confidence``) Wilson / bootstrap intervals — the regime
+    past exhaustive reach, cross-checkable against the exact rows here.
     """
     import os
 
@@ -197,6 +213,48 @@ def exact_census_experiment(
             )
             if census.num_equilibria == 0:
                 report.notes.append(f"{label}/{version}: NO equilibrium — violates Thm 2.3!")
+            if samples:
+                # Stratified draws take one rank per stratum, so tiny
+                # instances cap the draw at their whole profile space
+                # (where the "estimate" is simply exact).
+                eff_samples = (
+                    min(samples, space) if sample_method != "uniform" else samples
+                )
+                sampled = sampled_census_scan(
+                    game,
+                    version,
+                    samples=eff_samples,
+                    seed=seed,
+                    method=sample_method,
+                    confidence=confidence,
+                    workers=workers,
+                    pool=pool,
+                    pool_dir=pool_dir,
+                    **_scan_kwargs(label, f"{version}-sampled"),
+                )
+                lo_ci, hi_ci = sampled.eq_count_ci
+                report.rows.append(
+                    {
+                        "instance": label,
+                        "version": f"{version}/sampled",
+                        "profiles": f"{eff_samples} of {sampled.total_profiles}",
+                        "equilibria": f"~{sampled.eq_count_estimate:.0f} "
+                        f"[{lo_ci:.0f}, {hi_ci:.0f}]",
+                        "eq_classes": "-",
+                        "opt_diam": sampled.opt_diameter_seen,
+                        "PoA": f">={sampled.poa_estimate}"
+                        if sampled.poa_estimate is not None
+                        else "-",
+                        "PoS": "-",
+                        "structure_thms": "-",
+                    }
+                )
+                if not (lo_ci <= census.num_equilibria <= hi_ci):
+                    report.notes.append(
+                        f"{label}/{version}: sampled census CI "
+                        f"[{lo_ci:.1f}, {hi_ci:.1f}] misses the exact "
+                        f"count {census.num_equilibria}"
+                    )
     if weighted:
         for label, budgets, w in WEIGHTED_INSTANCES:
             game = BoundedBudgetGame(list(budgets))

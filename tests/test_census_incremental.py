@@ -256,9 +256,11 @@ def test_orbit_decomposition_partitions_profile_space():
 
 
 def test_symmetry_capped_by_key_width():
-    game = BoundedBudgetGame([1] * 9)
-    with pytest.raises(GameError):
-        census_scan(game, "sum", symmetry=True, max_profiles=10**9)
+    # n = 9..11 became legal with the two-word (128-bit) keys; the cap
+    # now binds at n = 12 (n^2 = 144 > 128).
+    game = BoundedBudgetGame([1] * 12)
+    with pytest.raises(GameError, match="128-bit"):
+        census_scan(game, "sum", symmetry=True, max_profiles=10**12)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,245 @@
+"""Monte Carlo sampled census: determinism, estimators, checkpoints.
+
+The sampled scan must be a *statistical* instrument with *exact*
+reproducibility: the same seed yields bit-identical reports at any
+worker count or shard decomposition, the stratified and orbit methods
+share one rank draw (so their histograms are bit-identical), intervals
+cover known exact counts at the sizes where the exhaustive census can
+arbitrate, and a full stratified draw degenerates to the exact census.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumeration import (
+    _gray_digits,
+    _gray_rank,
+    _profile_tables,
+    _sampled_ranks,
+    _wilson_interval,
+    census_scan,
+    profile_space_size,
+    sampled_census_scan,
+)
+from repro.core.game import BoundedBudgetGame
+from repro.errors import CheckpointError, GameError
+from repro.experiments.exact_census import exact_census_experiment
+
+
+# ----------------------------------------------------------------------
+# Gray-rank inverse
+# ----------------------------------------------------------------------
+@st.composite
+def _budget_vectors(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    return draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n
+        )
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    budgets=_budget_vectors(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_gray_rank_inverts_gray_digits(budgets, seed):
+    game = BoundedBudgetGame(budgets)
+    _, radices, rests = _profile_tables(game)
+    total = profile_space_size(game)
+    rng = np.random.default_rng(seed)
+    ranks = rng.integers(0, total, size=min(total, 32))
+    for r in map(int, ranks):
+        assert _gray_rank(_gray_digits(r, radices, rests), rests) == r
+
+
+# ----------------------------------------------------------------------
+# Rank draws
+# ----------------------------------------------------------------------
+def test_sampled_ranks_sorted_in_range_and_deterministic():
+    for method in ("uniform", "stratified"):
+        a = _sampled_ranks(10_000, 200, seed=9, method=method)
+        b = _sampled_ranks(10_000, 200, seed=9, method=method)
+        assert a == b
+        assert len(a) == 200
+        assert a == sorted(a)
+        assert all(0 <= r < 10_000 for r in a)
+    assert _sampled_ranks(10_000, 200, 9, "uniform") != _sampled_ranks(
+        10_000, 200, 10, "uniform"
+    )
+
+
+def test_stratified_draw_takes_one_rank_per_stratum():
+    total, samples = 1000, 40
+    ranks = _sampled_ranks(total, samples, seed=3, method="stratified")
+    # Stratum i is [i*25, (i+1)*25): exactly one draw lands in each.
+    assert [r // 25 for r in ranks] == list(range(samples))
+
+
+def test_orbit_and_stratified_share_the_rank_draw():
+    assert _sampled_ranks(5000, 64, 1, "orbit") == _sampled_ranks(
+        5000, 64, 1, "stratified"
+    )
+
+
+def test_sampled_ranks_handle_huge_totals():
+    total = 10**40  # far past uint64: draws must stay exact Python ints
+    ranks = _sampled_ranks(total, 50, seed=0, method="stratified")
+    assert all(0 <= r < total for r in ranks)
+    assert max(ranks) > 2**64  # the draw genuinely reaches the far strata
+
+
+# ----------------------------------------------------------------------
+# Wilson interval
+# ----------------------------------------------------------------------
+def test_wilson_interval_brackets_the_point_estimate():
+    for k, n in ((0, 50), (1, 50), (25, 50), (50, 50)):
+        lo, hi = _wilson_interval(k, n, 0.95)
+        assert 0.0 <= lo <= k / n <= hi <= 1.0
+    assert _wilson_interval(0, 0, 0.95) == (0.0, 1.0)
+    # Never collapses to a point at the extremes.
+    assert _wilson_interval(0, 50, 0.95)[1] > 0.0
+    assert _wilson_interval(50, 50, 0.95)[0] < 1.0
+
+
+# ----------------------------------------------------------------------
+# Estimates vs the exact census
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("version", ["sum", "max"])
+def test_ci_covers_exact_count_unit_n5(version):
+    game = BoundedBudgetGame([1] * 5)
+    exact = census_scan(game, version, symmetry=True).report.num_equilibria
+    rep = sampled_census_scan(
+        game, version, samples=300, seed=11, method="stratified"
+    )
+    lo, hi = rep.eq_count_ci
+    assert lo <= exact <= hi
+    assert rep.samples_evaluated == 300
+    assert rep.eq_density == rep.eq_samples / 300
+    assert sum(c for _, _, c in rep.histogram) == 300
+
+
+def test_full_stratified_draw_is_the_exact_census():
+    game = BoundedBudgetGame([1] * 4)
+    total = profile_space_size(game)
+    exact = census_scan(game, "sum").report
+    rep = sampled_census_scan(
+        game, "sum", samples=total, seed=0, method="stratified"
+    )
+    # One stratum per profile: the "sample" is the whole space.
+    assert rep.eq_samples == exact.num_equilibria
+    assert rep.eq_count_estimate == pytest.approx(exact.num_equilibria)
+    assert rep.opt_diameter_seen == exact.opt_diameter
+    assert rep.worst_equilibrium_diameter_seen == exact.worst_equilibrium_diameter
+    assert rep.poa_estimate is not None
+
+
+def test_orbit_method_bit_identical_to_stratified():
+    game = BoundedBudgetGame([1] * 5)
+    a = sampled_census_scan(game, "max", samples=128, seed=2, method="stratified")
+    b = sampled_census_scan(game, "max", samples=128, seed=2, method="orbit")
+    assert a.histogram == b.histogram
+    assert a.eq_samples == b.eq_samples
+    assert a.eq_density_ci == b.eq_density_ci
+    assert a.poa_ci == b.poa_ci
+
+
+# ----------------------------------------------------------------------
+# Determinism across execution shapes
+# ----------------------------------------------------------------------
+def test_estimate_invariant_under_workers_and_shards(tmp_path):
+    game = BoundedBudgetGame([1] * 5)
+    base = sampled_census_scan(game, "sum", samples=120, seed=4)
+    multi = sampled_census_scan(game, "sum", samples=120, seed=4, workers=3)
+    ckpt = sampled_census_scan(
+        game,
+        "sum",
+        samples=120,
+        seed=4,
+        checkpoint_dir=str(tmp_path),
+        shard_count=5,
+        workers=2,
+    )
+    assert multi == base
+    assert ckpt == base
+
+
+def test_checkpointed_resume_replays_bit_identically(tmp_path):
+    game = BoundedBudgetGame([1] * 5)
+    first = sampled_census_scan(
+        game, "sum", samples=60, seed=8, checkpoint_dir=str(tmp_path)
+    )
+    again = sampled_census_scan(
+        game, "sum", samples=60, seed=8, checkpoint_dir=str(tmp_path), resume=True
+    )
+    assert again == first
+
+
+def test_resume_manifest_pins_seed_and_method(tmp_path):
+    game = BoundedBudgetGame([1] * 5)
+    sampled_census_scan(
+        game, "sum", samples=60, seed=8, checkpoint_dir=str(tmp_path)
+    )
+    with pytest.raises(CheckpointError, match="manifest mismatch"):
+        sampled_census_scan(
+            game,
+            "sum",
+            samples=60,
+            seed=9,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+    with pytest.raises(CheckpointError, match="manifest mismatch"):
+        sampled_census_scan(
+            game,
+            "sum",
+            samples=60,
+            seed=8,
+            method="stratified",
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_sampled_scan_validates_arguments(tmp_path):
+    game = BoundedBudgetGame([1] * 4)
+    with pytest.raises(GameError, match="samples must be positive"):
+        sampled_census_scan(game, "sum", samples=0)
+    with pytest.raises(GameError, match="unknown sampling method"):
+        sampled_census_scan(game, "sum", samples=5, method="bogus")
+    with pytest.raises(GameError, match="confidence"):
+        sampled_census_scan(game, "sum", samples=5, confidence=1.0)
+    with pytest.raises(GameError, match="workers"):
+        sampled_census_scan(game, "sum", samples=5, workers=0)
+    with pytest.raises(GameError, match="one rank per stratum"):
+        sampled_census_scan(game, "sum", samples=10**6, method="stratified")
+    with pytest.raises(GameError, match="require checkpoint_dir"):
+        sampled_census_scan(game, "sum", samples=5, resume=True)
+    with pytest.raises(GameError, match="128-bit"):
+        sampled_census_scan(
+            BoundedBudgetGame([1] * 12), "sum", samples=5, method="orbit"
+        )
+
+
+# ----------------------------------------------------------------------
+# Experiment wiring
+# ----------------------------------------------------------------------
+def test_experiment_appends_sampled_rows_with_covering_cis():
+    report = exact_census_experiment(
+        instances=(("unit n=4", (1, 1, 1, 1)),), samples=40, seed=3
+    )
+    sampled_rows = [
+        r for r in report.rows if str(r["version"]).endswith("/sampled")
+    ]
+    assert len(sampled_rows) == 2  # one per cost version
+    assert all("of 81" in str(r["profiles"]) for r in sampled_rows)
+    # A CI missing its exact count would have appended a loud note.
+    assert not any("misses the exact count" in n for n in report.notes)
